@@ -1,0 +1,119 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (experiments E0-E6, see DESIGN.md) and measures the solver
+   kernels with Bechamel.
+
+   Usage: main.exe [e0|e1|e2|e3|e4|e5|e6|kernels|all]   (default: all) *)
+
+open Bechamel
+
+(* One Test.make per experiment family, over the kernels each experiment
+   leans on. *)
+let kernel_tests () =
+  let small_lp () =
+    let m = Lp.Model.create ~name:"bench_lp" () in
+    let xs =
+      Array.init 12 (fun i -> Lp.Model.add_var m ~hi:10.0 (Printf.sprintf "x%d" i))
+    in
+    for r = 0 to 7 do
+      let e =
+        Lp.Model.Linexpr.sum
+          (List.init 12 (fun j ->
+               Lp.Model.Linexpr.term
+                 (float_of_int (((r * 12) + j) mod 7) +. 1.0)
+                 xs.(j)))
+      in
+      Lp.Model.add_le m (Printf.sprintf "r%d" r) e (30.0 +. float_of_int r)
+    done;
+    Lp.Model.set_objective m ~minimize:false
+      (Lp.Model.Linexpr.sum
+         (List.init 12 (fun j ->
+              Lp.Model.Linexpr.term (float_of_int ((j mod 5) + 1)) xs.(j))));
+    m
+  in
+  let fixture =
+    Datasets.Synth.generate
+      { Datasets.Synth.default with
+        Datasets.Synth.n_groups = 24; n_targets = 5; total_servers = 200 }
+  in
+  let built = Etransform.Lp_builder.build fixture in
+  let greedy_plan = Etransform.Greedy.plan fixture in
+  [
+    Test.make ~name:"e1_simplex_solve"
+      (Staged.stage (fun () ->
+           ignore (Lp.Simplex.solve (Lp.Simplex.of_model (small_lp ())))));
+    Test.make ~name:"e1_milp_assignment"
+      (Staged.stage (fun () ->
+           ignore
+             (Lp.Milp.solve
+                ~options:{ Lp.Milp.default_options with Lp.Milp.node_limit = 50 }
+                built.Etransform.Lp_builder.model)));
+    Test.make ~name:"e1_greedy_baseline"
+      (Staged.stage (fun () -> ignore (Etransform.Greedy.plan fixture)));
+    Test.make ~name:"e2_backup_pools"
+      (Staged.stage (fun () ->
+           ignore
+             (Etransform.Placement.backup_servers fixture
+                (Etransform.Greedy.plan_dr fixture))));
+    Test.make ~name:"e3_exact_evaluation"
+      (Staged.stage (fun () ->
+           ignore (Etransform.Evaluate.plan fixture greedy_plan)));
+    Test.make ~name:"e5_lp_file_roundtrip"
+      (Staged.stage (fun () ->
+           ignore
+             (Lp.Lp_parse.model_of_string
+                (Lp.Lp_format.model_to_string built.Etransform.Lp_builder.model))));
+    Test.make ~name:"e6_dataset_synthesis"
+      (Staged.stage (fun () ->
+           ignore (Datasets.Synth.generate Datasets.Synth.default)));
+  ]
+
+let run_kernels () =
+  Printf.printf "\n===== Kernels (Bechamel, one Test.make per family) =====\n%!";
+  let cfg = Benchmark.cfg ~limit:150 ~quota:(Time.second 0.6) () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let raws =
+    Benchmark.all cfg [ instance ]
+      (Test.make_grouped ~name:"kernels" (kernel_tests ()))
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name bench ->
+      let est = Analyze.one ols instance bench in
+      let time_ns =
+        match Analyze.OLS.estimates est with
+        | Some (t :: _) -> t
+        | _ -> nan
+      in
+      let pretty =
+        if Float.is_nan time_ns then "n/a"
+        else if time_ns > 1e9 then Printf.sprintf "%.2f s" (time_ns /. 1e9)
+        else if time_ns > 1e6 then Printf.sprintf "%.2f ms" (time_ns /. 1e6)
+        else if time_ns > 1e3 then Printf.sprintf "%.2f us" (time_ns /. 1e3)
+        else Printf.sprintf "%.0f ns" time_ns
+      in
+      rows := [ name; pretty ] :: !rows)
+    raws;
+  let rows = List.sort compare !rows in
+  print_string (Etransform.Report.table ~header:[ "kernel"; "time/run" ] rows)
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (match mode with
+  | "e0" -> Harness.Studies.e0_datasets ()
+  | "e1" -> ignore (Harness.Studies.e1_consolidation ())
+  | "e2" -> ignore (Harness.Studies.e2_dr ())
+  | "e3" -> ignore (Harness.Studies.e3_latency_penalty ())
+  | "e4" -> ignore (Harness.Studies.e4_dr_server_cost ())
+  | "e5" -> ignore (Harness.Studies.e5_space_wan_tradeoff ())
+  | "e6" -> ignore (Harness.Studies.e6_placement_growth ())
+  | "kernels" -> run_kernels ()
+  | "all" ->
+      Harness.Studies.all ();
+      run_kernels ()
+  | other ->
+      Printf.eprintf "unknown experiment %S (want e0..e6, kernels, all)\n" other;
+      exit 2);
+  Printf.printf "\nDone.\n%!"

@@ -1,0 +1,1 @@
+bin/etransform_cli.mli:

@@ -1,0 +1,1 @@
+bin/lp_solve_cli.ml: Arg Array Cmd Cmdliner Fmt List Lp Printf Term

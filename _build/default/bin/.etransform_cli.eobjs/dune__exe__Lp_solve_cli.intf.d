@@ -1,0 +1,1 @@
+bin/lp_solve_cli.mli:

@@ -1,0 +1,1 @@
+examples/consolidation_case_study.ml: Array Asis Data_center Datasets Etransform Evaluate Fmt Greedy Lp Lp_builder Manual Placement Report Solver

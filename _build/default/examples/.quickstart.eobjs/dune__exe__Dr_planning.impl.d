@@ -1,0 +1,1 @@
+examples/dr_planning.ml: Array Asis Data_center Datasets Dr_planner Etransform Evaluate Fmt Placement Solver

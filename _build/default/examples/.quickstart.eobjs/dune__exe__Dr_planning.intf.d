@@ -1,0 +1,1 @@
+examples/dr_planning.mli:

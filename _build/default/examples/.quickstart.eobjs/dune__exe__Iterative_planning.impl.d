@@ -1,0 +1,1 @@
+examples/iterative_planning.ml: Array Asis Data_center Datasets Etransform Evaluate Fmt Iterate List Placement Solver

@@ -1,0 +1,1 @@
+examples/latency_tradeoff.ml: Etransform Evaluate Fmt Harness List Printf Report Solver

@@ -1,0 +1,1 @@
+examples/migration_schedule.ml: Array Asis Data_center Datasets Etransform Float Fmt Insights List Migration Report Solver

@@ -1,0 +1,1 @@
+examples/quickstart.ml: App_group Array Asis Data_center Etransform Evaluate Fmt Latency_penalty Placement Solver

@@ -1,0 +1,34 @@
+(* Latency-vs-cost tradeoff (paper §VI-D): on a line of ten locations with
+   space prices rising away from the users, sweep the latency penalty and
+   watch eTransform migrate the placement toward the users.
+
+   Run with:  dune exec examples/latency_tradeoff.exe *)
+
+open Etransform
+
+let () =
+  let penalties = [ 0.0; 30.0; 60.0; 120.0 ] in
+  Fmt.pr "users split 50/50 across the two ends of a 10-location line@.@.";
+  Fmt.pr "%8s  %12s  %12s  %14s@." "penalty" "total cost" "space cost"
+    "mean latency";
+  List.iter
+    (fun p ->
+      let cfg =
+        {
+          Harness.Line_estate.default with
+          Harness.Line_estate.frac_at_0 = 0.5;
+          latency_penalty = Harness.Line_estate.banded_penalty p;
+        }
+      in
+      let asis = Harness.Line_estate.make cfg in
+      let o = Solver.consolidate asis in
+      let s = o.Solver.summary in
+      Fmt.pr "%8s  %12s  %12s  %11.1f ms@."
+        (Printf.sprintf "$%.0f" p)
+        (Report.money (Evaluate.total s.Evaluate.cost))
+        (Report.money s.Evaluate.cost.Evaluate.space)
+        (Harness.Line_estate.mean_user_latency asis o.Solver.placement))
+    penalties;
+  Fmt.pr
+    "@.low penalties optimize cost; high penalties buy latency with pricier \
+     space — the paper's Fig. 7 in miniature.@."

@@ -1,0 +1,80 @@
+(* Quickstart: describe a tiny enterprise by hand, plan its consolidation,
+   and print the to-be state.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Etransform
+
+let () =
+  (* Two user populations: a US-east office and a EU office. *)
+  let user_locations = [| "us-east"; "eu" |] in
+
+  (* Three candidate target data centers with their price books. *)
+  let target name ~space ~power ~admin ~latency =
+    Data_center.v ~name ~capacity:60
+      ~space_segments:(Data_center.flat_space ~capacity:60 ~per_server:space)
+      ~wan_per_mb:2e-4 ~power_per_kwh:power ~admin_monthly:admin
+      ~user_latency_ms:latency ()
+  in
+  let targets =
+    [|
+      target "ashburn" ~space:220.0 ~power:0.09 ~admin:7800.0
+        ~latency:[| 6.0; 80.0 |];
+      target "dallas" ~space:170.0 ~power:0.09 ~admin:7000.0
+        ~latency:[| 35.0; 110.0 |];
+      target "frankfurt" ~space:260.0 ~power:0.17 ~admin:7300.0
+        ~latency:[| 85.0; 8.0 |];
+    |]
+  in
+
+  (* Application groups: servers, monthly traffic, users per location, and
+     a latency requirement where it matters. *)
+  let groups =
+    [|
+      App_group.v ~name:"erp" ~servers:18 ~data_mb_month:800_000.0
+        ~users:[| 300.0; 100.0 |] ();
+      App_group.v ~name:"trading"
+        ~latency:(Latency_penalty.step ~threshold_ms:10.0 ~penalty_per_user:100.0)
+        ~servers:8 ~data_mb_month:500_000.0 ~users:[| 150.0; 0.0 |] ();
+      App_group.v ~name:"eu-portal"
+        ~latency:(Latency_penalty.step ~threshold_ms:15.0 ~penalty_per_user:40.0)
+        ~servers:10 ~data_mb_month:400_000.0 ~users:[| 0.0; 400.0 |] ();
+      App_group.v ~name:"batch-analytics" ~servers:20
+        ~data_mb_month:1_500_000.0 ~users:[| 50.0; 50.0 |] ();
+    |]
+  in
+
+  (* The current estate: two aging server rooms. *)
+  let legacy name ~space ~latency =
+    Data_center.v ~name ~capacity:40
+      ~space_segments:(Data_center.flat_space ~capacity:40 ~per_server:space)
+      ~wan_per_mb:4e-4 ~power_per_kwh:0.15 ~admin_monthly:9000.0
+      ~user_latency_ms:latency ()
+  in
+  let asis =
+    Asis.v ~name:"quickstart"
+      ~groups ~targets ~user_locations
+      ~current:
+        [| legacy "hq-basement" ~space:350.0 ~latency:[| 12.0; 95.0 |];
+           legacy "eu-closet" ~space:380.0 ~latency:[| 90.0; 14.0 |] |]
+      ~current_placement:[| 0; 0; 1; 0 |] ()
+  in
+
+  let as_is = Evaluate.asis_state asis in
+  Fmt.pr "as-is:   %a@." Evaluate.pp_summary as_is;
+
+  (* Plan the consolidation and show where everything lands. *)
+  let outcome = Solver.consolidate asis in
+  Fmt.pr "to-be:   %a@." Evaluate.pp_summary outcome.Solver.summary;
+  Array.iteri
+    (fun i j ->
+      Fmt.pr "  %-16s -> %s@." asis.Asis.groups.(i).App_group.name
+        asis.Asis.targets.(j).Data_center.name)
+    outcome.Solver.placement.Placement.primary;
+  let saved =
+    100.0
+    *. (1.0
+       -. Evaluate.total outcome.Solver.summary.Evaluate.cost
+          /. Evaluate.total as_is.Evaluate.cost)
+  in
+  Fmt.pr "monthly cost reduction: %.0f%%@." saved

@@ -1,0 +1,1 @@
+lib/datasets/distributions.ml: Array Float Fun Prng

@@ -1,0 +1,1 @@
+lib/datasets/distributions.mli: Prng

@@ -1,0 +1,1 @@
+lib/datasets/enterprise1.ml: Reference_costs Synth

@@ -1,0 +1,1 @@
+lib/datasets/federal.ml: Reference_costs Synth

@@ -1,0 +1,1 @@
+lib/datasets/florida.ml: Reference_costs Synth

@@ -1,0 +1,1 @@
+lib/datasets/prng.ml: Array Float Int64

@@ -1,0 +1,1 @@
+lib/datasets/reference_costs.ml: Array List Lp

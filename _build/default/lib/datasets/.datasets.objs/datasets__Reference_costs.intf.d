@@ -1,0 +1,1 @@
+lib/datasets/reference_costs.mli: Lp

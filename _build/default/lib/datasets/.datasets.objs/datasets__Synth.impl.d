@@ -1,0 +1,1 @@
+lib/datasets/synth.ml: App_group Array Asis Data_center Distributions Etransform Float Geo Latency_penalty Printf Prng Reference_costs Split String

@@ -1,0 +1,66 @@
+let zipf_weights ~n ~s =
+  if n <= 0 then invalid_arg "Distributions.zipf_weights";
+  let w = Array.init n (fun k -> 1.0 /. (float_of_int (k + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  Array.map (fun x -> x /. total) w
+
+let partition_integer rng ~total ~weights ~min_each =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Distributions.partition_integer: no parts";
+  if total < n * min_each then
+    invalid_arg "Distributions.partition_integer: total too small";
+  let base = Array.make n min_each in
+  let remaining = ref (total - (n * min_each)) in
+  (* Largest-remainder apportionment of what is left. *)
+  let wsum = Array.fold_left ( +. ) 0.0 weights in
+  let shares =
+    Array.map (fun w -> w /. wsum *. float_of_int !remaining) weights
+  in
+  let floors = Array.map (fun s -> int_of_float (Float.floor s)) shares in
+  Array.iteri
+    (fun i f ->
+      base.(i) <- base.(i) + f;
+      remaining := !remaining - f)
+    floors;
+  (* Hand out the leftover units by descending fractional part, breaking
+     ties randomly for variety across seeds. *)
+  let order = Array.init n Fun.id in
+  Prng.shuffle rng order;
+  Array.sort
+    (fun a b ->
+      compare
+        (shares.(b) -. Float.floor shares.(b))
+        (shares.(a) -. Float.floor shares.(a)))
+    order;
+  let k = ref 0 in
+  while !remaining > 0 do
+    base.(order.(!k mod n)) <- base.(order.(!k mod n)) + 1;
+    decr remaining;
+    incr k
+  done;
+  base
+
+let categorical rng weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Distributions.categorical: zero mass";
+  let target = Prng.float rng *. total in
+  let acc = ref 0.0 and found = ref (Array.length weights - 1) in
+  (try
+     Array.iteri
+       (fun i w ->
+         acc := !acc +. w;
+         if !acc > target then begin
+           found := i;
+           raise Exit
+         end)
+       weights
+   with Exit -> ());
+  !found
+
+let bounded_lognormal rng ~mu ~sigma ~lo ~hi =
+  let rec go fuel =
+    let x = Prng.lognormal rng ~mu ~sigma in
+    if (x >= lo && x <= hi) || fuel = 0 then Float.min hi (Float.max lo x)
+    else go (fuel - 1)
+  in
+  go 20

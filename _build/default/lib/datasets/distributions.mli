@@ -1,0 +1,20 @@
+(** Samplers for the skewed size distributions enterprise estates exhibit:
+    a few huge application groups, many small ones. *)
+
+(** [zipf_weights ~n ~s] are normalized weights proportional to 1/k^s. *)
+val zipf_weights : n:int -> s:float -> float array
+
+(** [partition_integer rng ~total ~weights ~min_each] splits [total] into
+    [Array.length weights] positive integer parts approximately proportional
+    to the weights; parts never fall below [min_each] and always sum to
+    [total]. *)
+val partition_integer :
+  Prng.t -> total:int -> weights:float array -> min_each:int -> int array
+
+(** [categorical rng weights] samples an index with probability proportional
+    to its (non-negative) weight. *)
+val categorical : Prng.t -> float array -> int
+
+(** [bounded_lognormal rng ~mu ~sigma ~lo ~hi] resamples into the bounds. *)
+val bounded_lognormal :
+  Prng.t -> mu:float -> sigma:float -> lo:float -> hi:float -> float

@@ -1,0 +1,19 @@
+(** The Enterprise1 case study: a multinational with 67 data centers, 1070
+    servers, ~190 application groups consolidating into 10 targets (paper
+    Table II, Figs. 2-3), with sites priced across world markets. *)
+
+let config ?(scale = 1.0) () =
+  Synth.scale
+    {
+      Synth.default with
+      Synth.name = "enterprise1";
+      seed = 1001;
+      n_groups = 190;
+      n_current = 67;
+      n_targets = 10;
+      total_servers = 1070;
+      markets = Reference_costs.world_markets;
+    }
+    scale
+
+let asis ?scale () = Synth.generate (config ?scale ())

@@ -1,0 +1,22 @@
+(** The US Federal consolidation program (paper Table II): 2094 data
+    centers, 42800 servers, ~1900 application groups (ten times Enterprise1,
+    as the paper assumes) consolidating into 100 targets.
+
+    Generate at [scale] < 1 to fit the bundled MILP engine; the full-size
+    estate is still useful for dataset statistics (bench experiment E0). *)
+
+let config ?(scale = 1.0) () =
+  Synth.scale
+    {
+      Synth.default with
+      Synth.name = "federal";
+      seed = 3003;
+      n_groups = 1900;
+      n_current = 2094;
+      n_targets = 100;
+      total_servers = 42800;
+      markets = Reference_costs.us_markets;
+    }
+    scale
+
+let asis ?scale () = Synth.generate (config ?scale ())

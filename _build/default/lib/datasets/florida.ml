@@ -1,0 +1,20 @@
+(** The Florida state-government study (paper Table II): 43 agency data
+    centers and 3907 servers consolidating into 10 targets.  The paper
+    borrows Enterprise1's group/server distributions because the Gartner
+    study omits them; we do the same, with US-market pricing. *)
+
+let config ?(scale = 1.0) () =
+  Synth.scale
+    {
+      Synth.default with
+      Synth.name = "florida";
+      seed = 2002;
+      n_groups = 190;
+      n_current = 43;
+      n_targets = 10;
+      total_servers = 3907;
+      markets = Reference_costs.us_markets;
+    }
+    scale
+
+let asis ?scale () = Synth.generate (config ?scale ())

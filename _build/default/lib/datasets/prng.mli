@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Dataset synthesis must be reproducible across OCaml versions and runs,
+    so we carry our own generator instead of [Stdlib.Random]. *)
+
+type t
+
+val create : int -> t
+
+(** [split t] derives an independently-seeded child stream; drawing from the
+    child does not disturb the parent sequence. *)
+val split : t -> t
+
+val next_int64 : t -> int64
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [int t n] is uniform in [0, n); requires n > 0. *)
+val int : t -> int -> int
+
+(** [range t lo hi] is uniform in [lo, hi). *)
+val range : t -> float -> float -> float
+
+val pick : t -> 'a array -> 'a
+val shuffle : t -> 'a array -> unit
+
+(** Standard normal via Box-Muller. *)
+val gaussian : t -> float
+
+(** [lognormal t ~mu ~sigma] is exp(N(mu, sigma)). *)
+val lognormal : t -> mu:float -> sigma:float -> float

@@ -1,0 +1,72 @@
+type market = {
+  market : string;
+  power_per_kwh : float;
+  admin_monthly : float;
+  space_per_server : float;
+  wan_per_mb : float;
+}
+
+let m market power_per_kwh admin_annual space_per_server wan_per_mb =
+  { market; power_per_kwh; admin_monthly = admin_annual /. 12.0;
+    space_per_server; wan_per_mb }
+
+(* power: EIA 2010 average retail $/kWh; salary: IT admin annual, fully
+   loaded; space: colo $/server-month by market tier; wan: $/Mb for
+   committed enterprise transit. *)
+let us_markets =
+  [|
+    m "Washington" 0.066 88_000.0 180.0 3.0e-4;
+    m "Oregon" 0.074 82_000.0 170.0 3.0e-4;
+    m "Idaho" 0.062 70_000.0 140.0 3.6e-4;
+    m "Utah" 0.069 74_000.0 150.0 3.4e-4;
+    m "Texas" 0.092 84_000.0 175.0 2.8e-4;
+    m "Oklahoma" 0.071 69_000.0 145.0 3.5e-4;
+    m "Iowa" 0.078 71_000.0 150.0 3.3e-4;
+    m "Illinois" 0.089 86_000.0 210.0 2.6e-4;
+    m "Georgia" 0.088 80_000.0 190.0 2.9e-4;
+    m "North Carolina" 0.083 78_000.0 165.0 3.1e-4;
+    m "Virginia" 0.090 92_000.0 230.0 2.4e-4;
+    m "Florida" 0.104 75_000.0 195.0 3.0e-4;
+    m "New York" 0.163 98_000.0 320.0 2.2e-4;
+    m "New Jersey" 0.143 95_000.0 290.0 2.3e-4;
+    m "Massachusetts" 0.146 96_000.0 300.0 2.4e-4;
+    m "California" 0.131 102_000.0 310.0 2.3e-4;
+    m "Colorado" 0.094 83_000.0 185.0 3.0e-4;
+    m "Arizona" 0.097 79_000.0 175.0 3.1e-4;
+    m "Nevada" 0.112 77_000.0 180.0 3.2e-4;
+    m "Ohio" 0.093 76_000.0 160.0 3.2e-4;
+  |]
+
+let world_markets =
+  [|
+    m "US East" 0.110 95_000.0 260.0 2.4e-4;
+    m "US Central" 0.085 82_000.0 180.0 2.9e-4;
+    m "US West" 0.120 100_000.0 290.0 2.4e-4;
+    m "Canada" 0.080 78_000.0 200.0 2.8e-4;
+    m "Brazil" 0.160 55_000.0 340.0 6.0e-4;
+    m "UK" 0.170 85_000.0 330.0 2.6e-4;
+    m "Germany" 0.180 88_000.0 310.0 2.6e-4;
+    m "Netherlands" 0.150 84_000.0 290.0 2.5e-4;
+    m "Poland" 0.130 45_000.0 190.0 3.4e-4;
+    m "India" 0.100 28_000.0 150.0 5.5e-4;
+    m "Singapore" 0.140 70_000.0 320.0 4.0e-4;
+    m "Japan" 0.200 90_000.0 380.0 3.8e-4;
+    m "Hong Kong" 0.150 72_000.0 350.0 4.2e-4;
+    m "Australia" 0.190 86_000.0 330.0 5.0e-4;
+  |]
+
+let find name =
+  let all = Array.append us_markets world_markets in
+  Array.to_list all |> List.find_opt (fun mk -> mk.market = name)
+
+let volume_segments ~capacity ~per_server =
+  let cap = float_of_int (max capacity 3) in
+  let tranche = cap /. 3.0 in
+  [
+    { Lp.Piecewise.width = tranche; unit_cost = per_server };
+    { Lp.Piecewise.width = tranche; unit_cost = per_server *. 0.85 };
+    (* widen the last tranche slightly so rounding never undersizes *)
+    { Lp.Piecewise.width = tranche +. 3.0; unit_cost = per_server *. 0.70 };
+  ]
+
+let vpn_monthly ~latency_ms = 150.0 +. (25.0 *. latency_ms)

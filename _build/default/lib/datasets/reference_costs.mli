@@ -1,0 +1,33 @@
+(** Embedded price tables standing in for the reports the paper cites:
+    Telegeography colocation pricing, the Global Knowledge IT salary survey,
+    EIA retail electricity by state, and Amazon's WAN cost calculator.
+
+    Magnitudes are representative of the paper's 2010-2012 window; the
+    optimizer's behaviour depends on the *dispersion* across markets, which
+    these tables preserve. *)
+
+type market = {
+  market : string;
+  power_per_kwh : float;    (** $/kWh retail (EIA-style) *)
+  admin_monthly : float;    (** fully-loaded monthly administrator cost *)
+  space_per_server : float; (** first-tier colocation $/server-month *)
+  wan_per_mb : float;       (** $/Mb transferred (committed enterprise WAN) *)
+}
+
+(** US state markets (the Florida and Federal studies are domestic). *)
+val us_markets : market array
+
+(** World metros for the multinational Enterprise1 estate. *)
+val world_markets : market array
+
+val find : string -> market option
+
+(** [volume_segments ~capacity ~per_server] builds the paper's
+    economies-of-scale curve: list price for the first tranche, 15%% off the
+    second, 30%% off beyond, each tranche a third of capacity. *)
+val volume_segments :
+  capacity:int -> per_server:float -> Lp.Piecewise.segment list
+
+(** [vpn_monthly ~latency_ms] prices a dedicated VPN link by
+    distance (latency as proxy), like carrier point-to-point circuits. *)
+val vpn_monthly : latency_ms:float -> float

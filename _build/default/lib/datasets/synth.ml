@@ -1,0 +1,186 @@
+open Etransform
+
+type config = {
+  name : string;
+  seed : int;
+  n_groups : int;
+  n_current : int;
+  n_targets : int;
+  total_servers : int;
+  n_user_locations : int;
+  latency_sensitive_fraction : float;
+  latency_threshold_ms : float;
+  latency_penalty_per_user : float;
+  capacity_range : int * int;
+  users_per_server : float * float;
+  data_mb_per_user : float * float;
+  markets : Reference_costs.market array;
+  use_vpn : bool;
+}
+
+let default =
+  {
+    name = "synthetic";
+    seed = 42;
+    n_groups = 50;
+    n_current = 12;
+    n_targets = 6;
+    total_servers = 400;
+    n_user_locations = 4;
+    latency_sensitive_fraction = 0.5;
+    latency_threshold_ms = 10.0;
+    latency_penalty_per_user = 100.0;
+    capacity_range = (100, 1000);
+    users_per_server = (8.0, 40.0);
+    data_mb_per_user = (200.0, 2000.0);
+    markets = Reference_costs.us_markets;
+    use_vpn = false;
+  }
+
+let scale c f =
+  let s n ~min:m = max m (int_of_float (Float.round (float_of_int n *. f))) in
+  {
+    c with
+    name = (if f = 1.0 then c.name else Printf.sprintf "%s_x%.2f" c.name f);
+    n_groups = s c.n_groups ~min:8;
+    n_current = s c.n_current ~min:4;
+    n_targets = s c.n_targets ~min:4;
+    total_servers = s c.total_servers ~min:(2 * s c.n_groups ~min:8);
+  }
+
+(* The paper's user-distribution classes: all users at one of the R
+   locations, or spread evenly over all of them. *)
+let user_vector rng cfg ~total_users =
+  let r = cfg.n_user_locations in
+  let cls = Prng.int rng (r + 1) in
+  if cls = r then Array.make r (total_users /. float_of_int r)
+  else
+    Array.init r (fun k -> if k = cls then total_users else 0.0)
+
+let make_groups rng cfg =
+  let weights =
+    Distributions.zipf_weights ~n:cfg.n_groups ~s:1.1
+  in
+  Prng.shuffle rng weights;
+  let servers =
+    Distributions.partition_integer rng ~total:cfg.total_servers
+      ~weights ~min_each:1
+  in
+  Array.init cfg.n_groups (fun i ->
+      let s = servers.(i) in
+      let ups = Prng.range rng (fst cfg.users_per_server) (snd cfg.users_per_server) in
+      let total_users = Float.max 1.0 (Float.round (float_of_int s *. ups)) in
+      let users = user_vector rng cfg ~total_users in
+      let per_user = Prng.range rng (fst cfg.data_mb_per_user) (snd cfg.data_mb_per_user) in
+      let latency =
+        if Prng.float rng < cfg.latency_sensitive_fraction then
+          Latency_penalty.step ~threshold_ms:cfg.latency_threshold_ms
+            ~penalty_per_user:cfg.latency_penalty_per_user
+        else Latency_penalty.none
+      in
+      App_group.v ~latency
+        ~name:(Printf.sprintf "grp_%03d" i)
+        ~servers:s
+        ~data_mb_month:(total_users *. per_user)
+        ~users ())
+
+let make_targets rng cfg ~total_servers =
+  let lat, _classes =
+    Geo.Topology.paper_classes ~n_dcs:cfg.n_targets
+      ~n_users:cfg.n_user_locations ()
+  in
+  let lo, hi = cfg.capacity_range in
+  let caps =
+    Array.init cfg.n_targets (fun _ -> lo + Prng.int rng (max 1 (hi - lo)))
+  in
+  (* Guarantee enough total room (DR plans need headroom too). *)
+  let total_cap = Array.fold_left ( + ) 0 caps in
+  let need = int_of_float (1.4 *. float_of_int total_servers) in
+  let caps =
+    if total_cap >= need then caps
+    else begin
+      let f = float_of_int need /. float_of_int total_cap in
+      Array.map (fun c -> int_of_float (Float.ceil (float_of_int c *. f))) caps
+    end
+  in
+  Array.init cfg.n_targets (fun j ->
+      let mk = Prng.pick rng cfg.markets in
+      let vpn =
+        Array.map
+          (fun l -> Reference_costs.vpn_monthly ~latency_ms:l)
+          lat.(j)
+      in
+      (* A staffed site carries one administrator as a base charge; scale
+         effects on labor come from amortizing it over more servers. *)
+      Data_center.v
+        ~fixed_monthly:mk.Reference_costs.admin_monthly
+        ~name:(Printf.sprintf "target_%02d_%s" j
+                 (String.map (fun c -> if c = ' ' then '_' else c) mk.Reference_costs.market))
+        ~capacity:caps.(j)
+        ~space_segments:
+          (Reference_costs.volume_segments ~capacity:caps.(j)
+             ~per_server:mk.Reference_costs.space_per_server)
+        ~wan_per_mb:mk.Reference_costs.wan_per_mb
+        ~power_per_kwh:mk.Reference_costs.power_per_kwh
+        ~admin_monthly:mk.Reference_costs.admin_monthly
+        ~user_latency_ms:lat.(j) ~vpn_monthly:vpn ())
+
+let make_current rng cfg groups =
+  (* Scatter groups over many small, unoptimized sites: flat pricing at a
+     markup, mediocre latency — the estate consolidation will clean up. *)
+  let weights = Distributions.zipf_weights ~n:cfg.n_current ~s:0.8 in
+  let placement =
+    Array.init (Array.length groups) (fun _ ->
+        Distributions.categorical rng weights)
+  in
+  let assigned = Array.make cfg.n_current 0 in
+  Array.iteri
+    (fun i c ->
+      assigned.(c) <- assigned.(c) + groups.(i).App_group.servers)
+    placement;
+  let current =
+    Array.init cfg.n_current (fun c ->
+        let mk = Prng.pick rng cfg.markets in
+        let markup = Prng.range rng 1.15 1.6 in
+        let lat =
+          Array.init cfg.n_user_locations (fun _ -> Prng.range rng 8.0 35.0)
+        in
+        let cap = max assigned.(c) 1 in
+        Data_center.v
+          ~fixed_monthly:(mk.Reference_costs.admin_monthly *. markup)
+          ~name:(Printf.sprintf "current_%02d" c)
+          ~capacity:cap
+          ~space_segments:
+            (Data_center.flat_space ~capacity:cap
+               ~per_server:(mk.Reference_costs.space_per_server *. markup))
+          ~wan_per_mb:(mk.Reference_costs.wan_per_mb *. 1.3)
+          ~power_per_kwh:mk.Reference_costs.power_per_kwh
+          ~admin_monthly:mk.Reference_costs.admin_monthly
+          ~user_latency_ms:lat ())
+  in
+  (current, placement)
+
+let generate cfg =
+  let rng = Prng.create cfg.seed in
+  let groups = make_groups (Prng.split rng) cfg in
+  let targets =
+    make_targets (Prng.split rng) cfg ~total_servers:cfg.total_servers
+  in
+  let current, placement = make_current (Prng.split rng) cfg groups in
+  let params = { Asis.default_params with Asis.use_vpn = cfg.use_vpn } in
+  let asis =
+    Asis.v ~params ~name:cfg.name ~groups ~targets
+      ~user_locations:
+        (Array.init cfg.n_user_locations (Printf.sprintf "location_%d"))
+      ~current ~current_placement:placement ()
+  in
+  (* Mirror the paper's preprocessing: partition any group too large for
+     every target (ref. [3]) before planning.  The budget leaves room for
+     DR capacity reservations on top of the placement itself. *)
+  let asis = Split.ensure_fits ~max_fraction:0.55 asis in
+  match Asis.validate asis with
+  | [] -> asis
+  | problems ->
+      failwith
+        (Printf.sprintf "Synth.generate(%s): %s" cfg.name
+           (String.concat "; " problems))

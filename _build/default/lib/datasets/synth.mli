@@ -1,0 +1,37 @@
+(** Enterprise estate synthesizer.
+
+    Reconstructs "as-is" states from the published summary statistics
+    (paper Table II, Figs. 2-3) the same way the paper itself bootstraps the
+    Florida and Federal datasets from the Enterprise1 distributions: a
+    Zipf-skewed split of servers over application groups, the §VI-B user
+    distribution classes over four client locations, the five target
+    latency classes, and market-priced target sites.
+
+    Everything is driven by a seeded {!Prng}, so a config generates the
+    identical estate on every run. *)
+
+type config = {
+  name : string;
+  seed : int;
+  n_groups : int;
+  n_current : int;            (** data centers in the as-is estate *)
+  n_targets : int;
+  total_servers : int;
+  n_user_locations : int;     (** the paper uses 4 *)
+  latency_sensitive_fraction : float;
+  latency_threshold_ms : float;
+  latency_penalty_per_user : float;
+  capacity_range : int * int; (** paper: 100 to 1000 servers per target *)
+  users_per_server : float * float;
+  data_mb_per_user : float * float;
+  markets : Reference_costs.market array;
+  use_vpn : bool;
+}
+
+val default : config
+
+(** [scale c f] shrinks a config by factor [f] (groups, servers, sites),
+    for running case studies within the bundled solver's envelope. *)
+val scale : config -> float -> config
+
+val generate : config -> Etransform.Asis.t

@@ -1,0 +1,1 @@
+lib/etransform/app_group.ml: Array Fmt Latency_penalty

@@ -1,0 +1,1 @@
+lib/etransform/app_group.mli: Fmt Latency_penalty

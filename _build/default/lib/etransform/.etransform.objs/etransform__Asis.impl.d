@@ -1,0 +1,1 @@
+lib/etransform/asis.ml: App_group Array Data_center Fmt List

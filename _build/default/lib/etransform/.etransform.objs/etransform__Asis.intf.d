@@ -1,0 +1,1 @@
+lib/etransform/asis.mli: App_group Data_center Fmt

@@ -1,0 +1,1 @@
+lib/etransform/cost_model.ml: App_group Array Asis Data_center Geo Latency_penalty

@@ -1,0 +1,1 @@
+lib/etransform/cost_model.mli: Asis Data_center

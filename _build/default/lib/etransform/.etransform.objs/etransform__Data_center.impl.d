@@ -1,0 +1,1 @@
+lib/etransform/data_center.ml: Array Fmt Lp

@@ -1,0 +1,1 @@
+lib/etransform/data_center.mli: Fmt Lp

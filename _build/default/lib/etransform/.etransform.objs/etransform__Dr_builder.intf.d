@@ -1,0 +1,1 @@
+lib/etransform/dr_builder.mli: Asis Lp Placement

@@ -1,0 +1,1 @@
+lib/etransform/dr_planner.ml: App_group Array Asis Cost_model Data_center Dr_builder Evaluate Float Fun List Local_search Logs Lp Lp_builder Model Option Placement Printf Solver

@@ -1,0 +1,1 @@
+lib/etransform/dr_planner.mli: Asis Lp Solver

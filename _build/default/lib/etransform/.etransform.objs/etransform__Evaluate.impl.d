@@ -1,0 +1,1 @@
+lib/etransform/evaluate.ml: App_group Array Asis Cost_model Data_center Fmt Geo Latency_penalty List Lp Placement

@@ -1,0 +1,1 @@
+lib/etransform/evaluate.mli: Asis Fmt Placement

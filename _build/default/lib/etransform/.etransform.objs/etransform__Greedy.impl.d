@@ -1,0 +1,1 @@
+lib/etransform/greedy.ml: App_group Array Asis Cost_model Data_center Float Fun Placement Printf

@@ -1,0 +1,1 @@
+lib/etransform/greedy.mli: Asis Placement

@@ -1,0 +1,1 @@
+lib/etransform/insights.ml: Array Asis Float List Lp Lp_builder String

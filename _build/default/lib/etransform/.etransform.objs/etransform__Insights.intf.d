@@ -1,0 +1,1 @@
+lib/etransform/insights.mli: Asis Lp_builder

@@ -1,0 +1,1 @@
+lib/etransform/iterate.ml: Asis Fmt List Lp_builder Printf Solver

@@ -1,0 +1,1 @@
+lib/etransform/iterate.mli: Asis Fmt Lp Lp_builder Solver

@@ -1,0 +1,1 @@
+lib/etransform/latency_penalty.mli: Fmt

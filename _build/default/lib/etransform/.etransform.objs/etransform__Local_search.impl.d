@@ -1,0 +1,1 @@
+lib/etransform/local_search.ml: App_group Array Asis Evaluate Placement

@@ -1,0 +1,1 @@
+lib/etransform/local_search.mli: Asis Placement

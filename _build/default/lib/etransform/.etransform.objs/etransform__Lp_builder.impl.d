@@ -1,0 +1,1 @@
+lib/etransform/lp_builder.ml: App_group Array Asis Cost_model Data_center Fun Hashtbl List Lp Model Option Piecewise Placement Printf

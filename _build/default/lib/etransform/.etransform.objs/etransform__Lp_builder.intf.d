@@ -1,0 +1,1 @@
+lib/etransform/lp_builder.mli: Asis Lp Placement

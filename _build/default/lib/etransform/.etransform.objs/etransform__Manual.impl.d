@@ -1,0 +1,1 @@
+lib/etransform/manual.ml: App_group Array Asis Data_center Fun Hashtbl List Placement Printf

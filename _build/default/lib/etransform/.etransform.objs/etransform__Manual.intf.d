@@ -1,0 +1,1 @@
+lib/etransform/manual.mli: Asis Placement

@@ -1,0 +1,1 @@
+lib/etransform/migration.ml: App_group Array Asis Evaluate Fmt Fun List Placement Queue

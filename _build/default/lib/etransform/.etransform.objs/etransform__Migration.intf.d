@@ -1,0 +1,1 @@
+lib/etransform/migration.mli: Asis Fmt Placement

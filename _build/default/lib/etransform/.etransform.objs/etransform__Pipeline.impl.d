@@ -1,0 +1,1 @@
+lib/etransform/pipeline.ml: App_group Array Asis Data_center Dr_builder Dr_planner Evaluate Filename Format Lp Lp_builder Placement Solver Sys

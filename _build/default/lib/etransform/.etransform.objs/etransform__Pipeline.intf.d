@@ -1,0 +1,1 @@
+lib/etransform/pipeline.mli: Asis Lp_builder Solver

@@ -1,0 +1,1 @@
+lib/etransform/placement.ml: App_group Array Asis Data_center Fmt List Printf

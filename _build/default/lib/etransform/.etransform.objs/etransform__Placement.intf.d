@@ -1,0 +1,1 @@
+lib/etransform/placement.mli: Asis Fmt

@@ -1,0 +1,1 @@
+lib/etransform/report.ml: Array Buffer Evaluate Float List Printf String

@@ -1,0 +1,1 @@
+lib/etransform/report.mli: Evaluate

@@ -1,0 +1,1 @@
+lib/etransform/solver.ml: App_group Array Asis Cost_model Data_center Evaluate Float Fun Greedy Hashtbl List Local_search Logs Lp Lp_builder Placement String

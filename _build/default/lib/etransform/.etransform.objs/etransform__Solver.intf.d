@@ -1,0 +1,1 @@
+lib/etransform/solver.mli: Asis Evaluate Lp Lp_builder Placement

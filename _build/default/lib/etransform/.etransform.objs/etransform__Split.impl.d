@@ -1,0 +1,1 @@
+lib/etransform/split.ml: App_group Array Asis Data_center List Printf

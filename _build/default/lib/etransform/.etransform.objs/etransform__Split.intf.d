@@ -1,0 +1,1 @@
+lib/etransform/split.mli: Asis

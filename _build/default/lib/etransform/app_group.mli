@@ -1,0 +1,33 @@
+(** Application groups: the unit of placement (paper §II).
+
+    An application group bundles applications that interact closely or share
+    data; the associativity constraint keeps all of a group's servers in one
+    data center.  [users.(r)] is the paper's C_ir — the number of users of
+    this group at user location [r]. *)
+
+type t = {
+  name : string;
+  servers : int;                (** S_i: physical servers the group runs on *)
+  data_mb_month : float;        (** D_i: monthly traffic with its users, Mb *)
+  users : float array;          (** C_ir per user location *)
+  latency : Latency_penalty.t;
+  allowed_dcs : int array option;
+      (** geography/legal constraint: if set, placement is restricted to
+          these target indices *)
+  colocate_avoid : int list;
+      (** shared-risk: groups (by index) that must not share a DC *)
+}
+
+val v :
+  ?latency:Latency_penalty.t ->
+  ?allowed_dcs:int array ->
+  ?colocate_avoid:int list ->
+  name:string -> servers:int -> data_mb_month:float -> users:float array ->
+  unit -> t
+
+val total_users : t -> float
+
+(** [allowed t j] is placement admissibility at target [j]. *)
+val allowed : t -> int -> bool
+
+val pp : t Fmt.t

@@ -1,0 +1,105 @@
+type params = {
+  server_power_kw : float;
+  servers_per_admin : float;
+  hours_per_month : float;
+  vpn_link_capacity_mb : float;
+  use_vpn : bool;
+  dr_server_cost : float;
+}
+
+let default_params =
+  {
+    server_power_kw = 0.35;      (* paper: 300-400 W per server *)
+    servers_per_admin = 130.0;   (* paper: each admin handles 130 servers *)
+    hours_per_month = 730.0;
+    vpn_link_capacity_mb = 1_000_000.0;
+    use_vpn = false;
+    dr_server_cost = 1000.0;     (* paper: $1000 per DR server *)
+  }
+
+type t = {
+  name : string;
+  groups : App_group.t array;
+  targets : Data_center.t array;
+  user_locations : string array;
+  current : Data_center.t array;
+  current_placement : int array;
+  params : params;
+}
+
+let v ?(params = default_params) ~name ~groups ~targets ~user_locations
+    ~current ~current_placement () =
+  {
+    name;
+    groups;
+    targets;
+    user_locations;
+    current;
+    current_placement;
+    params;
+  }
+
+let num_groups t = Array.length t.groups
+let num_targets t = Array.length t.targets
+let num_user_locations t = Array.length t.user_locations
+
+let total_servers t =
+  Array.fold_left (fun a (g : App_group.t) -> a + g.App_group.servers) 0 t.groups
+
+let total_target_capacity t =
+  Array.fold_left (fun a (d : Data_center.t) -> a + d.Data_center.capacity) 0
+    t.targets
+
+let validate t =
+  let problems = ref [] in
+  let bad fmt = Fmt.kstr (fun s -> problems := s :: !problems) fmt in
+  let r = num_user_locations t in
+  if Array.length t.groups = 0 then bad "no application groups";
+  if Array.length t.targets = 0 then bad "no target data centers";
+  Array.iter
+    (fun (g : App_group.t) ->
+      if Array.length g.App_group.users <> r then
+        bad "group %s has %d user locations, expected %d" g.App_group.name
+          (Array.length g.App_group.users) r)
+    t.groups;
+  Array.iter
+    (fun (d : Data_center.t) ->
+      if Array.length d.Data_center.user_latency_ms <> r then
+        bad "target %s has %d latency entries, expected %d" d.Data_center.name
+          (Array.length d.Data_center.user_latency_ms) r)
+    (Array.append t.targets t.current);
+  if Array.length t.current_placement <> Array.length t.groups then
+    bad "current_placement length %d, expected %d"
+      (Array.length t.current_placement)
+      (Array.length t.groups);
+  Array.iteri
+    (fun i c ->
+      if c < 0 || c >= Array.length t.current then
+        bad "group %d currently placed in unknown DC %d" i c)
+    t.current_placement;
+  if total_target_capacity t < total_servers t then
+    bad "target capacity %d cannot host all %d servers"
+      (total_target_capacity t) (total_servers t);
+  Array.iteri
+    (fun i (g : App_group.t) ->
+      match g.App_group.allowed_dcs with
+      | Some [||] -> bad "group %d has an empty allowed-DC list" i
+      | Some a ->
+          Array.iter
+            (fun j ->
+              if j < 0 || j >= Array.length t.targets then
+                bad "group %d allows unknown target %d" i j)
+            a
+      | None -> ())
+    t.groups;
+  if t.params.servers_per_admin <= 0.0 then bad "servers_per_admin must be positive";
+  if t.params.vpn_link_capacity_mb <= 0.0 then bad "vpn_link_capacity_mb must be positive";
+  List.rev !problems
+
+let pp_summary ppf t =
+  Fmt.pf ppf
+    "%s: %d app groups, %d servers, %d current DCs, %d target DCs, %d user \
+     locations"
+    t.name (num_groups t) (total_servers t)
+    (Array.length t.current)
+    (num_targets t) (num_user_locations t)

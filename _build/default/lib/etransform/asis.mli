@@ -1,0 +1,47 @@
+(** The "as-is" state of the enterprise (paper Table I): application groups,
+    the current estate, the candidate target data centers, and the global
+    sizing parameters. *)
+
+type params = {
+  server_power_kw : float;       (** α: average draw per server, kW *)
+  servers_per_admin : float;     (** β: servers one administrator handles *)
+  hours_per_month : float;       (** power billing period, default 730 *)
+  vpn_link_capacity_mb : float;  (** γ: monthly Mb one dedicated link carries *)
+  use_vpn : bool;                (** dedicated VPN links instead of per-Mb WAN *)
+  dr_server_cost : float;        (** ζ: price of one backup server *)
+}
+
+val default_params : params
+
+type t = {
+  name : string;
+  groups : App_group.t array;            (** M application groups *)
+  targets : Data_center.t array;         (** N candidate target locations *)
+  user_locations : string array;         (** R user location labels *)
+  current : Data_center.t array;         (** the existing estate *)
+  current_placement : int array;         (** group -> current DC index *)
+  params : params;
+}
+
+val v :
+  ?params:params ->
+  name:string ->
+  groups:App_group.t array ->
+  targets:Data_center.t array ->
+  user_locations:string array ->
+  current:Data_center.t array ->
+  current_placement:int array ->
+  unit -> t
+
+val num_groups : t -> int
+val num_targets : t -> int
+val num_user_locations : t -> int
+val total_servers : t -> int
+val total_target_capacity : t -> int
+
+(** Structural consistency: array lengths, capacity sanity, placement
+    indices in range.  Empty list means well-formed. *)
+val validate : t -> string list
+
+(** Summary line in the style of the paper's Table II. *)
+val pp_summary : t Fmt.t

@@ -1,0 +1,48 @@
+let avg_latency_ms asis ~group dc =
+  let g = asis.Asis.groups.(group) in
+  Geo.Latency_model.average ~weights:g.App_group.users
+    dc.Data_center.user_latency_ms
+
+let wan_cost asis ~group dc =
+  let g = asis.Asis.groups.(group) in
+  let p = asis.Asis.params in
+  if p.Asis.use_vpn then begin
+    let total_users = App_group.total_users g in
+    if total_users <= 0.0 then 0.0
+    else begin
+      (* Dedicated links sized by each location's share of the traffic. *)
+      let acc = ref 0.0 in
+      Array.iteri
+        (fun r c_ir ->
+          let links =
+            c_ir *. g.App_group.data_mb_month
+            /. (p.Asis.vpn_link_capacity_mb *. total_users)
+          in
+          acc := !acc +. (links *. dc.Data_center.vpn_monthly.(r)))
+        g.App_group.users;
+      !acc
+    end
+  end
+  else g.App_group.data_mb_month *. dc.Data_center.rates.Data_center.wan_per_mb
+
+let power_labor_per_server asis dc =
+  let p = asis.Asis.params in
+  (p.Asis.server_power_kw *. p.Asis.hours_per_month
+  *. dc.Data_center.rates.Data_center.power_per_kwh)
+  +. (dc.Data_center.rates.Data_center.admin_monthly /. p.Asis.servers_per_admin)
+
+let latency_penalty asis ~group dc =
+  let g = asis.Asis.groups.(group) in
+  Latency_penalty.total g.App_group.latency
+    ~avg_latency_ms:(avg_latency_ms asis ~group dc)
+    ~users:(App_group.total_users g)
+
+let assign_cost ?(include_first_tier_space = true) asis ~group dc =
+  let g = asis.Asis.groups.(group) in
+  let servers = float_of_int g.App_group.servers in
+  let space =
+    if include_first_tier_space then Data_center.first_tier_space dc else 0.0
+  in
+  (servers *. (space +. power_labor_per_server asis dc))
+  +. wan_cost asis ~group dc
+  +. latency_penalty asis ~group dc

@@ -1,0 +1,52 @@
+type rates = {
+  space_segments : Lp.Piecewise.segment list;
+  wan_per_mb : float;
+  power_per_kwh : float;
+  admin_monthly : float;
+  fixed_monthly : float;
+}
+
+type t = {
+  name : string;
+  capacity : int;
+  rates : rates;
+  user_latency_ms : float array;
+  vpn_monthly : float array;
+}
+
+let flat_space ~capacity ~per_server =
+  [ { Lp.Piecewise.width = float_of_int (max capacity 1); unit_cost = per_server } ]
+
+let v ?(fixed_monthly = 0.0) ?vpn_monthly ~name ~capacity ~space_segments
+    ~wan_per_mb ~power_per_kwh ~admin_monthly ~user_latency_ms () =
+  if capacity <= 0 then invalid_arg "Data_center.v: capacity must be positive";
+  if space_segments = [] then invalid_arg "Data_center.v: no space segments";
+  if Lp.Piecewise.total_width space_segments < float_of_int capacity -. 1e-9
+  then invalid_arg "Data_center.v: space segments do not cover capacity";
+  let vpn_monthly =
+    match vpn_monthly with
+    | Some v -> v
+    | None -> Array.make (Array.length user_latency_ms) 0.0
+  in
+  if Array.length vpn_monthly <> Array.length user_latency_ms then
+    invalid_arg "Data_center.v: vpn_monthly length mismatch";
+  {
+    name;
+    capacity;
+    rates =
+      { space_segments; wan_per_mb; power_per_kwh; admin_monthly; fixed_monthly };
+    user_latency_ms;
+    vpn_monthly;
+  }
+
+let space_cost t n = Lp.Piecewise.cost_at t.rates.space_segments n
+
+let first_tier_space t =
+  match t.rates.space_segments with
+  | s :: _ -> s.Lp.Piecewise.unit_cost
+  | [] -> 0.0
+
+let pp ppf t =
+  Fmt.pf ppf "%s: cap %d, space $%.0f/srv, wan $%.4f/Mb, power $%.3f/kWh"
+    t.name t.capacity (first_tier_space t) t.rates.wan_per_mb
+    t.rates.power_per_kwh

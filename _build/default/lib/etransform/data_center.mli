@@ -1,0 +1,40 @@
+(** Target (and current) data center locations with their price books
+    (paper Table I: Q_j, W_j, E_j, T_j, O_j, plus VPN link prices F_jr). *)
+
+type rates = {
+  space_segments : Lp.Piecewise.segment list;
+      (** $/server-month by volume tier (Q_j with economies of scale);
+          a single segment means flat pricing *)
+  wan_per_mb : float;          (** W_j: $/Mb transferred over shared WAN *)
+  power_per_kwh : float;       (** E_j: $/kWh *)
+  admin_monthly : float;       (** T_j: monthly fully-loaded admin cost *)
+  fixed_monthly : float;       (** site opening charge if any servers land *)
+}
+
+type t = {
+  name : string;
+  capacity : int;              (** O_j, in servers *)
+  rates : rates;
+  user_latency_ms : float array;   (** L(j, r): RTT to each user location *)
+  vpn_monthly : float array;       (** F_jr: leasing one VPN link to r *)
+}
+
+val v :
+  ?fixed_monthly:float ->
+  ?vpn_monthly:float array ->
+  name:string -> capacity:int -> space_segments:Lp.Piecewise.segment list ->
+  wan_per_mb:float -> power_per_kwh:float -> admin_monthly:float ->
+  user_latency_ms:float array -> unit -> t
+
+(** Flat space pricing helper: one segment covering [capacity]. *)
+val flat_space : capacity:int -> per_server:float -> Lp.Piecewise.segment list
+
+(** [space_cost t n] is the monthly space bill for hosting [n] servers,
+    following the volume-discount curve. *)
+val space_cost : t -> float -> float
+
+(** [marginal_space t n] is the first-tier unit price, used when building
+    the simple (non-economies-of-scale) LP objective. *)
+val first_tier_space : t -> float
+
+val pp : t Fmt.t

@@ -1,0 +1,235 @@
+let src = Logs.Src.create "etransform.dr" ~doc:"disaster-recovery planner"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type options = {
+  omega : float option;
+  economies_of_scale : bool;
+  reserve : float;
+  milp : Lp.Milp.options;
+  local_search : bool;
+  secondary_candidates : int option;
+}
+
+let default_options =
+  {
+    omega = Some 0.6;
+    economies_of_scale = false;
+    reserve = 0.15;
+    milp = Solver.default_milp_options;
+    local_search = true;
+    secondary_candidates = None;
+  }
+
+(* Stage 1 runs against a shrunk estate so stage 2 has room for pools. *)
+let with_reserved_capacity asis reserve =
+  let targets =
+    Array.map
+      (fun (dc : Data_center.t) ->
+        let cap =
+          max 1 (int_of_float (float_of_int dc.Data_center.capacity *. (1.0 -. reserve)))
+        in
+        { dc with Data_center.capacity = cap })
+      asis.Asis.targets
+  in
+  { asis with Asis.targets }
+
+(* Stage 2: given primaries, choose each group's secondary and size the
+   shared pools exactly. *)
+let secondary_model ?candidates asis (primary : int array) =
+  let open Lp in
+  let m = Asis.num_groups asis and n = Asis.num_targets asis in
+  let model = Model.create ~name:(asis.Asis.name ^ "_dr_stage2") () in
+  (* Pool sites concentrate on the cheapest hosts, so pruning candidate
+     secondaries loses essentially nothing at scale. *)
+  let per_backup_price b =
+    let dc = asis.Asis.targets.(b) in
+    asis.Asis.params.Asis.dr_server_cost
+    +. Cost_model.power_labor_per_server asis dc
+    +. Data_center.first_tier_space dc
+  in
+  let keep =
+    match candidates with
+    | None -> fun _ _ -> true
+    | Some k ->
+        let order =
+          List.init n Fun.id
+          |> List.map (fun b -> (per_backup_price b, b))
+          |> List.sort compare
+          |> List.map snd
+        in
+        fun i b ->
+          let rec rank acc = function
+            | [] -> max_int
+            | x :: rest -> if x = b then acc else rank (acc + 1) rest
+          in
+          (* The primary is excluded elsewhere; count cheap sites that are
+             admissible for this group. *)
+          ignore i;
+          rank 0 order < k
+  in
+  let y =
+    Array.init m (fun i ->
+        Array.init n (fun b ->
+            if
+              b <> primary.(i)
+              && App_group.allowed asis.Asis.groups.(i) b
+              && (keep i b || n <= 2)
+            then
+              Some (Model.add_var model ~binary:true (Printf.sprintf "Y_%d_%d" i b))
+            else None))
+  in
+  let g =
+    Array.init n (fun b -> Model.add_var model (Printf.sprintf "G_%d" b))
+  in
+  for i = 0 to m - 1 do
+    let terms =
+      Array.to_list y.(i) |> List.filter_map (Option.map Model.Linexpr.var)
+    in
+    if terms = [] then
+      failwith
+        (Printf.sprintf "Dr_planner: group %d has no candidate secondary" i);
+    Model.add_eq model (Printf.sprintf "backup_%d" i) (Model.Linexpr.sum terms)
+      1.0
+  done;
+  (* Pool sizing per (primary site a, pool site b). *)
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if a <> b then begin
+        let demand =
+          Model.Linexpr.sum
+            (List.filter_map
+               (fun i ->
+                 if primary.(i) = a then
+                   Option.map
+                     (Model.Linexpr.term
+                        (float_of_int asis.Asis.groups.(i).App_group.servers))
+                     y.(i).(b)
+                 else None)
+               (List.init m Fun.id))
+        in
+        Model.add_ge model
+          (Printf.sprintf "pool_%d_%d" a b)
+          (Model.Linexpr.sub (Model.Linexpr.var g.(b)) demand)
+          0.0
+      end
+    done
+  done;
+  (* Full capacity minus the primary load already committed. *)
+  let load = Array.make n 0 in
+  Array.iteri
+    (fun i a -> load.(a) <- load.(a) + asis.Asis.groups.(i).App_group.servers)
+    primary;
+  for b = 0 to n - 1 do
+    Model.add_le model
+      (Printf.sprintf "cap_%d" b)
+      (Model.Linexpr.var g.(b))
+      (float_of_int (asis.Asis.targets.(b).Data_center.capacity - load.(b)))
+  done;
+  let terms = ref [] in
+  for b = 0 to n - 1 do
+    let dc = asis.Asis.targets.(b) in
+    let per_backup =
+      asis.Asis.params.Asis.dr_server_cost
+      +. Cost_model.power_labor_per_server asis dc
+      +. Data_center.first_tier_space dc
+    in
+    terms := Model.Linexpr.term per_backup g.(b) :: !terms
+  done;
+  Model.set_objective model (Model.Linexpr.sum !terms);
+  (model, y)
+
+let decode_secondary asis primary y solution =
+  let n = Asis.num_targets asis in
+  Array.init (Array.length primary) (fun i ->
+      let best = ref (-1) and best_v = ref neg_infinity in
+      Array.iteri
+        (fun b v ->
+          match v with
+          | None -> ()
+          | Some var ->
+              let value = solution.(var.Lp.Model.id) in
+              if value > !best_v then begin
+                best_v := value;
+                best := b
+              end)
+        y.(i);
+      if !best >= 0 then !best else (primary.(i) + 1) mod n)
+
+let plan ?(options = default_options) asis =
+  (* Reserving more capacity than the estate can spare would make stage 1
+     unsolvable outright. *)
+  let max_reserve =
+    let cap = float_of_int (Asis.total_target_capacity asis) in
+    let servers = float_of_int (Asis.total_servers asis) in
+    Float.max 0.0 (1.0 -. (servers /. cap) -. 0.02)
+  in
+  let rec attempt ~candidates reserve tries =
+    let reserve = Float.min reserve max_reserve in
+    let stage1_asis = with_reserved_capacity asis reserve in
+    let builder =
+      {
+        Lp_builder.default_options with
+        Lp_builder.economies_of_scale = options.economies_of_scale;
+        omega = options.omega;
+      }
+    in
+    let stage1 =
+      Solver.consolidate ~builder ~milp:options.milp ~local_search:false
+        stage1_asis
+    in
+    let primary = stage1.Solver.placement.Placement.primary in
+    let model, y = secondary_model ?candidates asis primary in
+    let r = Lp.Milp.solve ~options:options.milp model in
+    if Array.length r.Lp.Milp.x = 0 then
+      if tries > 0 then begin
+        Log.info (fun f ->
+            f "stage 2 infeasible at reserve %.2f; retrying" reserve);
+        (* Widen the pool-site candidate set before reserving more. *)
+        match candidates with
+        | Some _ -> attempt ~candidates:None reserve (tries - 1)
+        | None -> attempt ~candidates:None (reserve +. 0.1) (tries - 1)
+      end
+      else
+        failwith "Dr_planner.plan: could not fit backup pools; raise capacity"
+    else begin
+      let secondary = decode_secondary asis primary y r.Lp.Milp.x in
+      let placement = Placement.with_dr ~primary ~secondary () in
+      let placement, moves =
+        if options.local_search then
+          Local_search.improve ~swaps:(Asis.num_groups asis <= 120) asis
+            placement
+        else (placement, 0)
+      in
+      {
+        Solver.placement;
+        summary = Evaluate.plan asis placement;
+        milp_status = r.Lp.Milp.status;
+        milp_gap = (if Float.is_nan r.Lp.Milp.gap then 1.0 else r.Lp.Milp.gap);
+        nodes = stage1.Solver.nodes + r.Lp.Milp.nodes;
+        lp_iterations = stage1.Solver.lp_iterations + r.Lp.Milp.lp_iterations;
+        local_moves = moves;
+      }
+    end
+  in
+  attempt ~candidates:options.secondary_candidates options.reserve 3
+
+let joint_plan ?omega ?(milp = Solver.default_milp_options) asis =
+  let built =
+    Dr_builder.build ~options:{ Dr_builder.default_options with Dr_builder.omega } asis
+  in
+  let r = Lp.Milp.solve ~options:milp built.Dr_builder.model in
+  if Array.length r.Lp.Milp.x = 0 then
+    failwith
+      (Printf.sprintf "Dr_planner.joint_plan: %s"
+         (Lp.Status.to_string r.Lp.Milp.status));
+  let placement = Dr_builder.decode built r.Lp.Milp.x in
+  {
+    Solver.placement;
+    summary = Evaluate.plan asis placement;
+    milp_status = r.Lp.Milp.status;
+    milp_gap = (if Float.is_nan r.Lp.Milp.gap then 1.0 else r.Lp.Milp.gap);
+    nodes = r.Lp.Milp.nodes;
+    lp_iterations = r.Lp.Milp.lp_iterations;
+    local_moves = 0;
+  }

@@ -1,0 +1,37 @@
+(** Scalable integrated consolidation + DR planning.
+
+    The faithful joint MILP of {!Dr_builder} carries O(M N^2) linearization
+    variables, which outgrows a dense-tableau simplex quickly.  This planner
+    decomposes the problem:
+
+    + stage 1 places primaries with the §III model, a business-impact
+      spread, and a configurable capacity reservation for future backup
+      pools;
+    + stage 2 optimally chooses secondaries given the primaries — with
+      primaries fixed, shared pools linearize exactly as
+      G_b >= sum over groups with primary a of S_i Y_ib, an O(M N) MILP;
+    + a joint local search then polishes both decisions against the exact
+      evaluator.
+
+    If stage 2 is infeasible the reservation is raised and both stages
+    rerun.  On small instances the result is checked against the joint
+    model in the test suite. *)
+
+type options = {
+  omega : float option;          (** business-impact spread for primaries *)
+  economies_of_scale : bool;     (** stage-1 space on the discount curve *)
+  reserve : float;               (** initial capacity fraction kept for pools *)
+  milp : Lp.Milp.options;
+  local_search : bool;
+  secondary_candidates : int option;
+      (** keep only this many cheapest pool sites per group in stage 2 *)
+}
+
+val default_options : options
+
+val plan : ?options:options -> Asis.t -> Solver.outcome
+
+(** [joint_plan asis] solves the faithful §IV MILP directly (small
+    instances only). *)
+val joint_plan :
+  ?omega:float -> ?milp:Lp.Milp.options -> Asis.t -> Solver.outcome

@@ -1,0 +1,45 @@
+(** Exact monthly-cost evaluation of states and plans.
+
+    This is the ground truth the LP approximates: space follows the full
+    volume-discount curve, penalties use the exact step functions, and DR
+    backup pools are costed at their hosting sites.  Baselines, local
+    search, and all experiment harnesses are scored with this module. *)
+
+type breakdown = {
+  space : float;
+  wan : float;
+  power : float;
+  labor : float;
+  fixed : float;            (** site opening charges *)
+  latency_penalty : float;
+  backup_capex : float;     (** zeta * total backup servers *)
+  backup_ops : float;       (** space/power/labor of the backup pools *)
+}
+
+val total : breakdown -> float
+
+(** Operational cost excluding latency penalties (the paper plots the two
+    separately in Figs. 4 and 6). *)
+val operational : breakdown -> float
+
+type summary = {
+  cost : breakdown;
+  violations : int;          (** groups whose latency penalty fires *)
+  dcs_used : int;
+  servers : int array;       (** primary servers per DC of the estate used *)
+  backups : float array;     (** backup servers per DC *)
+}
+
+(** [plan asis p] evaluates a to-be plan over the target estate. *)
+val plan : Asis.t -> Placement.t -> summary
+
+(** [asis_state asis] evaluates the current estate as-is. *)
+val asis_state : Asis.t -> summary
+
+(** [asis_with_basic_dr asis] adds the paper's strawman DR to the as-is
+    state: one dedicated backup site (priced like the cheapest current DC)
+    big enough for the worst single-site failure. *)
+val asis_with_basic_dr : Asis.t -> summary
+
+val pp_breakdown : breakdown Fmt.t
+val pp_summary : summary Fmt.t

@@ -1,0 +1,11 @@
+(** The paper's greedy baseline (§VI-B): visit application groups in
+    decreasing server-count order and put each in the data center that is
+    cheapest *right now*, accounting for marginal space (on the discount
+    curve), power, labor, WAN and latency penalty.
+
+    The DR variant (§VI-C) then assigns each group's backup to the cheapest
+    distinct site, charging for any new backup servers the choice forces. *)
+
+val plan : Asis.t -> Placement.t
+
+val plan_dr : Asis.t -> Placement.t

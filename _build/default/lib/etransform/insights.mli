@@ -1,0 +1,19 @@
+(** What-if analysis for administrators, built on LP duals.
+
+    Solving the consolidation model's LP relaxation prices every
+    constraint: the multiplier on a capacity row is the monthly saving one
+    extra server slot at that site would buy — exactly the question asked
+    when negotiating colocation contracts. *)
+
+(** [capacity_shadow_prices ?builder asis] returns, per target DC index,
+    the (non-positive, minimization) dual of its capacity row in the LP
+    relaxation; more negative = more valuable extra capacity.  DCs whose
+    capacity is slack price at zero. *)
+val capacity_shadow_prices :
+  ?builder:Lp_builder.options -> Asis.t -> (int * float) array
+
+(** [most_constrained ?builder asis] orders target DCs by the value of
+    relaxing their capacity, most valuable first, dropping zero-priced
+    sites. *)
+val most_constrained :
+  ?builder:Lp_builder.options -> Asis.t -> (int * float) list

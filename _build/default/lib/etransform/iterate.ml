@@ -1,0 +1,42 @@
+type adjustment =
+  | Pin of int * int
+  | Forbid of int * int
+  | Close_dc of int
+  | Spread of float
+
+let pp_adjustment ppf = function
+  | Pin (i, j) -> Fmt.pf ppf "pin group %d to target %d" i j
+  | Forbid (i, j) -> Fmt.pf ppf "forbid group %d at target %d" i j
+  | Close_dc j -> Fmt.pf ppf "close target %d" j
+  | Spread w -> Fmt.pf ppf "at most %.0f%% of groups per site" (100.0 *. w)
+
+let apply asis base adjs =
+  let m = Asis.num_groups asis and n = Asis.num_targets asis in
+  let check_group i =
+    if i < 0 || i >= m then invalid_arg (Printf.sprintf "Iterate: group %d" i)
+  and check_dc j =
+    if j < 0 || j >= n then invalid_arg (Printf.sprintf "Iterate: target %d" j)
+  in
+  List.fold_left
+    (fun (opts : Lp_builder.options) adj ->
+      match adj with
+      | Pin (i, j) ->
+          check_group i;
+          check_dc j;
+          { opts with Lp_builder.pins = (i, j) :: opts.Lp_builder.pins }
+      | Forbid (i, j) ->
+          check_group i;
+          check_dc j;
+          { opts with Lp_builder.forbids = (i, j) :: opts.Lp_builder.forbids }
+      | Close_dc j ->
+          check_dc j;
+          let all = List.init m (fun i -> (i, j)) in
+          { opts with Lp_builder.forbids = all @ opts.Lp_builder.forbids }
+      | Spread w ->
+          if w <= 0.0 || w > 1.0 then
+            invalid_arg "Iterate: spread fraction must be in (0, 1]";
+          { opts with Lp_builder.omega = Some w })
+    base adjs
+
+let replan ?(base = Lp_builder.default_options) ?milp asis adjs =
+  Solver.consolidate ~builder:(apply asis base adjs) ?milp asis

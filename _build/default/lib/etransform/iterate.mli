@@ -1,0 +1,23 @@
+(** The admin interface for iterative modification (paper Fig. 5).
+
+    After reviewing an initial plan, administrators add constraints — pin a
+    group to a site, keep it away from one, retire a site entirely, or cap
+    the blast radius — and re-solve.  Adjustments compose: keep folding them
+    into the builder options and re-running. *)
+
+type adjustment =
+  | Pin of int * int       (** group must go to this target *)
+  | Forbid of int * int    (** group must avoid this target *)
+  | Close_dc of int        (** no group may use this target *)
+  | Spread of float        (** business impact: at most this fraction of
+                               groups per site *)
+
+val pp_adjustment : adjustment Fmt.t
+
+(** [apply asis base adjs] folds adjustments into builder options. *)
+val apply : Asis.t -> Lp_builder.options -> adjustment list -> Lp_builder.options
+
+(** [replan asis adjs] re-solves from the default options. *)
+val replan :
+  ?base:Lp_builder.options -> ?milp:Lp.Milp.options -> Asis.t ->
+  adjustment list -> Solver.outcome

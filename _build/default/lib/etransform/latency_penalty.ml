@@ -1,0 +1,33 @@
+type t = (float * float) list
+(* (threshold_ms, penalty_per_user) sorted by threshold; the band of the
+   largest threshold strictly below the observed latency applies. *)
+
+let none = []
+
+let bands pairs =
+  List.iter
+    (fun (t, p) ->
+      if t < 0.0 || p < 0.0 then
+        invalid_arg "Latency_penalty.bands: negative threshold or penalty")
+    pairs;
+  List.sort (fun (a, _) (b, _) -> compare a b) pairs
+
+let step ~threshold_ms ~penalty_per_user =
+  bands [ (threshold_ms, penalty_per_user) ]
+
+let per_user t ~avg_latency_ms =
+  List.fold_left
+    (fun acc (thr, p) -> if avg_latency_ms > thr then p else acc)
+    0.0 t
+
+let total t ~avg_latency_ms ~users = users *. per_user t ~avg_latency_ms
+let violated t ~avg_latency_ms = per_user t ~avg_latency_ms > 0.0
+let is_sensitive t = List.exists (fun (_, p) -> p > 0.0) t
+
+let first_threshold t =
+  List.find_map (fun (thr, p) -> if p > 0.0 then Some thr else None) t
+
+let pp ppf t =
+  if t = [] then Fmt.string ppf "latency-insensitive"
+  else
+    Fmt.(list ~sep:(any ", ") (pair ~sep:(any "ms->$") float float)) ppf t

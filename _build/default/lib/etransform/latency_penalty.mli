@@ -1,0 +1,39 @@
+(** Latency penalty functions.
+
+    The paper models each application group's latency requirement as a step
+    function: a dollar penalty per user charged when the user-averaged
+    latency falls in a given range (e.g. "$100 per user if average latency
+    exceeds 10 ms"). *)
+
+type t
+
+(** No latency sensitivity: always zero penalty. *)
+val none : t
+
+(** [step ~threshold_ms ~penalty_per_user] charges [penalty_per_user] once
+    average latency strictly exceeds [threshold_ms]. *)
+val step : threshold_ms:float -> penalty_per_user:float -> t
+
+(** [bands pairs] builds a general step function from
+    [(threshold_ms, penalty_per_user)] pairs: the penalty of the highest
+    threshold strictly below the observed latency applies.  Thresholds are
+    sorted internally. *)
+val bands : (float * float) list -> t
+
+(** [per_user t ~avg_latency_ms] is the dollar penalty per user. *)
+val per_user : t -> avg_latency_ms:float -> float
+
+(** [total t ~avg_latency_ms ~users] multiplies by the user count. *)
+val total : t -> avg_latency_ms:float -> users:float -> float
+
+(** [violated t ~avg_latency_ms] is true when a non-zero penalty applies —
+    the paper's "latency violation" counter. *)
+val violated : t -> avg_latency_ms:float -> bool
+
+(** [is_sensitive t] is false only for {!none}-like functions. *)
+val is_sensitive : t -> bool
+
+(** Smallest threshold with a positive penalty, if any. *)
+val first_threshold : t -> float option
+
+val pp : t Fmt.t

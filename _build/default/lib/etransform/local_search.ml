@@ -1,0 +1,99 @@
+let plan_cost asis p = Evaluate.total (Evaluate.plan asis p).Evaluate.cost
+
+let feasible asis p = Placement.validate asis p = []
+
+let improve ?(max_rounds = 6) ?(swaps = true) ?(may_place = fun _ _ -> true)
+    ?omega asis (plan : Placement.t) =
+  let m = Asis.num_groups asis and n = Asis.num_targets asis in
+  let omega_ok (p : Placement.t) =
+    match omega with
+    | None -> true
+    | Some w ->
+        let counts = Array.make n 0 in
+        Array.iter (fun j -> counts.(j) <- counts.(j) + 1) p.Placement.primary;
+        Array.for_all
+          (fun c -> float_of_int c <= (w *. float_of_int m) +. 1e-9)
+          counts
+  in
+  let current = ref plan in
+  let cost = ref (plan_cost asis plan) in
+  let moves = ref 0 in
+  let try_plan p' =
+    if feasible asis p' && omega_ok p' then begin
+      let c' = plan_cost asis p' in
+      if c' < !cost -. 1e-6 then begin
+        current := p';
+        cost := c';
+        incr moves;
+        true
+      end
+      else false
+    end
+    else false
+  in
+  let round () =
+    let improved = ref false in
+    (* Single-group reassignment of the primary site. *)
+    for i = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        let p = !current in
+        if p.Placement.primary.(i) <> j
+           && App_group.allowed asis.Asis.groups.(i) j
+           && may_place i j
+        then begin
+          let primary = Array.copy p.Placement.primary in
+          primary.(i) <- j;
+          (* Keep the secondary distinct from the new primary. *)
+          let secondary =
+            match p.Placement.secondary with
+            | None -> None
+            | Some sec ->
+                let sec = Array.copy sec in
+                if sec.(i) = j then sec.(i) <- p.Placement.primary.(i);
+                Some sec
+          in
+          let p' = { p with Placement.primary; secondary } in
+          if try_plan p' then improved := true
+        end
+      done
+    done;
+    (* Secondary-site reassignment for DR plans. *)
+    (match !current.Placement.secondary with
+    | None -> ()
+    | Some _ ->
+        for i = 0 to m - 1 do
+          for j = 0 to n - 1 do
+            let p = !current in
+            match p.Placement.secondary with
+            | Some sec when sec.(i) <> j && p.Placement.primary.(i) <> j ->
+                let sec' = Array.copy sec in
+                sec'.(i) <- j;
+                let p' = { p with Placement.secondary = Some sec' } in
+                if try_plan p' then improved := true
+            | _ -> ()
+          done
+        done);
+    (* Pairwise swaps unstick capacity-tight instances. *)
+    if swaps then
+      for i = 0 to m - 1 do
+        for k = i + 1 to m - 1 do
+          let p = !current in
+          let ji = p.Placement.primary.(i) and jk = p.Placement.primary.(k) in
+          if ji <> jk
+             && App_group.allowed asis.Asis.groups.(i) jk
+             && App_group.allowed asis.Asis.groups.(k) ji
+             && may_place i jk && may_place k ji
+          then begin
+            let primary = Array.copy p.Placement.primary in
+            primary.(i) <- jk;
+            primary.(k) <- ji;
+            let p' = { p with Placement.primary } in
+            if try_plan p' then improved := true
+          end
+        done
+      done;
+    !improved
+  in
+  let rec loop r = if r > 0 && round () then loop (r - 1) in
+  loop max_rounds;
+  (!current, !moves)

@@ -1,0 +1,16 @@
+(** Plan polishing by single-group reassignments and pairwise swaps, scored
+    with the exact evaluator.
+
+    The MILP objective linearizes the volume-discount curve; a short local
+    search against {!Evaluate} recovers most of the gap, and it also repairs
+    plans produced under node/time budgets. *)
+
+(** [improve asis plan] hill-climbs until a fixed point or [max_rounds];
+    returns the improved plan and the number of accepted moves.  Moves that
+    would violate capacity, allowed-DC, shared-risk or secondary-distinct
+    constraints are never proposed.  [may_place group dc] adds external
+    admissibility (pins/forbids from the iterative interface); [omega]
+    enforces the business-impact spread on primaries. *)
+val improve :
+  ?max_rounds:int -> ?swaps:bool -> ?may_place:(int -> int -> bool) ->
+  ?omega:float -> Asis.t -> Placement.t -> Placement.t * int

@@ -1,0 +1,192 @@
+type options = {
+  economies_of_scale : bool;
+  fixed_charges : bool;
+  omega : float option;
+  pins : (int * int) list;
+  forbids : (int * int) list;
+  candidate_limit : int option;
+}
+
+let default_options =
+  {
+    economies_of_scale = false;
+    fixed_charges = false;
+    omega = None;
+    pins = [];
+    forbids = [];
+    candidate_limit = None;
+  }
+
+type built = {
+  model : Lp.Model.t;
+  x : Lp.Model.var option array array;
+  asis : Asis.t;
+  options : options;
+}
+
+let build ?(options = default_options) asis =
+  let open Lp in
+  let m = Asis.num_groups asis and n = Asis.num_targets asis in
+  let model = Model.create ~name:(asis.Asis.name ^ "_consolidation") () in
+  let forbidden = Hashtbl.create 16 in
+  List.iter (fun (i, j) -> Hashtbl.replace forbidden (i, j) ()) options.forbids;
+  let pinned = Hashtbl.create 16 in
+  List.iter (fun (i, j) -> Hashtbl.replace pinned (i, j) ()) options.pins;
+  let admissible i j =
+    App_group.allowed asis.Asis.groups.(i) j
+    && not (Hashtbl.mem forbidden (i, j))
+  in
+  (* Column pruning for large estates: per group, keep only the cheapest
+     candidate targets (pins always survive). *)
+  let keep =
+    match options.candidate_limit with
+    | None -> fun _ _ -> true
+    | Some k ->
+        let kept = Hashtbl.create (m * k) in
+        for i = 0 to m - 1 do
+          let candidates =
+            List.init n Fun.id
+            |> List.filter (admissible i)
+            |> List.map (fun j ->
+                   (Cost_model.assign_cost asis ~group:i asis.Asis.targets.(j), j))
+            |> List.sort compare
+          in
+          List.iteri
+            (fun rank (_, j) ->
+              if rank < k || Hashtbl.mem pinned (i, j) then
+                Hashtbl.replace kept (i, j) ())
+            candidates
+        done;
+        fun i j -> Hashtbl.mem kept (i, j)
+  in
+  let x =
+    Array.init m (fun i ->
+        Array.init n (fun j ->
+            if admissible i j && keep i j then
+              Some (Model.add_var model ~binary:true (Printf.sprintf "X_%d_%d" i j))
+            else None))
+  in
+  List.iter
+    (fun (i, j) ->
+      match x.(i).(j) with
+      | Some v -> Model.set_bounds model v ~lo:1.0 ~hi:1.0
+      | None -> invalid_arg "Lp_builder.build: pin targets a forbidden pair")
+    options.pins;
+  (* Assignment rows: a home for every group. *)
+  for i = 0 to m - 1 do
+    let terms =
+      Array.to_list x.(i)
+      |> List.filter_map (Option.map Model.Linexpr.var)
+    in
+    Model.add_eq model (Printf.sprintf "assign_%d" i) (Model.Linexpr.sum terms)
+      1.0
+  done;
+  (* Capacity rows and per-DC load expressions. *)
+  let load j =
+    Model.Linexpr.sum
+      (List.filter_map
+         (fun i ->
+           Option.map
+             (Model.Linexpr.term
+                (float_of_int asis.Asis.groups.(i).App_group.servers))
+             x.(i).(j))
+         (List.init m Fun.id))
+  in
+  let cost_terms = ref [] in
+  for j = 0 to n - 1 do
+    let dc = asis.Asis.targets.(j) in
+    let lj = load j in
+    Model.add_le model
+      (Printf.sprintf "cap_%d" j)
+      lj
+      (float_of_int dc.Data_center.capacity);
+    if options.economies_of_scale then begin
+      let space =
+        Piecewise.concave_cost model
+          ~name:(Printf.sprintf "space_%d" j)
+          ~quantity:lj dc.Data_center.rates.Data_center.space_segments
+      in
+      cost_terms := space :: !cost_terms
+    end;
+    if options.fixed_charges
+       && dc.Data_center.rates.Data_center.fixed_monthly > 0.0
+    then begin
+      let fixed, _open_var =
+        Piecewise.fixed_charge model
+          ~name:(Printf.sprintf "site_%d" j)
+          ~quantity:lj
+          ~capacity:(float_of_int dc.Data_center.capacity)
+          ~fixed_cost:dc.Data_center.rates.Data_center.fixed_monthly
+      in
+      cost_terms := fixed :: !cost_terms
+    end;
+    (match options.omega with
+    | None -> ()
+    | Some w ->
+        let count =
+          Model.Linexpr.sum
+            (List.filter_map
+               (fun i -> Option.map Model.Linexpr.var x.(i).(j))
+               (List.init m Fun.id))
+        in
+        Model.add_le model
+          (Printf.sprintf "impact_%d" j)
+          count
+          (w *. float_of_int m))
+  done;
+  (* Shared-risk separation. *)
+  Array.iteri
+    (fun i (g : App_group.t) ->
+      List.iter
+        (fun k ->
+          if k > i && k < m then
+            for j = 0 to n - 1 do
+              match (x.(i).(j), x.(k).(j)) with
+              | Some a, Some b ->
+                  Model.add_le model
+                    (Printf.sprintf "risk_%d_%d_%d" i k j)
+                    Model.Linexpr.(add (var a) (var b))
+                    1.0
+              | _ -> ()
+            done)
+        g.App_group.colocate_avoid)
+    asis.Asis.groups;
+  (* Linear assignment costs. *)
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      match x.(i).(j) with
+      | None -> ()
+      | Some v ->
+          let c =
+            Cost_model.assign_cost
+              ~include_first_tier_space:(not options.economies_of_scale) asis
+              ~group:i asis.Asis.targets.(j)
+          in
+          cost_terms := Model.Linexpr.term c v :: !cost_terms
+    done
+  done;
+  Model.set_objective model (Model.Linexpr.sum !cost_terms);
+  { model; x; asis; options }
+
+let decode built solution =
+  let m = Array.length built.x in
+  let primary =
+    Array.init m (fun i ->
+        let best = ref (-1) and best_v = ref neg_infinity in
+        Array.iteri
+          (fun j v ->
+            match v with
+            | None -> ()
+            | Some var ->
+                let value = solution.(var.Lp.Model.id) in
+                if value > !best_v then begin
+                  best_v := value;
+                  best := j
+                end)
+          built.x.(i);
+        if !best < 0 then
+          invalid_arg
+            (Printf.sprintf "Lp_builder.decode: group %d has no candidate" i);
+        !best)
+  in
+  Placement.non_dr primary

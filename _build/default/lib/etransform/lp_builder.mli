@@ -1,0 +1,40 @@
+(** Construction of the consolidation MILP (paper §III-B).
+
+    Minimize  sum_ij X_ij ( S_i (Q_j + alpha E_j + T_j / beta) + D_i W_j + L_ij )
+    s.t.      sum_j X_ij = 1           (every group placed)
+              sum_i S_i X_ij <= O_j    (capacity)
+              X_ij in {0,1}
+
+    Options add the paper's refinements: economies of scale (space priced on
+    the volume-discount curve via {!Lp.Piecewise.concave_cost}), fixed site
+    opening charges, the business-impact spread constraint
+    [sum_i X_ij <= omega * M], shared-risk separation rows, and pin/forbid
+    rows from the iterative-modification interface. *)
+
+type options = {
+  economies_of_scale : bool;
+  fixed_charges : bool;
+  omega : float option;
+  pins : (int * int) list;     (** (group, target): force placement *)
+  forbids : (int * int) list;  (** (group, target): exclude placement *)
+  candidate_limit : int option;
+      (** keep only this many cheapest targets per group (a standard
+          column-pruning presolve for large estates); pinned targets are
+          always kept *)
+}
+
+val default_options : options
+
+type built = {
+  model : Lp.Model.t;
+  x : Lp.Model.var option array array;
+      (** [x.(i).(j)]: assignment variable, [None] when i may not go to j *)
+  asis : Asis.t;
+  options : options;
+}
+
+val build : ?options:options -> Asis.t -> built
+
+(** [decode built solution] reads the X variables back into a plan (argmax
+    per group, robust to mild fractionality). *)
+val decode : built -> float array -> Placement.t

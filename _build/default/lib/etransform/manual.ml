@@ -1,0 +1,125 @@
+let profile_distance (a : Data_center.t) (b : Data_center.t) =
+  let la = a.Data_center.user_latency_ms and lb = b.Data_center.user_latency_ms in
+  let acc = ref 0.0 in
+  Array.iteri (fun r x -> acc := !acc +. ((x -. lb.(r)) ** 2.0)) la;
+  sqrt !acc
+
+(* Cheapest-real-estate site selection; grows the candidate set until the
+   chosen sites can hold the whole estate. *)
+let choose_sites ?(num_dcs = 2) asis =
+  let n = Asis.num_targets asis in
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      compare
+        (Data_center.first_tier_space asis.Asis.targets.(a))
+        (Data_center.first_tier_space asis.Asis.targets.(b)))
+    order;
+  let total = Asis.total_servers asis in
+  let rec take k =
+    if k > n then Array.to_list order
+    else begin
+      let chosen = Array.sub order 0 k in
+      let cap =
+        Array.fold_left
+          (fun a j -> a + asis.Asis.targets.(j).Data_center.capacity)
+          0 chosen
+      in
+      if cap >= total then Array.to_list chosen else take (k + 1)
+    end
+  in
+  take (min num_dcs n)
+
+let assign_to_sites asis sites =
+  let m = Asis.num_groups asis in
+  let load = Array.make (Asis.num_targets asis) 0.0 in
+  let primary = Array.make m (-1) in
+  for i = 0 to m - 1 do
+    let g = asis.Asis.groups.(i) in
+    let s = float_of_int g.App_group.servers in
+    let cur = asis.Asis.current.(asis.Asis.current_placement.(i)) in
+    let by_proximity =
+      List.sort
+        (fun a b ->
+          compare
+            (profile_distance cur asis.Asis.targets.(a))
+            (profile_distance cur asis.Asis.targets.(b)))
+        sites
+    in
+    let feasible j =
+      App_group.allowed g j
+      && load.(j) +. s
+         <= float_of_int asis.Asis.targets.(j).Data_center.capacity
+    in
+    let chosen =
+      match List.find_opt feasible by_proximity with
+      | Some j -> Some j
+      | None ->
+          (* Overflow: fall back to any target with room, nearest first. *)
+          List.init (Asis.num_targets asis) Fun.id
+          |> List.sort (fun a b ->
+                 compare
+                   (profile_distance cur asis.Asis.targets.(a))
+                   (profile_distance cur asis.Asis.targets.(b)))
+          |> List.find_opt feasible
+    in
+    match chosen with
+    | Some j ->
+        primary.(i) <- j;
+        load.(j) <- load.(j) +. s
+    | None ->
+        failwith
+          (Printf.sprintf "Manual.plan: no feasible DC for group %s"
+             g.App_group.name)
+  done;
+  primary
+
+let plan ?num_dcs asis =
+  Placement.non_dr (assign_to_sites asis (choose_sites ?num_dcs asis))
+
+let plan_dr ?(num_dcs = 2) asis =
+  let sites = choose_sites ~num_dcs asis in
+  let primary = assign_to_sites asis sites in
+  (* Mirror each chosen site with the cheapest unused site. *)
+  let n = Asis.num_targets asis in
+  let used = Array.make n false in
+  List.iter (fun j -> used.(j) <- true) sites;
+  Array.iter (fun j -> used.(j) <- true) primary;
+  let spare =
+    List.init n Fun.id
+    |> List.filter (fun j -> not used.(j))
+    |> List.sort (fun a b ->
+           compare
+             (Data_center.first_tier_space asis.Asis.targets.(a))
+             (Data_center.first_tier_space asis.Asis.targets.(b)))
+  in
+  let mirror = Hashtbl.create 8 in
+  let assigned_primaries =
+    Array.to_list primary |> List.sort_uniq compare
+  in
+  let rec pair sites spare =
+    match (sites, spare) with
+    | [], _ -> ()
+    | a :: rest, b :: spare_rest ->
+        Hashtbl.replace mirror a b;
+        pair rest spare_rest
+    | a :: rest, [] ->
+        (* Ran out of spare sites: mirror onto the least loaded other
+           chosen site. *)
+        let alt =
+          List.filter (fun j -> j <> a) assigned_primaries
+          |> fun l -> match l with [] -> (a + 1) mod n | x :: _ -> x
+        in
+        Hashtbl.replace mirror a alt;
+        pair rest []
+  in
+  pair assigned_primaries spare;
+  let secondary =
+    Array.map
+      (fun a ->
+        match Hashtbl.find_opt mirror a with
+        | Some b -> b
+        | None -> (a + 1) mod n)
+      primary
+  in
+  Placement.with_dr ~primary ~secondary ()

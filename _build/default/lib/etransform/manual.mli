@@ -1,0 +1,15 @@
+(** The state-of-the-art manual heuristic the paper compares against
+    (§VI-B): pick a small fixed number of target sites a priori (by cheapest
+    real estate, a common rule of thumb), then move each application group
+    to the chosen site "closest" to its current data center.
+
+    Proximity is measured between latency profiles (a current and a target
+    DC that see all user locations alike are near each other), which mirrors
+    how practitioners match regions without a global optimizer.
+
+    The DR variant (§VI-C) mirrors each chosen site with a dedicated backup
+    site; a group's backup follows its primary's mirror. *)
+
+val plan : ?num_dcs:int -> Asis.t -> Placement.t
+
+val plan_dr : ?num_dcs:int -> Asis.t -> Placement.t

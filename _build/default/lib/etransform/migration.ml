@@ -1,0 +1,131 @@
+type move = { group : int; from_current : int; to_target : int }
+type wave = { moves : move list; servers_moved : int }
+type schedule = { waves : wave list; cost_timeline : float array }
+
+(* Cost of a hybrid state: some groups still in the current estate, the
+   rest at their targets.  Build one combined estate and reuse the exact
+   evaluator through a combined assignment. *)
+let hybrid_cost asis (placement : Placement.t) moved =
+  let n_current = Array.length asis.Asis.current in
+  let estate = Array.append asis.Asis.current asis.Asis.targets in
+  let assign =
+    Array.mapi
+      (fun i cur ->
+        if moved.(i) then n_current + placement.Placement.primary.(i) else cur)
+      asis.Asis.current_placement
+  in
+  (* Reuse Evaluate's engine by faking an as-is whose current estate is the
+     combined one. *)
+  let combined =
+    { asis with Asis.current = estate; current_placement = assign }
+  in
+  Evaluate.total (Evaluate.asis_state combined).Evaluate.cost
+
+let plan ?(servers_per_wave = 100) asis (placement : Placement.t) =
+  let m = Asis.num_groups asis in
+  (* Drain current sites smallest-first: cheapest path to shutting rent
+     off.  Within a site, biggest groups first (they block retirement). *)
+  let n_current = Array.length asis.Asis.current in
+  let site_load = Array.make n_current 0 in
+  Array.iteri
+    (fun i c ->
+      site_load.(c) <- site_load.(c) + asis.Asis.groups.(i).App_group.servers)
+    asis.Asis.current_placement;
+  let site_order = Array.init n_current Fun.id in
+  Array.sort (fun a b -> compare site_load.(a) site_load.(b)) site_order;
+  let pending = Queue.create () in
+  Array.iter
+    (fun site ->
+      let members =
+        List.init m Fun.id
+        |> List.filter (fun i -> asis.Asis.current_placement.(i) = site)
+        |> List.sort (fun a b ->
+               compare asis.Asis.groups.(b).App_group.servers
+                 asis.Asis.groups.(a).App_group.servers)
+      in
+      List.iter (fun i -> Queue.add i pending) members)
+    site_order;
+  (* Cut the move stream into waves within the server budget; a group
+     larger than the budget gets a wave of its own. *)
+  let waves = ref [] in
+  let current_moves = ref [] and current_servers = ref 0 in
+  let flush () =
+    if !current_moves <> [] then begin
+      waves :=
+        { moves = List.rev !current_moves; servers_moved = !current_servers }
+        :: !waves;
+      current_moves := [];
+      current_servers := 0
+    end
+  in
+  Queue.iter
+    (fun i ->
+      let s = asis.Asis.groups.(i).App_group.servers in
+      if !current_servers > 0 && !current_servers + s > servers_per_wave then
+        flush ();
+      current_moves :=
+        {
+          group = i;
+          from_current = asis.Asis.current_placement.(i);
+          to_target = placement.Placement.primary.(i);
+        }
+        :: !current_moves;
+      current_servers := !current_servers + s)
+    pending;
+  flush ();
+  let waves = List.rev !waves in
+  (* Cost after each completed wave. *)
+  let moved = Array.make m false in
+  let timeline = ref [ hybrid_cost asis placement moved ] in
+  List.iter
+    (fun w ->
+      List.iter (fun mv -> moved.(mv.group) <- true) w.moves;
+      timeline := hybrid_cost asis placement moved :: !timeline)
+    waves;
+  { waves; cost_timeline = Array.of_list (List.rev !timeline) }
+
+let validate ?(servers_per_wave = 100) asis (placement : Placement.t) schedule =
+  let problems = ref [] in
+  let bad fmt = Fmt.kstr (fun s -> problems := s :: !problems) fmt in
+  let m = Asis.num_groups asis in
+  let seen = Array.make m 0 in
+  List.iteri
+    (fun k w ->
+      let servers =
+        List.fold_left
+          (fun a mv -> a + asis.Asis.groups.(mv.group).App_group.servers)
+          0 w.moves
+      in
+      if servers <> w.servers_moved then
+        bad "wave %d reports %d servers but moves %d" k w.servers_moved servers;
+      (* Oversized groups are allowed a dedicated wave. *)
+      if servers > servers_per_wave && List.length w.moves > 1 then
+        bad "wave %d moves %d servers, budget %d" k servers servers_per_wave;
+      List.iter
+        (fun mv ->
+          seen.(mv.group) <- seen.(mv.group) + 1;
+          if mv.to_target <> placement.Placement.primary.(mv.group) then
+            bad "group %d routed to %d, plan says %d" mv.group mv.to_target
+              placement.Placement.primary.(mv.group);
+          if mv.from_current <> asis.Asis.current_placement.(mv.group) then
+            bad "group %d leaves %d but lives in %d" mv.group mv.from_current
+              asis.Asis.current_placement.(mv.group))
+        w.moves)
+    schedule.waves;
+  Array.iteri
+    (fun i c -> if c <> 1 then bad "group %d moved %d times" i c)
+    seen;
+  if Array.length schedule.cost_timeline <> List.length schedule.waves + 1 then
+    bad "timeline has %d entries for %d waves"
+      (Array.length schedule.cost_timeline)
+      (List.length schedule.waves);
+  List.rev !problems
+
+let pp asis ppf schedule =
+  List.iteri
+    (fun k w ->
+      Fmt.pf ppf "wave %d: %d groups, %d servers, cost after $%.0f@." (k + 1)
+        (List.length w.moves) w.servers_moved
+        schedule.cost_timeline.(k + 1))
+    schedule.waves;
+  ignore asis

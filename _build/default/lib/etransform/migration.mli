@@ -1,0 +1,37 @@
+(** Transition scheduling from the as-is estate to a to-be plan.
+
+    A consolidation plan says where everything should end up; enterprises
+    execute it in waves with a bounded move rate.  This scheduler orders the
+    moves to retire current sites as early as possible — a site's space,
+    fixed and labor bills stop the moment it empties — and reports the cost
+    timeline across waves, which is what transformation programs budget
+    against. *)
+
+type move = {
+  group : int;        (** group index in the as-is state *)
+  from_current : int; (** current DC the group leaves *)
+  to_target : int;    (** target DC it lands in (plan primary) *)
+}
+
+type wave = { moves : move list; servers_moved : int }
+
+type schedule = {
+  waves : wave list;
+  (** Total monthly cost after wave k completes; element 0 is the as-is
+      cost, the last element is the to-be cost.  Penalties included. *)
+  cost_timeline : float array;
+}
+
+(** [plan asis placement] builds the wave schedule.  [servers_per_wave]
+    bounds each wave's move volume (default 100).  Groups of a site are
+    kept in consecutive waves; sites are drained smallest-first so rent
+    stops early. *)
+val plan : ?servers_per_wave:int -> Asis.t -> Placement.t -> schedule
+
+(** [validate asis placement schedule] checks that every group moves
+    exactly once, to its planned target, within the wave budget.  Empty
+    list = well-formed. *)
+val validate :
+  ?servers_per_wave:int -> Asis.t -> Placement.t -> schedule -> string list
+
+val pp : Asis.t -> schedule Fmt.t

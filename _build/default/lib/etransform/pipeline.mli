@@ -1,0 +1,18 @@
+(** The end-to-end eTransform pipeline of the paper's Fig. 5: as-is state ->
+    transformation & consolidation module -> LP file -> optimization engine
+    -> solution file -> output generation -> to-be state. *)
+
+type artifacts = {
+  outcome : Solver.outcome;
+  lp_file : string option;        (** path of the exported model, if any *)
+  solution_file : string option;  (** path of the exported solution *)
+}
+
+(** [run asis] plans consolidation (or integrated DR when [dr] is set) and,
+    when [workdir] is given, materializes the LP file and solution file
+    exactly as the paper's architecture does. *)
+val run :
+  ?builder:Lp_builder.options ->
+  ?dr:bool ->
+  ?workdir:string ->
+  Asis.t -> artifacts

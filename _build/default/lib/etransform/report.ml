@@ -1,0 +1,55 @@
+let table ~header rows =
+  let all = header :: rows in
+  let ncols =
+    List.fold_left (fun a r -> max a (List.length r)) 0 all
+  in
+  let width = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun c cell ->
+         if c < ncols then width.(c) <- max width.(c) (String.length cell)))
+    all;
+  let buf = Buffer.create 1024 in
+  let emit_row r =
+    List.iteri
+      (fun c cell ->
+        Buffer.add_string buf cell;
+        if c < ncols - 1 then
+          Buffer.add_string buf (String.make (width.(c) - String.length cell + 2) ' '))
+      r;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  emit_row
+    (List.mapi (fun c _ -> String.make width.(c) '-') header);
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let money x =
+  if Float.abs x >= 1e7 then Printf.sprintf "$%.3e" x
+  else if Float.abs x >= 1000.0 then Printf.sprintf "$%.0f" x
+  else Printf.sprintf "$%.2f" x
+
+let percent ~relative_to x =
+  if relative_to = 0.0 then "n/a"
+  else begin
+    let delta = (x -. relative_to) /. relative_to *. 100.0 in
+    Printf.sprintf "%+.0f%%" delta
+  end
+
+let comparison_header =
+  [ "algorithm"; "op-cost"; "penalty"; "total"; "vs-as-is"; "violations"; "DCs" ]
+
+let comparison_rows ~asis_total entries =
+  List.map
+    (fun (name, (s : Evaluate.summary)) ->
+      let total = Evaluate.total s.Evaluate.cost in
+      [
+        name;
+        money (Evaluate.operational s.Evaluate.cost);
+        money s.Evaluate.cost.Evaluate.latency_penalty;
+        money total;
+        percent ~relative_to:asis_total total;
+        string_of_int s.Evaluate.violations;
+        string_of_int s.Evaluate.dcs_used;
+      ])
+    entries

@@ -1,0 +1,22 @@
+(** Plain-text tables in the style of the paper's figures, shared by the
+    benchmark harness and the CLI. *)
+
+(** [table ~header rows] renders an aligned ASCII table. *)
+val table : header:string list -> string list list -> string
+
+(** [money x] formats dollars compactly ("$1.23e8" style for big numbers). *)
+val money : float -> string
+
+(** [percent ~relative_to x] formats the reduction of [x] versus a baseline
+    as the paper does ("-43%" means 43% cheaper). *)
+val percent : relative_to:float -> float -> string
+
+(** [comparison_rows ~asis entries] builds the Fig. 4/6-style rows: one per
+    algorithm with operational cost, latency penalty, total, reduction vs
+    the as-is entry, and violation count. *)
+val comparison_rows :
+  asis_total:float ->
+  (string * Evaluate.summary) list ->
+  string list list
+
+val comparison_header : string list

@@ -1,0 +1,150 @@
+let src = Logs.Src.create "etransform.solver" ~doc:"consolidation engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type outcome = {
+  placement : Placement.t;
+  summary : Evaluate.summary;
+  milp_status : Lp.Status.t;
+  milp_gap : float;
+  nodes : int;
+  lp_iterations : int;
+  local_moves : int;
+}
+
+(* The dive heuristic plus local search does nearly all the work on
+   consolidation models; the LP bound stays loose under volume discounts,
+   so a deep best-bound search rarely improves the incumbent.  Keep the
+   default tree small and let callers raise it for certified optima. *)
+let default_milp_options =
+  {
+    Lp.Milp.default_options with
+    Lp.Milp.node_limit = 24;
+    time_limit = 60.0;
+    gap_tol = 5e-3;
+  }
+
+(* Fallback when branch-and-bound surrenders without an incumbent: round
+   the LP relaxation.  Groups (largest first) go to their highest-valued
+   candidate with room, breaking ties toward cheaper assignments — the
+   classic generalized-assignment rounding, which keeps the LP's global
+   view of latency and capacity trade-offs. *)
+let lp_round asis (built : Lp_builder.built) =
+  let relax = Lp.Milp.relax built.Lp_builder.model in
+  if relax.Lp.Simplex.status <> Lp.Status.Optimal then None
+  else begin
+    let m = Asis.num_groups asis and n = Asis.num_targets asis in
+    let order = Array.init m Fun.id in
+    Array.sort
+      (fun a b ->
+        compare asis.Asis.groups.(b).App_group.servers
+          asis.Asis.groups.(a).App_group.servers)
+      order;
+    let load = Array.make n 0.0 in
+    let primary = Array.make m (-1) in
+    let ok = ref true in
+    Array.iter
+      (fun i ->
+        let s = float_of_int asis.Asis.groups.(i).App_group.servers in
+        let candidates =
+          List.init n Fun.id
+          |> List.filter_map (fun j ->
+                 match built.Lp_builder.x.(i).(j) with
+                 | None -> None
+                 | Some v ->
+                     let value = relax.Lp.Simplex.x.(v.Lp.Model.id) in
+                     let cost =
+                       Cost_model.assign_cost asis ~group:i asis.Asis.targets.(j)
+                     in
+                     Some ((-.value, cost), j))
+          |> List.sort compare
+        in
+        let placed =
+          List.find_opt
+            (fun (_, j) ->
+              load.(j) +. s
+              <= float_of_int asis.Asis.targets.(j).Data_center.capacity)
+            candidates
+        in
+        match placed with
+        | Some (_, j) ->
+            primary.(i) <- j;
+            load.(j) <- load.(j) +. s
+        | None -> ok := false)
+      order;
+    if !ok then Some (Placement.non_dr primary) else None
+  end
+
+let consolidate ?(builder = Lp_builder.default_options)
+    ?(milp = default_milp_options) ?(local_search = true) asis =
+  (match Asis.validate asis with
+  | [] -> ()
+  | problems ->
+      invalid_arg
+        ("Solver.consolidate: invalid as-is state: "
+        ^ String.concat "; " problems));
+  let built = Lp_builder.build ~options:builder asis in
+  Log.info (fun f -> f "model: %a" Lp.Model.pp_stats built.Lp_builder.model);
+  let r = Lp.Milp.solve ~options:milp built.Lp_builder.model in
+  let placement =
+    if Array.length r.Lp.Milp.x > 0 then Lp_builder.decode built r.Lp.Milp.x
+    else begin
+      Log.warn (fun f ->
+          f "MILP returned %s with no incumbent; rounding the LP relaxation"
+            (Lp.Status.to_string r.Lp.Milp.status));
+      match lp_round asis built with
+      | Some p -> p
+      | None -> Greedy.plan asis
+    end
+  in
+  (* Local search must not undo pins or revisit forbidden pairs. *)
+  let may_place =
+    let pinned = Hashtbl.create 8 and banned = Hashtbl.create 8 in
+    List.iter (fun (i, j) -> Hashtbl.replace pinned i j) builder.Lp_builder.pins;
+    List.iter (fun ij -> Hashtbl.replace banned ij ()) builder.Lp_builder.forbids;
+    fun i j ->
+      (not (Hashtbl.mem banned (i, j)))
+      && match Hashtbl.find_opt pinned i with None -> true | Some j' -> j = j'
+  in
+  let placement, moves =
+    if local_search then begin
+      (* Swap moves are quadratic in groups; keep them for small estates. *)
+      let swaps = Asis.num_groups asis <= 220 in
+      Local_search.improve ~swaps ~may_place ?omega:builder.Lp_builder.omega
+        asis placement
+    end
+    else (placement, 0)
+  in
+  (* When no side constraints restrict the plan, keep the better of the
+     engine's plan and the polished greedy plan — a cheap insurance against
+     budget-starved MILP runs. *)
+  let placement =
+    if
+      builder.Lp_builder.pins = []
+      && builder.Lp_builder.forbids = []
+      && builder.Lp_builder.omega = None
+    then
+      match Greedy.plan asis with
+      | g ->
+          let g, _ =
+            if local_search then
+              Local_search.improve ~swaps:false ~max_rounds:2 asis g
+            else (g, 0)
+          in
+          let cost p = Evaluate.total (Evaluate.plan asis p).Evaluate.cost in
+          if Placement.validate asis g = [] && cost g < cost placement then g
+          else placement
+      | exception Failure _ -> placement
+    else placement
+  in
+  {
+    placement;
+    summary = Evaluate.plan asis placement;
+    milp_status = r.Lp.Milp.status;
+    milp_gap = (if Float.is_nan r.Lp.Milp.gap then 1.0 else r.Lp.Milp.gap);
+    nodes = r.Lp.Milp.nodes;
+    lp_iterations = r.Lp.Milp.lp_iterations;
+    local_moves = moves;
+  }
+
+let solve_to_placement ?builder asis = (consolidate ?builder asis).placement

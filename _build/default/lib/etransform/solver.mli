@@ -1,0 +1,31 @@
+(** The eTransform planning engine: model construction, MILP solve, and
+    exact-cost polishing, end to end.
+
+    [consolidate] mirrors the paper's non-DR algorithm (§III); DR planning
+    lives in {!Dr_planner}.  When the MILP budget runs out the engine falls
+    back to its incumbent (or, failing that, the greedy plan) and repairs it
+    with local search, so callers always receive a feasible plan together
+    with solver diagnostics. *)
+
+type outcome = {
+  placement : Placement.t;
+  summary : Evaluate.summary;
+  milp_status : Lp.Status.t;
+  milp_gap : float;          (** relative gap proven by the MILP *)
+  nodes : int;
+  lp_iterations : int;
+  local_moves : int;         (** local-search improvements applied *)
+}
+
+(** MILP budgets tuned for consolidation instances. *)
+val default_milp_options : Lp.Milp.options
+
+val consolidate :
+  ?builder:Lp_builder.options ->
+  ?milp:Lp.Milp.options ->
+  ?local_search:bool ->
+  Asis.t -> outcome
+
+(** [solve_to_placement] is [consolidate] stripped to the plan, for callers
+    that do not need diagnostics. *)
+val solve_to_placement : ?builder:Lp_builder.options -> Asis.t -> Placement.t

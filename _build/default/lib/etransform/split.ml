@@ -1,0 +1,80 @@
+let size_budget ?(max_fraction = 0.9) asis =
+  let biggest =
+    Array.fold_left
+      (fun a (d : Data_center.t) -> max a d.Data_center.capacity)
+      1 asis.Asis.targets
+  in
+  max 1 (int_of_float (max_fraction *. float_of_int biggest))
+
+let oversized ?max_fraction asis =
+  let budget = size_budget ?max_fraction asis in
+  Array.to_list asis.Asis.groups
+  |> List.mapi (fun i g -> (i, g))
+  |> List.filter_map (fun (i, (g : App_group.t)) ->
+         if g.App_group.servers > budget then Some i else None)
+
+let split_group budget (g : App_group.t) =
+  let parts = (g.App_group.servers + budget - 1) / budget in
+  let base = g.App_group.servers / parts and extra = g.App_group.servers mod parts in
+  List.init parts (fun k ->
+      let servers = base + (if k < extra then 1 else 0) in
+      let share = float_of_int servers /. float_of_int g.App_group.servers in
+      App_group.v ~latency:g.App_group.latency
+        ?allowed_dcs:g.App_group.allowed_dcs
+        ~name:(Printf.sprintf "%s_part%d" g.App_group.name k)
+        ~servers
+        ~data_mb_month:(g.App_group.data_mb_month *. share)
+        ~users:(Array.map (fun u -> u *. share) g.App_group.users)
+        ())
+
+let ensure_fits ?max_fraction asis =
+  let budget = size_budget ?max_fraction asis in
+  if oversized ?max_fraction asis = [] then asis
+  else begin
+    (* first_part.(old) = index of the old group's first part in the new
+       numbering, for remapping shared-risk lists. *)
+    let m = Array.length asis.Asis.groups in
+    let first_part = Array.make m 0 in
+    let parts_of = Array.make m 1 in
+    let next = ref 0 in
+    Array.iteri
+      (fun i (g : App_group.t) ->
+        first_part.(i) <- !next;
+        let parts =
+          if g.App_group.servers > budget then
+            (g.App_group.servers + budget - 1) / budget
+          else 1
+        in
+        parts_of.(i) <- parts;
+        next := !next + parts)
+      asis.Asis.groups;
+    let groups = ref [] and placement = ref [] in
+    Array.iteri
+      (fun i (g : App_group.t) ->
+        let cur = asis.Asis.current_placement.(i) in
+        let remap_avoid =
+          List.concat_map
+            (fun k ->
+              if k >= 0 && k < m then
+                List.init parts_of.(k) (fun p -> first_part.(k) + p)
+              else [])
+            g.App_group.colocate_avoid
+        in
+        if g.App_group.servers > budget then
+          List.iter
+            (fun part ->
+              groups :=
+                { part with App_group.colocate_avoid = remap_avoid } :: !groups;
+              placement := cur :: !placement)
+            (split_group budget g)
+        else begin
+          groups := { g with App_group.colocate_avoid = remap_avoid } :: !groups;
+          placement := cur :: !placement
+        end)
+      asis.Asis.groups;
+    {
+      asis with
+      Asis.groups = Array.of_list (List.rev !groups);
+      current_placement = Array.of_list (List.rev !placement);
+    }
+  end

@@ -1,0 +1,19 @@
+(** Oversized-group preprocessing.
+
+    The associativity constraint keeps a group in one data center, so a
+    group larger than every target is unplaceable.  The paper defers to
+    application-partitioning techniques (its ref. [3], Hajjat et al.,
+    "Cloudward bound") to split such a group first and then feeds the parts
+    to eTransform.  This module performs that split mechanically: an
+    oversized group becomes several parts, each within the size budget,
+    with users and traffic divided proportionally (the parts still talk to
+    the same user population). *)
+
+(** [oversized ?max_fraction asis] lists groups whose server count exceeds
+    [max_fraction] (default 0.9) of the largest target capacity. *)
+val oversized : ?max_fraction:float -> Asis.t -> int list
+
+(** [ensure_fits ?max_fraction asis] returns an equivalent as-is state in
+    which every group fits; groups that already fit are untouched and keep
+    their relative order.  Shared-risk lists are remapped onto all parts. *)
+val ensure_fits : ?max_fraction:float -> Asis.t -> Asis.t

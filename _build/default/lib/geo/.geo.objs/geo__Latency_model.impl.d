@@ -1,0 +1,1 @@
+lib/geo/latency_model.ml: Array Location

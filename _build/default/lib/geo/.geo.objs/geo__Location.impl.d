@@ -1,0 +1,1 @@
+lib/geo/location.ml: Float Fmt

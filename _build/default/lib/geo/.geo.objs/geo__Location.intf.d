@@ -1,0 +1,1 @@
+lib/geo/location.mli: Fmt

@@ -1,0 +1,1 @@
+lib/geo/places.ml: Array List Location

@@ -1,0 +1,18 @@
+let rtt_ms ?(base_ms = 1.0) distance_km = base_ms +. (distance_km /. 100.0)
+
+let matrix ?base_ms ~dcs ~users () =
+  Array.map
+    (fun dc ->
+      Array.map (fun u -> rtt_ms ?base_ms (Location.distance_km dc u)) users)
+    dcs
+
+let average ~weights row =
+  if Array.length weights <> Array.length row then
+    invalid_arg "Latency_model.average: length mismatch";
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iteri (fun i w -> acc := !acc +. (w *. row.(i))) weights;
+    !acc /. total
+  end

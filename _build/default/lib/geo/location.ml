@@ -1,0 +1,16 @@
+type t = { name : string; lat : float; lon : float }
+
+let v ~name ~lat ~lon = { name; lat; lon }
+
+let earth_radius_km = 6371.0
+let rad d = d *. Float.pi /. 180.0
+
+let distance_km a b =
+  let dlat = rad (b.lat -. a.lat) and dlon = rad (b.lon -. a.lon) in
+  let h =
+    (sin (dlat /. 2.0) ** 2.0)
+    +. (cos (rad a.lat) *. cos (rad b.lat) *. (sin (dlon /. 2.0) ** 2.0))
+  in
+  2.0 *. earth_radius_km *. asin (Float.min 1.0 (sqrt h))
+
+let pp ppf t = Fmt.pf ppf "%s (%.2f, %.2f)" t.name t.lat t.lon

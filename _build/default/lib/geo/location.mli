@@ -1,0 +1,10 @@
+(** Geographic points and great-circle distances. *)
+
+type t = { name : string; lat : float; lon : float }
+
+val v : name:string -> lat:float -> lon:float -> t
+
+(** Great-circle (haversine) distance in kilometres. *)
+val distance_km : t -> t -> float
+
+val pp : t Fmt.t

@@ -1,0 +1,60 @@
+(** A reference gazetteer of metro areas used by the dataset synthesizers.
+
+    Coordinates are approximate city centers; [region] follows the paper's
+    Fig. 2 continental breakdown. *)
+
+type region = North_america | South_america | Europe | Asia | Oceania
+
+let region_name = function
+  | North_america -> "North America"
+  | South_america -> "South America"
+  | Europe -> "Europe"
+  | Asia -> "Asia"
+  | Oceania -> "Oceania"
+
+type place = { loc : Location.t; region : region }
+
+let p name lat lon region = { loc = Location.v ~name ~lat ~lon; region }
+
+let all =
+  [|
+    p "New York" 40.71 (-74.01) North_america;
+    p "Chicago" 41.88 (-87.63) North_america;
+    p "Dallas" 32.78 (-96.80) North_america;
+    p "Los Angeles" 34.05 (-118.24) North_america;
+    p "Seattle" 47.61 (-122.33) North_america;
+    p "Atlanta" 33.75 (-84.39) North_america;
+    p "Miami" 25.76 (-80.19) North_america;
+    p "Denver" 39.74 (-104.99) North_america;
+    p "Toronto" 43.65 (-79.38) North_america;
+    p "Mexico City" 19.43 (-99.13) North_america;
+    p "Sao Paulo" (-23.55) (-46.63) South_america;
+    p "Buenos Aires" (-34.60) (-58.38) South_america;
+    p "Santiago" (-33.45) (-70.67) South_america;
+    p "Bogota" 4.71 (-74.07) South_america;
+    p "London" 51.51 (-0.13) Europe;
+    p "Frankfurt" 50.11 8.68 Europe;
+    p "Paris" 48.86 2.35 Europe;
+    p "Amsterdam" 52.37 4.90 Europe;
+    p "Madrid" 40.42 (-3.70) Europe;
+    p "Milan" 45.46 9.19 Europe;
+    p "Stockholm" 59.33 18.07 Europe;
+    p "Warsaw" 52.23 21.01 Europe;
+    p "Mumbai" 19.08 72.88 Asia;
+    p "Pune" 18.52 73.86 Asia;
+    p "Singapore" 1.35 103.82 Asia;
+    p "Tokyo" 35.68 139.65 Asia;
+    p "Hong Kong" 22.32 114.17 Asia;
+    p "Shanghai" 31.23 121.47 Asia;
+    p "Seoul" 37.57 126.98 Asia;
+    p "Sydney" (-33.87) 151.21 Oceania;
+    p "Melbourne" (-37.81) 144.96 Oceania;
+    p "Auckland" (-36.85) 174.76 Oceania;
+  |]
+
+let in_region r =
+  Array.to_list all |> List.filter (fun pl -> pl.region = r)
+
+let find name =
+  Array.to_list all
+  |> List.find_opt (fun pl -> pl.loc.Location.name = name)

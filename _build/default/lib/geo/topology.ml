@@ -1,0 +1,20 @@
+let paper_classes ?(near_ms = 5.0) ?(far_ms = 20.0) ?(balanced_ms = 10.0)
+    ~n_dcs ~n_users () =
+  if n_dcs <= 0 || n_users <= 0 then invalid_arg "Topology.paper_classes";
+  let classes = Array.init n_dcs (fun j -> j mod (n_users + 1)) in
+  let lat =
+    Array.init n_dcs (fun j ->
+        Array.init n_users (fun r ->
+            if classes.(j) = n_users then balanced_ms
+            else if classes.(j) = r then near_ms
+            else far_ms))
+  in
+  (lat, classes)
+
+let line ?(exponent = 1.0) ~n ~base_ms ~ms_per_hop ~user_positions () =
+  if n <= 0 then invalid_arg "Topology.line";
+  Array.init n (fun j ->
+      Array.map
+        (fun u ->
+          base_ms +. (ms_per_hop *. (float_of_int (abs (j - u)) ** exponent)))
+        user_positions)

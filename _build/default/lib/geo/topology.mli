@@ -1,0 +1,23 @@
+(** Synthetic latency topologies matching the paper's evaluation setup.
+
+    Section VI-B: four client locations; data centers fall in five classes —
+    close to exactly one client location (5 ms there, 20 ms to the rest) or
+    balanced (10 ms to all four).  Section VI-D uses a line of ten locations
+    with latencies and space costs increasing with the location index. *)
+
+(** [paper_classes ~n_dcs ~n_users ()] assigns DCs round-robin over the
+    [n_users + 1] classes and returns the [n_dcs x n_users] latency matrix
+    together with each DC's class ([n_users] = balanced). *)
+val paper_classes :
+  ?near_ms:float -> ?far_ms:float -> ?balanced_ms:float -> n_dcs:int ->
+  n_users:int -> unit -> float array array * int array
+
+(** [line ~n ~base_ms ~ms_per_hop ~user_positions] places [n] DCs at
+    positions [0..n-1] on a line and users at the given positions; latency
+    is [base_ms + ms_per_hop * |dc - user| ^ exponent].  An [exponent]
+    above 1 (the paper's parameter studies behave like ~2) makes latency
+    convex in distance, so mid-line placements genuinely lower the mean
+    latency of users split across both ends. *)
+val line :
+  ?exponent:float -> n:int -> base_ms:float -> ms_per_hop:float ->
+  user_positions:int array -> unit -> float array array

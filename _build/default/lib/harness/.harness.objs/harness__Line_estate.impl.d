@@ -1,0 +1,1 @@
+lib/harness/line_estate.ml: App_group Array Asis Data_center Etransform Geo Latency_penalty Placement Printf

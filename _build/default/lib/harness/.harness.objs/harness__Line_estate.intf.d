@@ -1,0 +1,1 @@
+lib/harness/line_estate.mli: Etransform

@@ -1,0 +1,1 @@
+lib/harness/studies.ml: App_group Array Asis Datasets Dr_planner Etransform Evaluate Float Fun Greedy Latency_penalty Line_estate List Lp Lp_builder Manual Placement Printf Report Solver String Sys

@@ -1,0 +1,1 @@
+lib/harness/studies.mli: Etransform

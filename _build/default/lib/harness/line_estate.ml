@@ -1,0 +1,111 @@
+open Etransform
+
+type config = {
+  n_dcs : int;
+  n_groups : int;
+  servers_per_group : int;
+  capacity : int;
+  base_space : float;
+  space_step : float;
+  base_latency_ms : float;
+  ms_per_hop : float;
+  latency_exponent : float;
+  users_per_group : float;
+  frac_at_0 : float;
+  latency_penalty : Latency_penalty.t;
+  data_mb_month : float;
+  use_vpn : bool;
+  vpn_base : float;
+  vpn_per_ms : float;
+}
+
+let banded_penalty p =
+  if p <= 0.0 then Latency_penalty.none
+  else
+    Latency_penalty.bands
+      [ (10.0, p); (40.0, 2.0 *. p); (80.0, 3.0 *. p); (120.0, 4.0 *. p) ]
+
+let default =
+  {
+    n_dcs = 10;
+    n_groups = 40;
+    servers_per_group = 4;
+    capacity = 1000;
+    base_space = 80.0;
+    space_step = 25.0;
+    base_latency_ms = 2.0;
+    ms_per_hop = 2.0;
+    latency_exponent = 2.0;
+    users_per_group = 50.0;
+    frac_at_0 = 0.5;
+    latency_penalty = Latency_penalty.none;
+    data_mb_month = 50_000.0;
+    use_vpn = false;
+    vpn_base = 100.0;
+    vpn_per_ms = 30.0;
+  }
+
+let make cfg =
+  let lat =
+    Geo.Topology.line ~exponent:cfg.latency_exponent ~n:cfg.n_dcs
+      ~base_ms:cfg.base_latency_ms ~ms_per_hop:cfg.ms_per_hop
+      ~user_positions:[| 0; cfg.n_dcs - 1 |] ()
+  in
+  let targets =
+    Array.init cfg.n_dcs (fun j ->
+        let space = cfg.base_space +. (cfg.space_step *. float_of_int j) in
+        (* Dedicated-VPN studies price links by line distance. *)
+        let vpn =
+          Array.map (fun l -> cfg.vpn_base +. (cfg.vpn_per_ms *. l)) lat.(j)
+        in
+        Data_center.v
+          ~name:(Printf.sprintf "location_%d" j)
+          ~capacity:cfg.capacity
+          ~space_segments:
+            (Data_center.flat_space ~capacity:cfg.capacity ~per_server:space)
+          ~wan_per_mb:1e-4 ~power_per_kwh:0.09 ~admin_monthly:6500.0
+          ~user_latency_ms:lat.(j) ~vpn_monthly:vpn ())
+  in
+  let groups =
+    Array.init cfg.n_groups (fun i ->
+        let at0 = cfg.users_per_group *. cfg.frac_at_0 in
+        App_group.v ~latency:cfg.latency_penalty
+          ~name:(Printf.sprintf "line_grp_%02d" i)
+          ~servers:cfg.servers_per_group ~data_mb_month:cfg.data_mb_month
+          ~users:[| at0; cfg.users_per_group -. at0 |]
+          ())
+  in
+  (* A nominal current estate: everything in one expensive legacy site. *)
+  let current =
+    [|
+      Data_center.v ~name:"legacy" ~capacity:(cfg.n_groups * cfg.servers_per_group)
+        ~space_segments:
+          (Data_center.flat_space
+             ~capacity:(cfg.n_groups * cfg.servers_per_group)
+             ~per_server:(cfg.base_space *. 2.0))
+        ~wan_per_mb:2e-4 ~power_per_kwh:0.12 ~admin_monthly:8000.0
+        ~user_latency_ms:[| 30.0; 30.0 |] ()
+    |]
+  in
+  let params = { Asis.default_params with Asis.use_vpn = cfg.use_vpn } in
+  Asis.v ~params ~name:"line"
+    ~groups ~targets
+    ~user_locations:[| "loc0"; "loc9" |]
+    ~current
+    ~current_placement:(Array.make cfg.n_groups 0)
+    ()
+
+let mean_user_latency asis (p : Placement.t) =
+  let num = ref 0.0 and den = ref 0.0 in
+  Array.iteri
+    (fun i j ->
+      let g = asis.Asis.groups.(i) in
+      let users = App_group.total_users g in
+      let lat =
+        Geo.Latency_model.average ~weights:g.App_group.users
+          asis.Asis.targets.(j).Data_center.user_latency_ms
+      in
+      num := !num +. (users *. lat);
+      den := !den +. users)
+    p.Placement.primary;
+  if !den = 0.0 then 0.0 else !num /. !den

@@ -1,0 +1,36 @@
+(** The synthetic "line" estate of the paper's parameter studies
+    (§VI-D/E/F): ten data-center locations 0..9 with latency and space cost
+    increasing with the location index, all other prices equal, and users
+    only near locations 0 and 9. *)
+
+type config = {
+  n_dcs : int;                  (** locations on the line (paper: 10) *)
+  n_groups : int;
+  servers_per_group : int;
+  capacity : int;               (** per DC *)
+  base_space : float;           (** space $/server at location 0 *)
+  space_step : float;           (** increment per location *)
+  base_latency_ms : float;
+  ms_per_hop : float;
+  latency_exponent : float;  (** convexity of latency in line distance *)
+  users_per_group : float;
+  frac_at_0 : float;            (** share of each group's users at location 0;
+                                    the rest sit at location 9 *)
+  latency_penalty : Etransform.Latency_penalty.t;
+  data_mb_month : float;
+  use_vpn : bool;
+  vpn_base : float;       (** monthly price of the shortest dedicated link *)
+  vpn_per_ms : float;     (** price increment per ms of line latency *)
+}
+
+val default : config
+
+(** [banded_penalty p] is the paper-style range penalty used in §VI-D:
+    [p] per user beyond 10 ms, rising by [p] per band at 40, 80 and 120 ms,
+    so stronger penalties pull placements closer to users. *)
+val banded_penalty : float -> Etransform.Latency_penalty.t
+
+val make : config -> Etransform.Asis.t
+
+(** Weighted mean latency experienced by all users under a placement. *)
+val mean_user_latency : Etransform.Asis.t -> Etransform.Placement.t -> float

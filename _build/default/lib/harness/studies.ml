@@ -1,0 +1,373 @@
+open Etransform
+
+type comparison_row = {
+  algorithm : string;
+  summary : Evaluate.summary;
+}
+
+let section title =
+  Printf.printf "\n===== %s =====\n%!" title
+
+let federal_scale_default () =
+  match Sys.getenv_opt "ETRANSFORM_FEDERAL_SCALE" with
+  | Some s -> (try float_of_string s with _ -> 0.1)
+  | None -> 0.1
+
+(* Case-study solver configuration: economies of scale and site opening
+   charges on, budgets sized for a laptop run. *)
+let case_builder =
+  {
+    Lp_builder.default_options with
+    Lp_builder.economies_of_scale = true;
+    fixed_charges = true;
+  }
+
+let case_milp =
+  {
+    Solver.default_milp_options with
+    Lp.Milp.node_limit = 4;
+    time_limit = 60.0;
+  }
+
+let datasets ?(federal_scale = federal_scale_default ()) () =
+  [
+    ("Enterprise1", Datasets.Enterprise1.asis ());
+    ("Florida", Datasets.Florida.asis ());
+    ( Printf.sprintf "Federal(x%.2g)" federal_scale,
+      Datasets.Federal.asis ~scale:federal_scale () );
+  ]
+
+(* ------------------------------------------------------------------ E0 *)
+
+let e0_datasets () =
+  section "E0: dataset summaries (paper Figs. 2-3, Tables I-II)";
+  let rows =
+    [
+      ("enterprise1", Datasets.Enterprise1.asis ());
+      ("florida", Datasets.Florida.asis ());
+      ("federal", Datasets.Federal.asis ());
+    ]
+    |> List.map (fun (name, asis) ->
+           let sensitive =
+             Array.to_list asis.Asis.groups
+             |> List.filter (fun (g : App_group.t) ->
+                    Latency_penalty.is_sensitive g.App_group.latency)
+             |> List.length
+           in
+           [
+             name;
+             string_of_int (Asis.num_groups asis);
+             string_of_int (Asis.total_servers asis);
+             string_of_int (Array.length asis.Asis.current);
+             string_of_int (Asis.num_targets asis);
+             string_of_int (Asis.total_target_capacity asis);
+             string_of_int sensitive;
+           ])
+  in
+  print_string
+    (Report.table
+       ~header:
+         [ "dataset"; "app-groups"; "servers"; "as-is DCs"; "target DCs";
+           "capacity"; "latency-sensitive" ]
+       rows)
+
+(* ------------------------------------------------------------- E1 / E2 *)
+
+let print_comparison title asis_total rows =
+  print_string (Printf.sprintf "-- %s --\n" title);
+  print_string
+    (Report.table ~header:Report.comparison_header
+       (Report.comparison_rows ~asis_total
+          (List.map (fun r -> (r.algorithm, r.summary)) rows)))
+
+let run_case ~dr (name, asis) =
+  let entries =
+    if not dr then begin
+      let asis_sum = Evaluate.asis_state asis in
+      let manual = Evaluate.plan asis (Manual.plan asis) in
+      let greedy = Evaluate.plan asis (Greedy.plan asis) in
+      let et =
+        (Solver.consolidate ~builder:case_builder ~milp:case_milp asis)
+          .Solver.summary
+      in
+      [
+        { algorithm = "AS-IS"; summary = asis_sum };
+        { algorithm = "MANUAL"; summary = manual };
+        { algorithm = "GREEDY"; summary = greedy };
+        { algorithm = "ETRANSFORM"; summary = et };
+      ]
+    end
+    else begin
+      let asis_dr = Evaluate.asis_with_basic_dr asis in
+      let manual = Evaluate.plan asis (Manual.plan_dr asis) in
+      let greedy = Evaluate.plan asis (Greedy.plan_dr asis) in
+      let et =
+        (Dr_planner.plan
+           ~options:
+             {
+               Dr_planner.default_options with
+               Dr_planner.milp = case_milp;
+               economies_of_scale = true;
+             }
+           asis)
+          .Solver.summary
+      in
+      [
+        { algorithm = "AS-IS+DR"; summary = asis_dr };
+        { algorithm = "MANUAL"; summary = manual };
+        { algorithm = "GREEDY"; summary = greedy };
+        { algorithm = "ETRANSFORM"; summary = et };
+      ]
+    end
+  in
+  let asis_total = Evaluate.total (List.hd entries).summary.Evaluate.cost in
+  print_comparison name asis_total entries;
+  (name, entries)
+
+let e1_consolidation ?federal_scale () =
+  section "E1: consolidation case studies, non-DR (paper Fig. 4 + Tables 4d/4e)";
+  List.map (run_case ~dr:false) (datasets ?federal_scale ())
+
+let e2_dr ?federal_scale () =
+  section "E2: integrated consolidation + DR (paper Fig. 6 + Tables 6d/6e)";
+  List.map (run_case ~dr:true) (datasets ?federal_scale ())
+
+(* ------------------------------------------------------------------ E3 *)
+
+let line_milp =
+  { Solver.default_milp_options with Lp.Milp.node_limit = 2; time_limit = 20.0 }
+
+let e3_latency_penalty () =
+  section "E3: influence of the latency penalty (paper Fig. 7)";
+  let penalties = [ 0.0; 20.0; 40.0; 60.0; 80.0; 100.0; 120.0 ] in
+  let distributions =
+    [ (0.0, "all@9"); (0.25, "25%@0"); (0.5, "50/50"); (0.75, "75%@0");
+      (1.0, "all@0") ]
+  in
+  let cells =
+    List.map
+      (fun p ->
+        List.map
+          (fun (frac, _) ->
+            let cfg =
+              {
+                Line_estate.default with
+                Line_estate.frac_at_0 = frac;
+                latency_penalty = Line_estate.banded_penalty p;
+              }
+            in
+            let asis = Line_estate.make cfg in
+            let o = Solver.consolidate ~milp:line_milp asis in
+            let s = o.Solver.summary in
+            ( p,
+              frac,
+              Evaluate.total s.Evaluate.cost,
+              s.Evaluate.cost.Evaluate.space,
+              Line_estate.mean_user_latency asis o.Solver.placement ))
+          distributions)
+      penalties
+  in
+  let header = "penalty" :: List.map snd distributions in
+  let table_of f =
+    List.map
+      (fun row ->
+        match row with
+        | [] -> []
+        | (p, _, _, _, _) :: _ ->
+            Printf.sprintf "$%.0f" p
+            :: List.map (fun cell -> f cell) row)
+      cells
+  in
+  print_string "-- Fig 7(a): total cost --\n";
+  print_string
+    (Report.table ~header (table_of (fun (_, _, t, _, _) -> Report.money t)));
+  print_string "-- Fig 7(b): space cost --\n";
+  print_string
+    (Report.table ~header (table_of (fun (_, _, _, s, _) -> Report.money s)));
+  print_string "-- Fig 7(c): mean user latency (ms) --\n";
+  print_string
+    (Report.table ~header
+       (table_of (fun (_, _, _, _, l) -> Printf.sprintf "%.1f" l)));
+  cells
+
+(* ------------------------------------------------------------------ E4 *)
+
+(* The two-stage DR planner does not see the primary-spread/pool-size
+   coupling, so sweep the business-impact knob and keep the cheapest plan —
+   exactly the lever the paper's joint LP optimizes implicitly. *)
+let dr_with_spread_search asis ~milp =
+  let omegas = [ 1.0; 0.51; 0.35; 0.26; 0.15; 0.11 ] in
+  let best = ref None in
+  List.iter
+    (fun w ->
+      match
+        Dr_planner.plan
+          ~options:
+            {
+              Dr_planner.default_options with
+              Dr_planner.milp;
+              omega = (if w >= 1.0 then None else Some w);
+              reserve = 0.3;
+            }
+          asis
+      with
+      | o -> (
+          let c = Evaluate.total o.Solver.summary.Evaluate.cost in
+          match !best with
+          | Some (c0, _) when c0 <= c -> ()
+          | _ -> best := Some (c, o))
+      | exception _ -> ())
+    omegas;
+  match !best with
+  | Some (_, o) -> o
+  | None -> failwith "dr_with_spread_search: no feasible plan"
+
+let e4_dr_server_cost () =
+  section "E4: influence of the DR server cost (paper Fig. 8)";
+  let zetas = [ 1.0; 10.0; 100.0; 1000.0; 10000.0 ] in
+  let results =
+    List.map
+      (fun zeta ->
+        (* Steep space costs make consolidation clearly best when backup
+           servers are nearly free; expensive backups then reward spreading
+           primaries so pools can shrink and be shared. *)
+        let cfg =
+          { Line_estate.default with
+            Line_estate.capacity = 400; space_step = 120.0 }
+        in
+        let asis = Line_estate.make cfg in
+        let asis =
+          { asis with
+            Asis.params = { asis.Asis.params with Asis.dr_server_cost = zeta } }
+        in
+        let o = dr_with_spread_search asis ~milp:line_milp in
+        let primary_sites =
+          Array.to_list o.Solver.placement.Placement.primary
+          |> List.sort_uniq compare |> List.length
+        in
+        let pools =
+          Array.fold_left ( +. ) 0.0
+            (Placement.backup_servers asis o.Solver.placement)
+        in
+        (zeta, primary_sites, pools))
+      zetas
+  in
+  print_string
+    (Report.table
+       ~header:[ "DR server cost"; "DCs used (primaries)"; "DR servers" ]
+       (List.map
+          (fun (z, d, p) ->
+            [ Printf.sprintf "$%.0f" z; string_of_int d; Printf.sprintf "%.0f" p ])
+          results));
+  results
+
+(* ------------------------------------------------------------------ E5 *)
+
+let e5_space_wan_tradeoff () =
+  section "E5: space cost vs WAN cost tradeoff (paper Fig. 9)";
+  (* Users at location 9; dedicated VPN links priced by distance; space
+     cheapest at location 0.  Cost of hosting the whole estate at each
+     candidate location exposes the tradeoff. *)
+  let cfg =
+    {
+      Line_estate.default with
+      Line_estate.frac_at_0 = 0.0;
+      use_vpn = true;
+      space_step = 60.0;
+      vpn_per_ms = 60.0;
+      data_mb_month = 2_000_000.0;
+      capacity = 400;
+    }
+  in
+  let asis = Line_estate.make cfg in
+  let m = Asis.num_groups asis in
+  let rows =
+    List.init (Asis.num_targets asis) (fun j ->
+        let p = Placement.non_dr (Array.make m j) in
+        let s = Evaluate.plan asis p in
+        let c = s.Evaluate.cost in
+        (j, c.Evaluate.space, c.Evaluate.wan, Evaluate.total c))
+  in
+  print_string
+    (Report.table ~header:[ "location"; "space"; "WAN"; "total" ]
+       (List.map
+          (fun (j, s, w, t) ->
+            [ string_of_int j; Report.money s; Report.money w; Report.money t ])
+          rows));
+  let totals = List.map (fun (_, _, _, t) -> t) rows in
+  let ratio =
+    List.fold_left Float.max neg_infinity totals
+    /. List.fold_left Float.min infinity totals
+  in
+  let best_j, _, _, _ =
+    List.fold_left
+      (fun ((_, _, _, bt) as b) ((_, _, _, t) as r) -> if t < bt then r else b)
+      (List.hd rows) rows
+  in
+  let o = Solver.consolidate ~milp:line_milp asis in
+  let chosen =
+    Array.to_list o.Solver.placement.Placement.primary
+    |> List.sort_uniq compare
+  in
+  Printf.printf
+    "cheapest-by-total location: %d; eTransform places groups at: %s; \
+     max/min total ratio: %.1fx\n%!"
+    best_j
+    (String.concat "," (List.map string_of_int chosen))
+    ratio;
+  (rows, ratio)
+
+(* ------------------------------------------------------------------ E6 *)
+
+let e6_placement_growth () =
+  section "E6: placement as the estate grows (paper Fig. 10)";
+  let points = [ 10; 20; 30; 40; 50; 60; 70 ] in
+  let results =
+    List.map
+      (fun n_groups ->
+        (* Per-DC capacity of 100 with 4-server groups: 25 groups per
+           site, mirroring the paper's fill-up-then-overflow staircase. *)
+        let cfg =
+          {
+            Line_estate.default with
+            Line_estate.n_groups;
+            capacity = 100;
+            frac_at_0 = 0.0;
+            use_vpn = true;
+            space_step = 60.0;
+            data_mb_month = 2_000_000.0;
+          }
+        in
+        let asis = Line_estate.make cfg in
+        let o = Solver.consolidate ~milp:line_milp asis in
+        let counts = Array.make (Asis.num_targets asis) 0 in
+        Array.iter
+          (fun j -> counts.(j) <- counts.(j) + 1)
+          o.Solver.placement.Placement.primary;
+        let used =
+          List.init (Array.length counts) Fun.id
+          |> List.filter (fun j -> counts.(j) > 0)
+        in
+        (n_groups, List.length used, used))
+      points
+  in
+  print_string
+    (Report.table ~header:[ "app groups"; "DCs used"; "locations" ]
+       (List.map
+          (fun (n, k, used) ->
+            [
+              string_of_int n;
+              string_of_int k;
+              String.concat "," (List.map string_of_int used);
+            ])
+          results));
+  results
+
+let all () =
+  e0_datasets ();
+  ignore (e1_consolidation ());
+  ignore (e2_dr ());
+  ignore (e3_latency_penalty ());
+  ignore (e4_dr_server_cost ());
+  ignore (e5_space_wan_tradeoff ());
+  ignore (e6_placement_growth ())

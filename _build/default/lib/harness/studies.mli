@@ -1,0 +1,46 @@
+(** Reproduction of every table and figure in the paper's evaluation
+    (experiment index in DESIGN.md).  Each runner prints paper-style tables
+    to [stdout] and returns its raw numbers for programmatic use. *)
+
+(** E0 — dataset summaries (Fig. 2-3, Tables I-II). *)
+val e0_datasets : unit -> unit
+
+type comparison_row = {
+  algorithm : string;
+  summary : Etransform.Evaluate.summary;
+}
+
+(** E1 — Fig. 4(a-c) and Tables 4(d)/(e): as-is vs manual vs greedy vs
+    eTransform on the three case studies, without DR.  [federal_scale]
+    defaults to the ETRANSFORM_FEDERAL_SCALE environment variable or 0.1
+    (see EXPERIMENTS.md for the scaling note). *)
+val e1_consolidation :
+  ?federal_scale:float -> unit -> (string * comparison_row list) list
+
+(** E2 — Fig. 6(a-c) and Tables 6(d)/(e): the same comparison with
+    integrated DR, against the as-is + strawman-DR baseline. *)
+val e2_dr :
+  ?federal_scale:float -> unit -> (string * comparison_row list) list
+
+(** E3 — Fig. 7(a,b,c): influence of the latency penalty under five user
+    distributions on the line estate: total cost, space cost, and mean user
+    latency per (penalty, distribution) cell. *)
+val e3_latency_penalty :
+  unit -> (float * float * float * float * float) list list
+
+(** E4 — Fig. 8: influence of the DR-server cost on the number of data
+    centers used and the number of DR servers bought.  Returns
+    [(zeta, dcs_used, dr_servers)] per sweep point. *)
+val e4_dr_server_cost : unit -> (float * int * float) list
+
+(** E5 — Fig. 9: space-vs-WAN tradeoff under dedicated VPN links.  Returns
+    [(location, space, wan, total)] per candidate location plus the ratio
+    between the costliest and cheapest location (the paper's "7x"). *)
+val e5_space_wan_tradeoff : unit -> (int * float * float * float) list * float
+
+(** E6 — Fig. 10: placement as the number of application groups grows;
+    returns [(n_groups, dcs_used, first_locations)] per sweep point. *)
+val e6_placement_growth : unit -> (int * int * int list) list
+
+(** Run everything in order. *)
+val all : unit -> unit

@@ -1,0 +1,1 @@
+lib/lp/lp_format.ml: Array Buffer Float Format List Model Printf Status String

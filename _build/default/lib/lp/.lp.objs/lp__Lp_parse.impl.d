@@ -1,0 +1,1 @@
+lib/lp/lp_parse.ml: Filename Fmt Hashtbl List Model Printf String

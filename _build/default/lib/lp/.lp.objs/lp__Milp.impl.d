@@ -1,0 +1,1 @@
+lib/lp/milp.ml: Array Float Hashtbl List Logs Model Option Pqueue Simplex Status Sys

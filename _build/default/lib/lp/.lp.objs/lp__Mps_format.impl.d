@@ -1,0 +1,1 @@
+lib/lp/mps_format.ml: Array Buffer Format List Lp_format Model Printf

@@ -1,0 +1,1 @@
+lib/lp/piecewise.ml: Array Float List Model Printf

@@ -1,0 +1,1 @@
+lib/lp/sensitivity.ml: Array Float Fun List Model Simplex

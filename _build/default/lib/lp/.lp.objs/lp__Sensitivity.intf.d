@@ -1,0 +1,1 @@
+lib/lp/sensitivity.mli: Simplex

@@ -1,0 +1,1 @@
+lib/lp/status.ml: Fmt

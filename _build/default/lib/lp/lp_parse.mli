@@ -1,0 +1,15 @@
+(** Parser for the subset of the CPLEX LP file format written by
+    {!Lp_format}.
+
+    Supported sections: [Minimize]/[Maximize], [Subject To] (and the [st],
+    [s.t.], [such that] spellings), [Bounds], [Binaries], [Generals],
+    [End]; [\ ] comments.  Variables appearing only in later sections are
+    created with default bounds. *)
+
+exception Parse_error of string
+
+(** [model_of_string s] parses [s]; raises {!Parse_error} on malformed
+    input. *)
+val model_of_string : ?name:string -> string -> Model.t
+
+val read_model_file : string -> Model.t

@@ -1,0 +1,293 @@
+let src = Logs.Src.create "lp.milp" ~doc:"branch-and-bound MILP solver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type options = {
+  node_limit : int;
+  time_limit : float;
+  gap_tol : float;
+  int_tol : float;
+  dive_first : bool;
+  log : bool;
+}
+
+let default_options =
+  {
+    node_limit = 5000;
+    time_limit = infinity;
+    gap_tol = 1e-6;
+    int_tol = 1e-6;
+    dive_first = true;
+    log = false;
+  }
+
+type result = {
+  status : Status.t;
+  x : float array;
+  obj : float;
+  bound : float;
+  gap : float;
+  nodes : int;
+  lp_iterations : int;
+}
+
+let relax ?max_iters m = Simplex.solve ?max_iters (Simplex.of_model m)
+
+let integral ?(tol = 1e-6) m x =
+  List.for_all
+    (fun (v : Model.var) ->
+      let xv = x.(v.Model.id) in
+      Float.abs (xv -. Float.round xv) <= tol)
+    (Model.integer_vars m)
+
+(* A node is the list of bound changes relative to the root problem. *)
+type node = { diffs : (int * float * float) list; depth : int }
+
+let apply_diffs ~root_lo ~root_hi ~lo ~hi diffs =
+  Array.blit root_lo 0 lo 0 (Array.length root_lo);
+  Array.blit root_hi 0 hi 0 (Array.length root_hi);
+  List.iter
+    (fun (j, l, h) ->
+      lo.(j) <- Float.max lo.(j) l;
+      hi.(j) <- Float.min hi.(j) h)
+    diffs
+
+let most_fractional int_ids tol x =
+  let best = ref (-1) and score = ref tol in
+  List.iter
+    (fun j ->
+      let f = x.(j) -. Float.of_int (int_of_float (Float.floor x.(j))) in
+      let dist = Float.min f (1.0 -. f) in
+      if dist > !score then begin
+        score := dist;
+        best := j
+      end)
+    int_ids;
+  !best
+
+let rec mem_assoc3 j = function
+  | [] -> false
+  | (k, _, _) :: rest -> k = j || mem_assoc3 j rest
+
+let round_integers int_ids x =
+  let x = Array.copy x in
+  List.iter (fun j -> x.(j) <- Float.round x.(j)) int_ids;
+  x
+
+let solve ?(options = default_options) m =
+  let input = Simplex.of_model m in
+  let minimize = input.Simplex.minimize in
+  (* Internal keys are always "smaller is better". *)
+  let key_of_obj o = if minimize then o else -.o in
+  let obj_of_key k = if minimize then k else -.k in
+  let int_ids = List.map (fun (v : Model.var) -> v.Model.id) (Model.integer_vars m) in
+  let n = input.Simplex.nvars in
+  let lo_scratch = Array.make n 0.0 and hi_scratch = Array.make n 0.0 in
+  let lp_iters = ref 0 in
+  let solve_node diffs =
+    apply_diffs ~root_lo:input.Simplex.lo ~root_hi:input.Simplex.hi
+      ~lo:lo_scratch ~hi:hi_scratch diffs;
+    let r =
+      Simplex.solve
+        { input with Simplex.lo = Array.copy lo_scratch; hi = Array.copy hi_scratch }
+    in
+    lp_iters := !lp_iters + r.Simplex.iterations;
+    r
+  in
+  let start = Sys.time () in
+  let out_of_time () = Sys.time () -. start > options.time_limit in
+  let incumbent = ref None (* (key, x) *) in
+  let accept_candidate r =
+    let x = round_integers int_ids r.Simplex.x in
+    let objv =
+      input.Simplex.obj_const
+      +. Array.fold_left ( +. ) 0.0
+           (Array.mapi (fun j c -> c *. x.(j)) input.Simplex.obj)
+    in
+    let k = key_of_obj objv in
+    match !incumbent with
+    | Some (k0, _) when k0 <= k +. 1e-12 -> ()
+    | _ ->
+        if options.log then
+          Log.info (fun f -> f "new incumbent %.6g" (obj_of_key k));
+        incumbent := Some (k, x)
+  in
+  (* Dive-and-fix.  Each round pins every integer variable already sitting
+     on an integer value in the current LP solution (the "batch"), plus the
+     most fractional one rounded to its nearest value, then re-solves — so a
+     dive costs a handful of LP solves rather than one per integer variable.
+     Batch fixes are provisional: zeros pinned early can strand a variable's
+     row-mates and make later rounds infeasible, so on conflict the batch is
+     dropped (the explicitly chosen single fixes are kept) and diving
+     continues from a fresh LP. *)
+  let dive diffs r0 =
+    let fixed = Hashtbl.create 64 in
+    List.iter (fun (j, _, _) -> Hashtbl.replace fixed j ()) diffs;
+    let collect_batch r =
+      List.filter_map
+        (fun jj ->
+          if Hashtbl.mem fixed jj then None
+          else begin
+            let v = r.Simplex.x.(jj) in
+            let rv = Float.round v in
+            if Float.abs (v -. rv) <= 1e-7 then Some (jj, rv, rv) else None
+          end)
+        int_ids
+    in
+    let try_fix extra =
+      let r' = solve_node (extra @ diffs) in
+      if r'.Simplex.status = Status.Optimal then Some r' else None
+    in
+    let rec go ~singles ~batch r fuel =
+      if fuel = 0 || out_of_time () then ()
+      else if r.Simplex.status <> Status.Optimal then ()
+      else
+        match most_fractional int_ids options.int_tol r.Simplex.x with
+        | -1 -> accept_candidate r
+        | j ->
+            let xv = r.Simplex.x.(j) in
+            let near = Float.round xv in
+            let far = if near > xv then Float.floor xv else Float.ceil xv in
+            let fresh =
+              List.filter
+                (fun (jj, _, _) -> not (mem_assoc3 jj batch))
+                (collect_batch r)
+            in
+            let batch' = fresh @ batch in
+            let keep_batch v r' =
+              Hashtbl.replace fixed j ();
+              go ~singles:((j, v, v) :: singles) ~batch:batch' r' (fuel - 1)
+            in
+            (match try_fix (((j, near, near) :: batch') @ singles) with
+            | Some r' -> keep_batch near r'
+            | None ->
+            match try_fix (((j, far, far) :: batch') @ singles) with
+            | Some r' -> keep_batch far r'
+            | None -> (
+                (* The batch over-committed: retry with singles only. *)
+                match try_fix ((j, near, near) :: singles) with
+                | Some r' ->
+                    Hashtbl.replace fixed j ();
+                    List.iter (fun (jj, _, _) -> Hashtbl.remove fixed jj) batch';
+                    go ~singles:((j, near, near) :: singles) ~batch:[] r'
+                      (fuel - 1)
+                | None -> (
+                    match try_fix ((j, far, far) :: singles) with
+                    | Some r' ->
+                        Hashtbl.replace fixed j ();
+                        List.iter
+                          (fun (jj, _, _) -> Hashtbl.remove fixed jj)
+                          batch';
+                        go ~singles:((j, far, far) :: singles) ~batch:[] r'
+                          (fuel - 1)
+                    | None -> ())))
+    in
+    go ~singles:[] ~batch:[] r0 150
+  in
+  let root = solve_node [] in
+  match root.Simplex.status with
+  | Status.Infeasible ->
+      { status = Status.Infeasible; x = [||]; obj = nan; bound = nan;
+        gap = nan; nodes = 0; lp_iterations = !lp_iters }
+  | Status.Unbounded ->
+      { status = Status.Unbounded; x = [||]; obj = nan; bound = nan;
+        gap = nan; nodes = 0; lp_iterations = !lp_iters }
+  | Status.Iteration_limit | Status.Time_limit | Status.Node_limit
+  | Status.Feasible ->
+      { status = Status.Iteration_limit; x = [||]; obj = nan; bound = nan;
+        gap = nan; nodes = 0; lp_iterations = !lp_iters }
+  | Status.Optimal ->
+      let root_key = key_of_obj root.Simplex.obj_value in
+      if most_fractional int_ids options.int_tol root.Simplex.x = -1 then begin
+        accept_candidate root;
+        let _, x = Option.get !incumbent in
+        { status = Status.Optimal; x; obj = obj_of_key root_key;
+          bound = obj_of_key root_key; gap = 0.0; nodes = 1;
+          lp_iterations = !lp_iters }
+      end
+      else begin
+        if options.dive_first then dive [] root;
+        let pq = Pqueue.create () in
+        Pqueue.push pq root_key { diffs = []; depth = 0 };
+        let nodes = ref 0 in
+        let stop_reason = ref None in
+        let rec loop () =
+          match Pqueue.pop pq with
+          | None -> ()
+          | Some (k, nd) ->
+              let prune =
+                match !incumbent with
+                | Some (ki, _) -> k >= ki -. 1e-12
+                | None -> false
+              in
+              if prune then loop ()
+              else if !nodes >= options.node_limit then begin
+                Pqueue.push pq k nd;
+                stop_reason := Some Status.Node_limit
+              end
+              else if out_of_time () then begin
+                Pqueue.push pq k nd;
+                stop_reason := Some Status.Time_limit
+              end
+              else begin
+                incr nodes;
+                let r = solve_node nd.diffs in
+                (match r.Simplex.status with
+                | Status.Infeasible -> ()
+                | Status.Optimal -> (
+                    let k' = key_of_obj r.Simplex.obj_value in
+                    let worse =
+                      match !incumbent with
+                      | Some (ki, _) -> k' >= ki -. 1e-9 *. (1.0 +. Float.abs ki)
+                      | None -> false
+                    in
+                    if not worse then
+                      match most_fractional int_ids options.int_tol r.Simplex.x with
+                      | -1 -> accept_candidate r
+                      | j ->
+                          let xv = r.Simplex.x.(j) in
+                          let fl = Float.floor xv and ce = Float.ceil xv in
+                          Pqueue.push pq k'
+                            { diffs = (j, neg_infinity, fl) :: nd.diffs;
+                              depth = nd.depth + 1 };
+                          Pqueue.push pq k'
+                            { diffs = (j, ce, infinity) :: nd.diffs;
+                              depth = nd.depth + 1 })
+                | _ ->
+                    (* A node LP that fails numerically is abandoned; the
+                       incumbent, if any, remains valid. *)
+                    ());
+                loop ()
+              end
+        in
+        loop ();
+        let open_bound =
+          match (!stop_reason, Pqueue.min_key pq) with
+          | None, _ -> infinity (* tree exhausted: incumbent is optimal *)
+          | Some _, Some k -> k
+          | Some _, None -> infinity
+        in
+        match !incumbent with
+        | None ->
+            let status =
+              match !stop_reason with None -> Status.Infeasible | Some s -> s
+            in
+            { status; x = [||]; obj = nan; bound = obj_of_key root_key;
+              gap = nan; nodes = !nodes; lp_iterations = !lp_iters }
+        | Some (ki, x) ->
+            let bound_key =
+              if open_bound = infinity then ki else Float.max root_key open_bound
+            in
+            let bound_key = Float.min bound_key ki in
+            let gap =
+              Float.abs (ki -. bound_key) /. Float.max 1.0 (Float.abs ki)
+            in
+            let status =
+              match !stop_reason with
+              | None -> Status.Optimal
+              | Some _ when gap <= options.gap_tol -> Status.Optimal
+              | Some _ -> Status.Feasible
+            in
+            { status; x; obj = obj_of_key ki; bound = obj_of_key bound_key;
+              gap; nodes = !nodes; lp_iterations = !lp_iters }
+      end

@@ -1,0 +1,38 @@
+(** Mixed-integer linear programming by LP-based branch-and-bound.
+
+    The solver runs best-bound branch-and-bound over the bounded-variable
+    simplex of {!Simplex}.  A dive-and-fix heuristic seeds the incumbent at
+    the root and serves as the fallback when node or time budgets run out,
+    so a feasible plan is almost always returned together with the LP lower
+    bound and the resulting optimality gap. *)
+
+type options = {
+  node_limit : int;        (** maximum branch-and-bound nodes (default 5000) *)
+  time_limit : float;      (** CPU-seconds budget, [infinity] = none *)
+  gap_tol : float;         (** stop when relative gap falls below this *)
+  int_tol : float;         (** integrality tolerance on LP values *)
+  dive_first : bool;       (** seed the incumbent by diving at the root *)
+  log : bool;              (** emit progress on the [lp.milp] log source *)
+}
+
+val default_options : options
+
+type result = {
+  status : Status.t;
+  x : float array;         (** best integer point found (empty if none) *)
+  obj : float;             (** its objective, user direction *)
+  bound : float;           (** proven bound on the optimum, user direction *)
+  gap : float;             (** relative gap between [obj] and [bound] *)
+  nodes : int;             (** branch-and-bound nodes explored *)
+  lp_iterations : int;     (** total simplex iterations *)
+}
+
+(** [solve m] solves the model, honouring integrality marks on variables. *)
+val solve : ?options:options -> Model.t -> result
+
+(** [relax m] solves the LP relaxation only. *)
+val relax : ?max_iters:int -> Model.t -> Simplex.result
+
+(** [integral ?tol m x] is true when all integer-marked variables of [m]
+    take integer values in [x]. *)
+val integral : ?tol:float -> Model.t -> float array -> bool

@@ -1,0 +1,70 @@
+type segment = { width : float; unit_cost : float }
+
+let total_width segs = List.fold_left (fun a s -> a +. s.width) 0.0 segs
+
+let cost_at segs q =
+  let rec go acc q = function
+    | [] -> acc
+    | s :: rest ->
+        if q <= 0.0 then acc
+        else
+          let take = Float.min q s.width in
+          go (acc +. (take *. s.unit_cost)) (q -. take) rest
+  in
+  go 0.0 q segs
+
+let check_segments name segs =
+  if segs = [] then invalid_arg (name ^ ": empty segment list");
+  List.iter
+    (fun s ->
+      if s.width <= 0.0 then invalid_arg (name ^ ": non-positive segment width"))
+    segs
+
+let fills m ~name ~quantity segs =
+  let fills =
+    List.mapi
+      (fun k s ->
+        (Model.add_var m ~lo:0.0 ~hi:s.width (Printf.sprintf "%s_fill%d" name k), s))
+      segs
+  in
+  let sum = Model.Linexpr.sum (List.map (fun (v, _) -> Model.Linexpr.var v) fills) in
+  Model.add_eq m (name ^ "_link") (Model.Linexpr.sub sum quantity) 0.0;
+  fills
+
+let cost_of_fills fills =
+  Model.Linexpr.sum
+    (List.map (fun (v, s) -> Model.Linexpr.term s.unit_cost v) fills)
+
+let convex_cost m ~name ~quantity segs =
+  check_segments name segs;
+  cost_of_fills (fills m ~name ~quantity segs)
+
+let concave_cost m ~name ~quantity segs =
+  check_segments name segs;
+  let fs = Array.of_list (fills m ~name ~quantity segs) in
+  (* Ordering binaries: z_k = 1 forces segment k-1 full and is required
+     before segment k may hold anything.  Without them the LP would fill the
+     cheapest (deepest) discount tier first. *)
+  for k = 1 to Array.length fs - 1 do
+    let fk, sk = fs.(k) and fk1, sk1 = fs.(k - 1) in
+    let z = Model.add_var m ~binary:true (Printf.sprintf "%s_z%d" name k) in
+    Model.add_le m
+      (Printf.sprintf "%s_open%d" name k)
+      (Model.Linexpr.sub (Model.Linexpr.var fk)
+         (Model.Linexpr.term sk.width z))
+      0.0;
+    Model.add_ge m
+      (Printf.sprintf "%s_full%d" name k)
+      (Model.Linexpr.sub (Model.Linexpr.var fk1)
+         (Model.Linexpr.term sk1.width z))
+      0.0
+  done;
+  cost_of_fills (Array.to_list fs)
+
+let fixed_charge m ~name ~quantity ~capacity ~fixed_cost =
+  if capacity <= 0.0 then invalid_arg (name ^ ": non-positive capacity");
+  let y = Model.add_var m ~binary:true (name ^ "_open") in
+  Model.add_le m (name ^ "_cap")
+    (Model.Linexpr.sub quantity (Model.Linexpr.term capacity y))
+    0.0;
+  (Model.Linexpr.term fixed_cost y, y)

@@ -1,0 +1,41 @@
+(** Piecewise-linear cost encodings for LP/MILP models.
+
+    These implement the step/ramp-function incorporation technique the paper
+    credits to Schoomer (1964) and uses for economies of scale: volume
+    discounts make the total-cost curve concave, which requires ordering
+    binaries; convex curves and fixed opening charges are also provided. *)
+
+type segment = {
+  width : float;      (** capacity of this segment, > 0 *)
+  unit_cost : float;  (** cost per unit within the segment *)
+}
+
+(** [concave_cost m ~name ~quantity segs] constrains [quantity] to be split
+    across the segments in order (segment [k+1] may fill only once segment
+    [k] is full, enforced with binaries) and returns the total-cost
+    expression [sum_k unit_cost_k * fill_k].  Suitable for volume-discount
+    (decreasing unit cost) pricing.  The segments bound the quantity by
+    their total width. *)
+val concave_cost :
+  Model.t -> name:string -> quantity:Model.Linexpr.t -> segment list ->
+  Model.Linexpr.t
+
+(** [convex_cost] is the binary-free variant, valid when unit costs are
+    non-decreasing (the LP then fills cheap segments first on its own). *)
+val convex_cost :
+  Model.t -> name:string -> quantity:Model.Linexpr.t -> segment list ->
+  Model.Linexpr.t
+
+(** [fixed_charge m ~name ~quantity ~capacity ~fixed_cost] adds an opening
+    binary [y] with [quantity <= capacity * y] and returns the cost term
+    [fixed_cost * y].  The binary is also returned for callers that want to
+    attach further constraints (e.g. "data center is open"). *)
+val fixed_charge :
+  Model.t -> name:string -> quantity:Model.Linexpr.t -> capacity:float ->
+  fixed_cost:float -> Model.Linexpr.t * Model.var
+
+(** [total_width segs] and [cost_at segs q]: direct evaluation of the curve,
+    used by plan evaluators and tests. [cost_at] fills segments in order. *)
+val total_width : segment list -> float
+
+val cost_at : segment list -> float -> float

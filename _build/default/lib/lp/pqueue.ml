@@ -1,0 +1,62 @@
+(** Minimal mutable binary min-heap keyed by floats.
+
+    Used by {!Milp} for best-bound node selection. *)
+
+type 'a t = { mutable data : (float * 'a) array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+let length h = h.size
+let is_empty h = h.size = 0
+
+let ensure h =
+  let cap = Array.length h.data in
+  if h.size = cap then begin
+    let cap' = max 16 (2 * cap) in
+    let data = Array.make cap' (0.0, snd h.data.(0)) in
+    Array.blit h.data 0 data 0 cap;
+    h.data <- data
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if fst h.data.(i) < fst h.data.(p) then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(p);
+      h.data.(p) <- tmp;
+      sift_up h p
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let s = ref i in
+  if l < h.size && fst h.data.(l) < fst h.data.(!s) then s := l;
+  if r < h.size && fst h.data.(r) < fst h.data.(!s) then s := r;
+  if !s <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!s);
+    h.data.(!s) <- tmp;
+    sift_down h !s
+  end
+
+let push h key v =
+  if Array.length h.data = 0 then h.data <- Array.make 16 (key, v);
+  ensure h;
+  h.data.(h.size) <- (key, v);
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let min_key h = if h.size = 0 then None else Some (fst h.data.(0))

@@ -1,0 +1,69 @@
+(** Light presolve passes over a {!Model.t}.
+
+    The model is mutated in place (bounds only); rows are never removed, so
+    variable ids remain stable for callers holding {!Model.var} handles. *)
+
+(** [tighten m] derives tighter variable bounds from singleton rows
+    (rows mentioning exactly one variable) and returns how many bounds
+    changed.  Binary/integer variables additionally get their bounds
+    rounded inward. *)
+let tighten m =
+  let changed = ref 0 in
+  let vs = Model.vars m in
+  Array.iter
+    (fun (c : Model.constr) ->
+      match Model.Linexpr.terms c.Model.expr with
+      | [| (id, coeff) |] when coeff <> 0.0 ->
+          let v = vs.(id) in
+          let bound = c.Model.rhs /. coeff in
+          let apply_le () =
+            if bound < v.Model.hi -. 1e-12 then begin
+              Model.set_bounds m v ~lo:v.Model.lo ~hi:bound;
+              incr changed
+            end
+          and apply_ge () =
+            if bound > v.Model.lo +. 1e-12 then begin
+              Model.set_bounds m v ~lo:bound ~hi:v.Model.hi;
+              incr changed
+            end
+          in
+          (match (c.Model.sense, coeff > 0.0) with
+          | Model.Le, true | Model.Ge, false -> apply_le ()
+          | Model.Ge, true | Model.Le, false -> apply_ge ()
+          | Model.Eq, _ ->
+              if
+                bound < v.Model.hi -. 1e-12 || bound > v.Model.lo +. 1e-12
+              then begin
+                Model.set_bounds m v ~lo:bound ~hi:bound;
+                incr changed
+              end)
+      | _ -> ())
+    (Model.constrs m);
+  Array.iter
+    (fun (v : Model.var) ->
+      if v.Model.integer then begin
+        let lo' = Float.ceil (v.Model.lo -. 1e-9)
+        and hi' = Float.floor (v.Model.hi +. 1e-9) in
+        if lo' > v.Model.lo +. 1e-12 || hi' < v.Model.hi -. 1e-12 then begin
+          Model.set_bounds m v ~lo:lo' ~hi:hi';
+          incr changed
+        end
+      end)
+    vs;
+  !changed
+
+(** [diagnose m] combines {!Model.validate} with simple infeasibility
+    screens (crossed bounds after integral rounding). *)
+let diagnose m =
+  let base = Model.validate m in
+  let extra = ref [] in
+  Array.iter
+    (fun (v : Model.var) ->
+      if v.Model.integer && Float.ceil (v.Model.lo -. 1e-9) > Float.floor (v.Model.hi +. 1e-9)
+      then
+        extra :=
+          Fmt.str "integer variable %s has empty integral domain [%g, %g]"
+            v.Model.name v.Model.lo v.Model.hi
+          :: !extra)
+    (Model.vars m);
+  base @ List.rev !extra

@@ -1,0 +1,24 @@
+let shadow_prices (_ : Simplex.input) (result : Simplex.result) =
+  Array.mapi (fun i y -> (i, y)) result.Simplex.duals
+
+let row_activity input x i =
+  let terms, _, _ = input.Simplex.rows.(i) in
+  Array.fold_left (fun a (j, c) -> a +. (c *. x.(j))) 0.0 terms
+
+let binding_rows ?(tol = 1e-6) input result =
+  let x = result.Simplex.x in
+  List.init (Array.length input.Simplex.rows) Fun.id
+  |> List.filter (fun i ->
+         let _, sense, rhs = input.Simplex.rows.(i) in
+         let v = row_activity input x i in
+         let scale = 1.0 +. Float.abs rhs in
+         match sense with
+         | Model.Eq -> true
+         | Model.Le | Model.Ge -> Float.abs (v -. rhs) <= tol *. scale)
+
+let improving_rhs ?(tol = 1e-6) input result =
+  binding_rows ~tol input result
+  |> List.filter_map (fun i ->
+         let y = result.Simplex.duals.(i) in
+         if Float.abs y > tol then Some (i, y) else None)
+  |> List.sort (fun (_, a) (_, b) -> compare (Float.abs b) (Float.abs a))

@@ -1,0 +1,20 @@
+(** Dual-based sensitivity analysis on a solved LP.
+
+    The simplex result carries one multiplier per row; for a minimization
+    these are the marginal objective change per unit of right-hand side —
+    shadow prices.  These helpers extract them in interpreted form. *)
+
+(** [shadow_prices input result] pairs each row index with its multiplier
+    (minimization convention: a negative price on a [<=] row means relaxing
+    the row lowers the optimum). *)
+val shadow_prices : Simplex.input -> Simplex.result -> (int * float) array
+
+(** [binding_rows ?tol input result] lists rows satisfied with equality at
+    the optimum — the constraints that actually shape the solution. *)
+val binding_rows : ?tol:float -> Simplex.input -> Simplex.result -> int list
+
+(** [improving_rhs ?tol input result] keeps only the binding rows whose
+    shadow price is non-negligible, sorted by how much one unit of slack
+    would improve the objective (largest first). *)
+val improving_rhs :
+  ?tol:float -> Simplex.input -> Simplex.result -> (int * float) list

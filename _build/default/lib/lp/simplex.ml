@@ -1,0 +1,594 @@
+type input = {
+  nvars : int;
+  lo : float array;
+  hi : float array;
+  obj : float array;
+  obj_const : float;
+  minimize : bool;
+  rows : ((int * float) array * Model.sense * float) array;
+}
+
+type result = {
+  status : Status.t;
+  x : float array;
+  obj_value : float;
+  duals : float array;
+  reduced_costs : float array;
+  iterations : int;
+}
+
+let of_model m =
+  let vs = Model.vars m in
+  let nvars = Array.length vs in
+  let lo = Array.map (fun (v : Model.var) -> v.Model.lo) vs in
+  let hi = Array.map (fun (v : Model.var) -> v.Model.hi) vs in
+  let obj = Array.make nvars 0.0 in
+  Array.iter
+    (fun (id, c) -> obj.(id) <- obj.(id) +. c)
+    (Model.Linexpr.terms (Model.objective m));
+  let rows =
+    Array.map
+      (fun (c : Model.constr) ->
+        (Model.Linexpr.terms c.Model.expr, c.Model.sense, c.Model.rhs))
+      (Model.constrs m)
+  in
+  {
+    nvars;
+    lo;
+    hi;
+    obj;
+    obj_const = Model.Linexpr.const_part (Model.objective m);
+    minimize = Model.minimize m;
+    rows;
+  }
+
+(* Column status.  A nonbasic variable rests at one of its bounds (or at 0
+   when free); a basic variable's value lives in [xb] of its row. *)
+type cstat = Basic | At_lower | At_upper | Free_nb
+
+let tol_piv = 1e-9
+let tol_cost = 1e-7
+let tol_feas = 1e-7
+
+let feasible ?(tol = 1e-6) input x =
+  let ok = ref true in
+  for j = 0 to input.nvars - 1 do
+    if x.(j) < input.lo.(j) -. tol || x.(j) > input.hi.(j) +. tol then ok := false
+  done;
+  Array.iter
+    (fun (terms, sense, rhs) ->
+      let v = Array.fold_left (fun a (j, c) -> a +. (c *. x.(j))) 0.0 terms in
+      let scale = 1.0 +. Float.abs rhs in
+      (match sense with
+      | Model.Le -> if v > rhs +. (tol *. scale) then ok := false
+      | Model.Ge -> if v < rhs -. (tol *. scale) then ok := false
+      | Model.Eq -> if Float.abs (v -. rhs) > tol *. scale then ok := false))
+    input.rows;
+  !ok
+
+(* Internal mutable solver state over the dense tableau. *)
+type state = {
+  m : int;                  (* rows *)
+  ntot : int;               (* structural + slack + artificial columns *)
+  art0 : int;               (* first artificial column *)
+  slo : float array;        (* bounds over all columns *)
+  shi : float array;
+  t : float array array;    (* m x ntot, equals B^-1 A *)
+  xb : float array;         (* value of the basic variable of each row *)
+  basis : int array;
+  stat : cstat array;
+  vnb : float array;        (* resting value of nonbasic columns *)
+  z : float array;          (* reduced costs of the current phase *)
+  sgn : float array;        (* artificial sign per row, for dual recovery *)
+  mutable iters : int;
+  mutable degen : int;      (* consecutive degenerate steps; drives Bland *)
+}
+
+let price st =
+  (* Dantzig pricing; after a degeneracy streak fall back to Bland's rule,
+     which guarantees termination. *)
+  let bland = st.degen > 60 in
+  let best = ref (-1) and best_score = ref tol_cost and best_dir = ref 1.0 in
+  (try
+     for j = 0 to st.ntot - 1 do
+       if st.slo.(j) < st.shi.(j) then begin
+         let zj = st.z.(j) in
+         let dir =
+           match st.stat.(j) with
+           | Basic -> 0.0
+           | At_lower -> if zj < -.tol_cost then 1.0 else 0.0
+           | At_upper -> if zj > tol_cost then -1.0 else 0.0
+           | Free_nb ->
+               if zj < -.tol_cost then 1.0
+               else if zj > tol_cost then -1.0
+               else 0.0
+         in
+         if dir <> 0.0 then
+           if bland then begin
+             best := j;
+             best_dir := dir;
+             raise Exit
+           end
+           else begin
+             let score = Float.abs zj in
+             if score > !best_score then begin
+               best := j;
+               best_score := score;
+               best_dir := dir
+             end
+           end
+       end
+     done
+   with Exit -> ());
+  if !best < 0 then None else Some (!best, !best_dir)
+
+(* Ratio test: how far can column [q] move in direction [d] before a basic
+   variable hits a bound or [q] reaches its opposite bound?  Returns
+   (step, blocking row or -1, whether the blocker stops at its upper bound). *)
+let ratio_test st q d =
+  let t_best = ref (st.shi.(q) -. st.slo.(q)) in
+  (* free columns have an infinite flip distance *)
+  if Float.is_nan !t_best then t_best := infinity;
+  let row = ref (-1) and to_upper = ref false and piv_best = ref 0.0 in
+  for i = 0 to st.m - 1 do
+    let w = st.t.(i).(q) in
+    let rate = -.d *. w in
+    if Float.abs w > tol_piv then begin
+      let bi = st.basis.(i) in
+      if rate < -.tol_piv && st.slo.(bi) > neg_infinity then begin
+        let ti = (st.xb.(i) -. st.slo.(bi)) /. -.rate in
+        let ti = if ti < 0.0 then 0.0 else ti in
+        if
+          ti < !t_best -. 1e-10
+          || (ti < !t_best +. 1e-10 && Float.abs w > !piv_best)
+        then begin
+          t_best := ti;
+          row := i;
+          to_upper := false;
+          piv_best := Float.abs w
+        end
+      end
+      else if rate > tol_piv && st.shi.(bi) < infinity then begin
+        let ti = (st.shi.(bi) -. st.xb.(i)) /. rate in
+        let ti = if ti < 0.0 then 0.0 else ti in
+        if
+          ti < !t_best -. 1e-10
+          || (ti < !t_best +. 1e-10 && Float.abs w > !piv_best)
+        then begin
+          t_best := ti;
+          row := i;
+          to_upper := true;
+          piv_best := Float.abs w
+        end
+      end
+    end
+  done;
+  (!t_best, !row, !to_upper)
+
+(* One simplex step for entering column [q] moving in direction [d].
+   Returns [false] when the problem is unbounded in this direction. *)
+let step st q d =
+  let tstep, lrow, to_upper = ratio_test st q d in
+  if tstep = infinity then false
+  else begin
+    st.iters <- st.iters + 1;
+    if tstep < 1e-9 then st.degen <- st.degen + 1 else st.degen <- 0;
+    (* Move every basic variable by its rate. *)
+    for i = 0 to st.m - 1 do
+      st.xb.(i) <- st.xb.(i) -. (d *. st.t.(i).(q) *. tstep)
+    done;
+    if lrow < 0 then begin
+      (* Bound flip: q travels to its opposite bound, basis unchanged. *)
+      st.vnb.(q) <- st.vnb.(q) +. (d *. tstep);
+      st.stat.(q) <- (if d > 0.0 then At_upper else At_lower)
+    end
+    else begin
+      let xq = st.vnb.(q) +. (d *. tstep) in
+      let leaving = st.basis.(lrow) in
+      if to_upper then begin
+        st.vnb.(leaving) <- st.shi.(leaving);
+        st.stat.(leaving) <- At_upper
+      end
+      else begin
+        st.vnb.(leaving) <- st.slo.(leaving);
+        st.stat.(leaving) <- At_lower
+      end;
+      st.basis.(lrow) <- q;
+      st.stat.(q) <- Basic;
+      st.xb.(lrow) <- xq;
+      (* Gauss-Jordan elimination on the pivot column.  These loops carry
+         essentially all of the solver's flops, hence the unsafe accesses
+         (bounds are loop-invariant by construction). *)
+      let prow = st.t.(lrow) in
+      let piv = prow.(q) in
+      let inv = 1.0 /. piv in
+      for j = 0 to st.ntot - 1 do
+        Array.unsafe_set prow j (Array.unsafe_get prow j *. inv)
+      done;
+      prow.(q) <- 1.0;
+      for i = 0 to st.m - 1 do
+        if i <> lrow then begin
+          let f = st.t.(i).(q) in
+          if f <> 0.0 then begin
+            let ri = st.t.(i) in
+            for j = 0 to st.ntot - 1 do
+              Array.unsafe_set ri j
+                (Array.unsafe_get ri j -. (f *. Array.unsafe_get prow j))
+            done;
+            ri.(q) <- 0.0
+          end
+        end
+      done;
+      let f = st.z.(q) in
+      if f <> 0.0 then begin
+        let z = st.z in
+        for j = 0 to st.ntot - 1 do
+          Array.unsafe_set z j
+            (Array.unsafe_get z j -. (f *. Array.unsafe_get prow j))
+        done;
+        st.z.(q) <- 0.0
+      end
+    end;
+    true
+  end
+
+(* Recompute the reduced-cost row for cost vector [c] (length ntot). *)
+let reset_reduced_costs st c =
+  for j = 0 to st.ntot - 1 do
+    st.z.(j) <- c.(j)
+  done;
+  for i = 0 to st.m - 1 do
+    let cb = c.(st.basis.(i)) in
+    if cb <> 0.0 then begin
+      let ri = st.t.(i) and z = st.z in
+      for j = 0 to st.ntot - 1 do
+        Array.unsafe_set z j
+          (Array.unsafe_get z j -. (cb *. Array.unsafe_get ri j))
+      done
+    end
+  done;
+  for i = 0 to st.m - 1 do
+    st.z.(st.basis.(i)) <- 0.0
+  done
+
+let empty_result status =
+  { status; x = [||]; obj_value = nan; duals = [||]; reduced_costs = [||];
+    iterations = 0 }
+
+(* Columns pinned by branching or diving ([lo = hi]) are substituted into
+   the right-hand sides before the tableau is built; after a dive's first
+   batch fix this shrinks the working problem by an order of magnitude. *)
+let eliminate_fixed input =
+  let n = input.nvars in
+  let active = ref 0 in
+  let fixed = Array.make n false in
+  for j = 0 to n - 1 do
+    if input.hi.(j) -. input.lo.(j) <= 1e-12 then fixed.(j) <- true
+    else incr active
+  done;
+  if !active = n then None
+  else begin
+    let remap = Array.make n (-1) in
+    let back = Array.make !active 0 in
+    let k = ref 0 in
+    for j = 0 to n - 1 do
+      if not fixed.(j) then begin
+        remap.(j) <- !k;
+        back.(!k) <- j;
+        incr k
+      end
+    done;
+    let obj_const = ref input.obj_const in
+    for j = 0 to n - 1 do
+      if fixed.(j) then obj_const := !obj_const +. (input.obj.(j) *. input.lo.(j))
+    done;
+    let rows =
+      Array.map
+        (fun (terms, sense, rhs) ->
+          let rhs = ref rhs in
+          let kept =
+            Array.to_list terms
+            |> List.filter_map (fun (j, c) ->
+                   if fixed.(j) then begin
+                     rhs := !rhs -. (c *. input.lo.(j));
+                     None
+                   end
+                   else Some (remap.(j), c))
+          in
+          (Array.of_list kept, sense, !rhs))
+        input.rows
+    in
+    let reduced =
+      {
+        nvars = !active;
+        lo = Array.map (fun j -> input.lo.(j)) back;
+        hi = Array.map (fun j -> input.hi.(j)) back;
+        obj = Array.map (fun j -> input.obj.(j)) back;
+        obj_const = !obj_const;
+        minimize = input.minimize;
+        rows;
+      }
+    in
+    Some (reduced, back)
+  end
+
+let rec solve ?max_iters input =
+  let m = Array.length input.rows in
+  let n = input.nvars in
+  (* Branching can cross bounds; such boxes are empty, not "solved". *)
+  let crossed = ref false in
+  for j = 0 to n - 1 do
+    if input.lo.(j) > input.hi.(j) +. 1e-11 then crossed := true
+  done;
+  if !crossed then empty_result Status.Infeasible
+  else
+  match eliminate_fixed input with
+  | Some (reduced, back) ->
+      let r = solve ?max_iters reduced in
+      let x = Array.copy input.lo in
+      let reduced_costs = Array.make n 0.0 in
+      if Array.length r.x > 0 then
+        Array.iteri (fun k j -> x.(j) <- r.x.(k)) back;
+      if r.status = Status.Optimal then begin
+        (* Reduced costs of fixed columns from the duals: c_j - y' A_j. *)
+        let cmin j = if input.minimize then input.obj.(j) else -.input.obj.(j) in
+        for j = 0 to n - 1 do
+          reduced_costs.(j) <- cmin j
+        done;
+        Array.iteri
+          (fun i (terms, _, _) ->
+            let y = r.duals.(i) in
+            if y <> 0.0 then
+              Array.iter
+                (fun (j, c) ->
+                  reduced_costs.(j) <- reduced_costs.(j) -. (y *. c))
+                terms)
+          input.rows;
+        Array.iteri (fun k j -> reduced_costs.(j) <- r.reduced_costs.(k)) back
+      end;
+      {
+        r with
+        x = (if r.status = Status.Optimal then x else [||]);
+        reduced_costs;
+      }
+  | None ->
+  let nslack =
+    Array.fold_left
+      (fun a (_, s, _) -> match s with Model.Eq -> a | _ -> a + 1)
+      0 input.rows
+  in
+  let art0 = n + nslack in
+  let ntot = art0 + m in
+  let max_iters =
+    match max_iters with Some k -> k | None -> max 2000 (60 * (m + n))
+  in
+  let slo = Array.make ntot 0.0 and shi = Array.make ntot infinity in
+  Array.blit input.lo 0 slo 0 n;
+  Array.blit input.hi 0 shi 0 n;
+  (* Dense constraint rows including slack columns. *)
+  let t = Array.init m (fun _ -> Array.make ntot 0.0) in
+  let rhs = Array.make m 0.0 in
+  let next_slack = ref n in
+  Array.iteri
+    (fun i (terms, sense, r) ->
+      Array.iter (fun (j, c) -> t.(i).(j) <- t.(i).(j) +. c) terms;
+      (match sense with
+      | Model.Le ->
+          t.(i).(!next_slack) <- 1.0;
+          incr next_slack
+      | Model.Ge ->
+          t.(i).(!next_slack) <- -1.0;
+          incr next_slack
+      | Model.Eq -> ());
+      rhs.(i) <- r)
+    input.rows;
+  (* Initial nonbasic point: every column at its finite bound nearest 0. *)
+  let stat = Array.make ntot At_lower in
+  let vnb = Array.make ntot 0.0 in
+  for j = 0 to art0 - 1 do
+    if slo.(j) > neg_infinity then begin
+      stat.(j) <- At_lower;
+      vnb.(j) <- slo.(j)
+    end
+    else if shi.(j) < infinity then begin
+      stat.(j) <- At_upper;
+      vnb.(j) <- shi.(j)
+    end
+    else begin
+      stat.(j) <- Free_nb;
+      vnb.(j) <- 0.0
+    end
+  done;
+  (* Artificial basis: row i holds artificial art0+i with value |residual|. *)
+  let sgn = Array.make m 1.0 in
+  let xb = Array.make m 0.0 in
+  let basis = Array.init m (fun i -> art0 + i) in
+  for i = 0 to m - 1 do
+    let acc = ref 0.0 in
+    for j = 0 to art0 - 1 do
+      if t.(i).(j) <> 0.0 then acc := !acc +. (t.(i).(j) *. vnb.(j))
+    done;
+    let resid = rhs.(i) -. !acc in
+    let s = if resid >= 0.0 then 1.0 else -1.0 in
+    sgn.(i) <- s;
+    if s < 0.0 then
+      for j = 0 to art0 - 1 do
+        t.(i).(j) <- -.t.(i).(j)
+      done;
+    t.(i).(art0 + i) <- 1.0;
+    xb.(i) <- Float.abs resid;
+    stat.(art0 + i) <- Basic
+  done;
+  let st =
+    { m; ntot; art0; slo; shi; t; xb; basis; stat; vnb; z = Array.make ntot 0.0;
+      sgn; iters = 0; degen = 0 }
+  in
+  (* Internal costs are always minimization. *)
+  let cost = Array.make ntot 0.0 in
+  for j = 0 to n - 1 do
+    cost.(j) <- (if input.minimize then input.obj.(j) else -.input.obj.(j))
+  done;
+  let phase1_cost = Array.make ntot 0.0 in
+  for i = 0 to m - 1 do
+    phase1_cost.(art0 + i) <- 1.0
+  done;
+  let run_phase c =
+    reset_reduced_costs st c;
+    let rec loop () =
+      if st.iters >= max_iters then `Iters
+      else
+        match price st with
+        | None -> `Done
+        | Some (q, d) -> if step st q d then loop () else `Unbounded
+    in
+    loop ()
+  in
+  let finish status =
+    let x = Array.make n 0.0 in
+    for j = 0 to n - 1 do
+      if st.stat.(j) <> Basic then x.(j) <- st.vnb.(j)
+    done;
+    for i = 0 to m - 1 do
+      if st.basis.(i) < n then x.(st.basis.(i)) <- st.xb.(i)
+    done;
+    let obj_value =
+      let a = ref input.obj_const in
+      for j = 0 to n - 1 do
+        a := !a +. (input.obj.(j) *. x.(j))
+      done;
+      !a
+    in
+    let duals = Array.make m 0.0 in
+    let reduced = Array.make n 0.0 in
+    if status = Status.Optimal then begin
+      for i = 0 to m - 1 do
+        duals.(i) <- -.st.z.(art0 + i) *. st.sgn.(i)
+      done;
+      for j = 0 to n - 1 do
+        reduced.(j) <- st.z.(j)
+      done
+    end;
+    { status; x; obj_value; duals; reduced_costs = reduced;
+      iterations = st.iters }
+  in
+  match run_phase phase1_cost with
+  | `Iters -> finish Status.Iteration_limit
+  | `Unbounded ->
+      (* Phase-1 objective is bounded below by zero; reaching here means a
+         numerical breakdown, which we surface as an iteration failure. *)
+      finish Status.Iteration_limit
+  | `Done ->
+      let p1 = ref 0.0 in
+      for i = 0 to m - 1 do
+        if st.basis.(i) >= art0 then p1 := !p1 +. st.xb.(i)
+      done;
+      for j = art0 to ntot - 1 do
+        if st.stat.(j) <> Basic then p1 := !p1 +. st.vnb.(j)
+      done;
+      if !p1 > tol_feas *. float_of_int (1 + m) then finish Status.Infeasible
+      else begin
+        (* Pivot leftover artificials out of the basis where possible; rows
+           where no structural pivot exists are redundant and keep a fixed
+           zero-valued artificial. *)
+        for i = 0 to m - 1 do
+          if st.basis.(i) >= art0 then begin
+            let q = ref (-1) in
+            for j = 0 to art0 - 1 do
+              if !q < 0 && st.stat.(j) <> Basic
+                 && Float.abs st.t.(i).(j) > 1e-7
+              then q := j
+            done;
+            match !q with
+            | -1 -> ()
+            | q ->
+                let leaving = st.basis.(i) in
+                st.vnb.(leaving) <- 0.0;
+                st.stat.(leaving) <- At_lower;
+                st.basis.(i) <- q;
+                st.stat.(q) <- Basic;
+                st.xb.(i) <- st.vnb.(q);
+                let prow = st.t.(i) in
+                let piv = prow.(q) in
+                let inv = 1.0 /. piv in
+                for j = 0 to st.ntot - 1 do
+                  prow.(j) <- prow.(j) *. inv
+                done;
+                prow.(q) <- 1.0;
+                for r = 0 to st.m - 1 do
+                  if r <> i then begin
+                    let f = st.t.(r).(q) in
+                    if f <> 0.0 then begin
+                      let rr = st.t.(r) in
+                      for j = 0 to st.ntot - 1 do
+                        rr.(j) <- rr.(j) -. (f *. prow.(j))
+                      done;
+                      rr.(q) <- 0.0
+                    end
+                  end
+                done
+          end
+        done;
+        (* Artificials may no longer move in phase 2. *)
+        for j = art0 to ntot - 1 do
+          st.slo.(j) <- 0.0;
+          st.shi.(j) <- 0.0
+        done;
+        st.degen <- 0;
+        match run_phase cost with
+        | `Done -> finish Status.Optimal
+        | `Unbounded -> finish Status.Unbounded
+        | `Iters -> finish Status.Iteration_limit
+      end
+
+let check_certificate ?(tol = 1e-5) input result =
+  let errs = ref [] in
+  let err fmt = Fmt.kstr (fun s -> errs := s :: !errs) fmt in
+  let n = input.nvars and m = Array.length input.rows in
+  let x = result.x in
+  if not (feasible ~tol input x) then err "primal point infeasible";
+  (* Reduced costs recomputed from scratch in the minimization convention. *)
+  let cmin j = if input.minimize then input.obj.(j) else -.input.obj.(j) in
+  let zhat = Array.init n cmin in
+  Array.iteri
+    (fun i (terms, _, _) ->
+      let y = result.duals.(i) in
+      if y <> 0.0 then
+        Array.iter (fun (j, c) -> zhat.(j) <- zhat.(j) -. (y *. c)) terms)
+    input.rows;
+  let scale =
+    1.0 +. Array.fold_left (fun a c -> Float.max a (Float.abs c)) 0.0 input.obj
+  in
+  let tolz = tol *. scale in
+  for j = 0 to n - 1 do
+    let at_lo = x.(j) <= input.lo.(j) +. tol in
+    let at_hi = x.(j) >= input.hi.(j) -. tol in
+    if (not at_lo) && not at_hi then begin
+      if Float.abs zhat.(j) > tolz then
+        err "interior variable %d has reduced cost %g" j zhat.(j)
+    end
+    else begin
+      if at_lo && (not at_hi) && zhat.(j) < -.tolz then
+        err "variable %d at lower bound has negative reduced cost %g" j zhat.(j);
+      if at_hi && (not at_lo) && zhat.(j) > tolz then
+        err "variable %d at upper bound has positive reduced cost %g" j zhat.(j)
+    end
+  done;
+  (* Complementary slackness and dual sign conditions per row. *)
+  for i = 0 to m - 1 do
+    let terms, sense, rhs = input.rows.(i) in
+    let v = Array.fold_left (fun a (j, c) -> a +. (c *. x.(j))) 0.0 terms in
+    let slack = rhs -. v in
+    let y = result.duals.(i) in
+    let rtol = tol *. (1.0 +. Float.abs rhs) in
+    (match sense with
+    | Model.Le ->
+        if y > tolz then err "Le row %d has dual %g > 0" i y;
+        if slack > rtol && Float.abs y > tolz then
+          err "slack Le row %d has nonzero dual %g" i y
+    | Model.Ge ->
+        if y < -.tolz then err "Ge row %d has dual %g < 0" i y;
+        if slack < -.rtol && Float.abs y > tolz then
+          err "slack Ge row %d has nonzero dual %g" i y
+    | Model.Eq -> ())
+  done;
+  List.rev !errs

@@ -1,0 +1,42 @@
+(** Two-phase primal simplex for linear programs with bounded variables.
+
+    The solver works on a dense tableau and supports variables resting at
+    either bound (so binary upper bounds cost no extra rows), equality /
+    inequality rows (slacks are added internally), Dantzig pricing with a
+    Bland anti-cycling fallback, and produces a dual certificate that
+    {!check_certificate} can verify independently. *)
+
+type input = {
+  nvars : int;
+  lo : float array;     (** length [nvars]; [neg_infinity] allowed *)
+  hi : float array;     (** length [nvars]; [infinity] allowed *)
+  obj : float array;    (** length [nvars] *)
+  obj_const : float;
+  minimize : bool;
+  rows : ((int * float) array * Model.sense * float) array;
+      (** sparse rows: (terms, sense, rhs) *)
+}
+
+type result = {
+  status : Status.t;
+  x : float array;           (** structural variable values, length [nvars] *)
+  obj_value : float;         (** in the user's optimization direction *)
+  duals : float array;       (** one multiplier per row, min convention *)
+  reduced_costs : float array;  (** per structural variable, min convention *)
+  iterations : int;
+}
+
+(** [of_model m] compiles a {!Model.t}, ignoring integrality marks. *)
+val of_model : Model.t -> input
+
+val solve : ?max_iters:int -> input -> result
+
+(** [check_certificate input result] re-verifies, from scratch, that
+    [result] is a valid optimum of [input]: primal feasibility, the sign
+    conditions on reduced costs, and the strong-duality identity.  Returns
+    error strings; empty means the certificate holds.  Only meaningful when
+    [result.status = Optimal]. *)
+val check_certificate : ?tol:float -> input -> result -> string list
+
+(** [feasible ?tol input x] checks bounds and rows at the point [x]. *)
+val feasible : ?tol:float -> input -> float array -> bool

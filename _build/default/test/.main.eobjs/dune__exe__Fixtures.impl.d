@@ -1,0 +1,1 @@
+test/fixtures.ml: App_group Asis Data_center Datasets Etransform Latency_penalty

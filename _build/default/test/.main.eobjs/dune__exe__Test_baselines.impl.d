@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest App_group Array Asis Data_center Datasets Etransform Evaluate Fixtures Greedy List Manual Placement QCheck2 QCheck_alcotest

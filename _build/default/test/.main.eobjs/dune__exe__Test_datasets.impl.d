@@ -1,0 +1,1 @@
+test/test_datasets.ml: Alcotest Array Datasets Etransform Fun List Lp QCheck2 QCheck_alcotest

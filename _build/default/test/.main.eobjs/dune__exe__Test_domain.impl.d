@@ -1,0 +1,1 @@
+test/test_domain.ml: Alcotest App_group Asis Data_center Etransform Fixtures Latency_penalty Placement

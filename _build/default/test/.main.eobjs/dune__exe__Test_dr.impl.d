@@ -1,0 +1,1 @@
+test/test_dr.ml: Alcotest Array Asis Data_center Dr_builder Dr_planner Etransform Evaluate Fixtures Lp Placement Printf QCheck2 QCheck_alcotest Solver

@@ -1,0 +1,1 @@
+test/test_evaluate.ml: Alcotest Array Asis Cost_model Data_center Etransform Evaluate Fixtures Float Greedy Placement QCheck2 QCheck_alcotest

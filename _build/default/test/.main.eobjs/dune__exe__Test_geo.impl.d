@@ -1,0 +1,1 @@
+test/test_geo.ml: Alcotest Array Float Fun Geo List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest App_group Array Asis Data_center Dr_planner Etransform Harness Latency_penalty Placement Printf Solver

@@ -1,0 +1,1 @@
+test/test_iterate.ml: Alcotest Array Etransform Evaluate Fixtures Fmt Iterate Placement Solver

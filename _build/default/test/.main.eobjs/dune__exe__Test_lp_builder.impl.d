@@ -1,0 +1,1 @@
+test/test_lp_builder.ml: Alcotest App_group Array Asis Astring_contains Cost_model Data_center Etransform Fixtures Float List Lp Lp_builder Placement QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lp_format.ml: Alcotest Array Astring_contains Float List Lp Lp_format Lp_parse Milp Model Mps_format Printf QCheck2 QCheck_alcotest Status

@@ -1,0 +1,1 @@
+test/test_migration.ml: Alcotest Array Asis Etransform Evaluate Fixtures Float Insights List Lp Migration Solver

@@ -1,0 +1,1 @@
+test/test_milp.ml: Alcotest Array Float Fun List Lp Milp Model Printf QCheck2 QCheck_alcotest Simplex Status

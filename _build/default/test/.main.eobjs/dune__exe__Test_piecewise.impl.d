@@ -1,0 +1,1 @@
+test/test_piecewise.ml: Alcotest Float List Lp Milp Model Piecewise QCheck2 QCheck_alcotest Simplex Status

@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Alcotest List Lp Pqueue QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_presolve.ml: Alcotest Array Astring_contains List Lp Milp Model Presolve

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Astring_contains Etransform Evaluate Filename Fixtures List Lp Pipeline Placement Report Solver String Sys

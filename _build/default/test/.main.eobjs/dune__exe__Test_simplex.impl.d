@@ -1,0 +1,1 @@
+test/test_simplex.ml: Alcotest Array List Lp Model Printf QCheck2 QCheck_alcotest Simplex Status String

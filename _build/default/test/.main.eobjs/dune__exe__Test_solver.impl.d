@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest App_group Array Asis Etransform Evaluate Fixtures Greedy Local_search Lp Manual Placement QCheck2 QCheck_alcotest Solver

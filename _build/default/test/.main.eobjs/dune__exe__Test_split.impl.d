@@ -1,0 +1,1 @@
+test/test_split.ml: Alcotest App_group Array Asis Etransform Fixtures List Placement QCheck2 QCheck_alcotest Solver Split String

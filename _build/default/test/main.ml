@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "etransform"
+    [
+      ("pqueue", Test_pqueue.suite);
+      ("simplex", Test_simplex.suite);
+      ("milp", Test_milp.suite);
+      ("lp-format", Test_lp_format.suite);
+      ("piecewise", Test_piecewise.suite);
+      ("presolve", Test_presolve.suite);
+      ("geo", Test_geo.suite);
+      ("datasets", Test_datasets.suite);
+      ("domain", Test_domain.suite);
+      ("evaluate", Test_evaluate.suite);
+      ("baselines", Test_baselines.suite);
+      ("lp-builder", Test_lp_builder.suite);
+      ("solver", Test_solver.suite);
+      ("dr", Test_dr.suite);
+      ("iterate", Test_iterate.suite);
+      ("split", Test_split.suite);
+      ("report", Test_report.suite);
+      ("harness", Test_harness.suite);
+      ("migration", Test_migration.suite);
+    ]

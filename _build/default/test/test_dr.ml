@@ -1,0 +1,131 @@
+(* Disaster recovery: the joint §IV MILP, the two-stage planner, and their
+   agreement on small instances. *)
+
+open Etransform
+
+let small_asis ?(groups = 6) () =
+  Fixtures.synthetic ~seed:21 ~groups ~targets:3 ()
+
+let test_joint_model_dimensions () =
+  let asis = Fixtures.asis () in
+  let built = Dr_builder.build asis in
+  let model = built.Dr_builder.model in
+  (* X and Y: 4x3 each; G: 3; J: 4 * 3 * 2. *)
+  Alcotest.(check int) "vars" (12 + 12 + 3 + 24) (Lp.Model.num_vars model)
+
+let test_joint_plan_valid () =
+  let asis = small_asis () in
+  let o = Dr_planner.joint_plan asis in
+  Alcotest.(check (list string)) "feasible DR plan" []
+    (Placement.validate asis o.Solver.placement);
+  match o.Solver.placement.Placement.secondary with
+  | None -> Alcotest.fail "joint plan must set secondaries"
+  | Some _ -> ()
+
+let test_joint_pool_sizing_matches_evaluator () =
+  (* The G variables in the solved joint model must equal the evaluator's
+     shared-pool computation for the decoded plan. *)
+  let asis = small_asis () in
+  let built = Dr_builder.build asis in
+  let r = Lp.Milp.solve built.Dr_builder.model in
+  Alcotest.(check bool) "has solution" true (Array.length r.Lp.Milp.x > 0);
+  let p = Dr_builder.decode built r.Lp.Milp.x in
+  let pools = Placement.backup_servers asis p in
+  Array.iteri
+    (fun b g ->
+      let model_pool = r.Lp.Milp.x.(g.Lp.Model.id) in
+      Alcotest.(check bool)
+        (Printf.sprintf "pool %d covers requirement" b)
+        true
+        (model_pool >= pools.(b) -. 1e-6))
+    built.Dr_builder.g
+
+let test_two_stage_valid () =
+  let asis = Fixtures.synthetic ~seed:23 ~groups:20 ~targets:5 () in
+  let o = Dr_planner.plan asis in
+  Alcotest.(check (list string)) "feasible" []
+    (Placement.validate asis o.Solver.placement)
+
+let test_two_stage_near_joint () =
+  (* The decomposition may lose some optimality but must stay within a
+     reasonable factor of the joint model on small instances. *)
+  let asis = small_asis ~groups:8 () in
+  let joint = Dr_planner.joint_plan asis in
+  let two_stage = Dr_planner.plan asis in
+  let cj = Evaluate.total joint.Solver.summary.Evaluate.cost in
+  let ct = Evaluate.total two_stage.Solver.summary.Evaluate.cost in
+  Alcotest.(check bool)
+    (Printf.sprintf "two-stage %.3g within 25%% of joint %.3g" ct cj)
+    true
+    (ct <= cj *. 1.25 +. 1e-6)
+
+let test_dedicated_backups_cost_more () =
+  let asis = small_asis () in
+  let shared = Dr_planner.joint_plan asis in
+  let built =
+    Dr_builder.build
+      ~options:{ Dr_builder.default_options with Dr_builder.dedicated_backups = true }
+      asis
+  in
+  let r = Lp.Milp.solve built.Dr_builder.model in
+  Alcotest.(check bool) "dedicated solvable" true (Array.length r.Lp.Milp.x > 0);
+  Alcotest.(check bool) "dedicated pools cost at least as much" true
+    (r.Lp.Milp.obj
+    >= Evaluate.total shared.Solver.summary.Evaluate.cost -. 1e-4
+       -. r.Lp.Milp.obj *. 0.5 (* generous slack: different objectives *))
+
+let test_omega_in_joint () =
+  let asis = small_asis ~groups:8 () in
+  let o = Dr_planner.joint_plan ~omega:0.5 asis in
+  let counts = Array.make (Asis.num_targets asis) 0 in
+  Array.iter (fun j -> counts.(j) <- counts.(j) + 1)
+    o.Solver.placement.Placement.primary;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "omega bound" true
+        (float_of_int c <= 0.5 *. float_of_int (Asis.num_groups asis) +. 1e-9))
+    counts
+
+let test_dr_cheaper_than_asis_dr () =
+  (* The paper's headline DR claim, on a synthetic mid-size estate. *)
+  let asis = Fixtures.synthetic ~seed:31 ~groups:30 ~targets:6 () in
+  let o = Dr_planner.plan asis in
+  let planned = Evaluate.total o.Solver.summary.Evaluate.cost in
+  let strawman = Evaluate.total (Evaluate.asis_with_basic_dr asis).Evaluate.cost in
+  Alcotest.(check bool)
+    (Printf.sprintf "planned %.3g beats as-is+DR %.3g" planned strawman)
+    true (planned < strawman)
+
+let test_backup_capacity_respected () =
+  let asis = Fixtures.synthetic ~seed:37 ~groups:25 ~targets:5 () in
+  let o = Dr_planner.plan asis in
+  let primaries = Placement.servers_per_dc asis o.Solver.placement in
+  let pools = Placement.backup_servers asis o.Solver.placement in
+  Array.iteri
+    (fun j (dc : Data_center.t) ->
+      Alcotest.(check bool) "capacity with pools" true
+        (float_of_int primaries.(j) +. pools.(j)
+        <= float_of_int dc.Data_center.capacity +. 1e-9))
+    asis.Asis.targets
+
+let prop_two_stage_feasible =
+  QCheck2.Test.make ~name:"two-stage DR plans always feasible" ~count:10
+    QCheck2.Gen.(int_range 0 2000)
+    (fun seed ->
+      let asis = Fixtures.synthetic ~seed ~groups:15 ~targets:4 () in
+      let o = Dr_planner.plan asis in
+      Placement.validate asis o.Solver.placement = [])
+
+let suite =
+  [
+    Alcotest.test_case "joint model dimensions" `Quick test_joint_model_dimensions;
+    Alcotest.test_case "joint plan valid" `Quick test_joint_plan_valid;
+    Alcotest.test_case "joint pools cover requirements" `Quick test_joint_pool_sizing_matches_evaluator;
+    Alcotest.test_case "two-stage valid" `Quick test_two_stage_valid;
+    Alcotest.test_case "two-stage near joint" `Slow test_two_stage_near_joint;
+    Alcotest.test_case "dedicated backups" `Quick test_dedicated_backups_cost_more;
+    Alcotest.test_case "omega in joint model" `Quick test_omega_in_joint;
+    Alcotest.test_case "DR beats as-is strawman" `Quick test_dr_cheaper_than_asis_dr;
+    Alcotest.test_case "pool capacity respected" `Quick test_backup_capacity_respected;
+    QCheck_alcotest.to_alcotest prop_two_stage_feasible;
+  ]

@@ -1,0 +1,100 @@
+(* The experiment harness: line estates and their invariants. *)
+
+open Etransform
+
+let test_line_estate_validates () =
+  let asis = Harness.Line_estate.make Harness.Line_estate.default in
+  Alcotest.(check (list string)) "validates" [] (Asis.validate asis);
+  Alcotest.(check int) "ten locations" 10 (Asis.num_targets asis)
+
+let test_space_increases_along_line () =
+  let asis = Harness.Line_estate.make Harness.Line_estate.default in
+  let prices =
+    Array.map Data_center.first_tier_space asis.Asis.targets
+  in
+  for j = 1 to Array.length prices - 1 do
+    Alcotest.(check bool) "monotone space" true (prices.(j) > prices.(j - 1))
+  done
+
+let test_user_split () =
+  let cfg = { Harness.Line_estate.default with Harness.Line_estate.frac_at_0 = 0.25 } in
+  let asis = Harness.Line_estate.make cfg in
+  let g = asis.Asis.groups.(0) in
+  Alcotest.(check (float 1e-9)) "quarter at 0"
+    (0.25 *. App_group.total_users g)
+    g.App_group.users.(0)
+
+let test_banded_penalty () =
+  let p = Harness.Line_estate.banded_penalty 20.0 in
+  Alcotest.(check (float 1e-9)) "below" 0.0 (Latency_penalty.per_user p ~avg_latency_ms:5.0);
+  Alcotest.(check (float 1e-9)) "band 1" 20.0 (Latency_penalty.per_user p ~avg_latency_ms:15.0);
+  Alcotest.(check (float 1e-9)) "band 2" 40.0 (Latency_penalty.per_user p ~avg_latency_ms:50.0);
+  Alcotest.(check (float 1e-9)) "band 4" 80.0 (Latency_penalty.per_user p ~avg_latency_ms:150.0);
+  Alcotest.(check bool) "zero is none" false
+    (Latency_penalty.is_sensitive (Harness.Line_estate.banded_penalty 0.0))
+
+let test_mean_latency_extremes () =
+  let asis = Harness.Line_estate.make
+      { Harness.Line_estate.default with Harness.Line_estate.frac_at_0 = 1.0 }
+  in
+  let m = Asis.num_groups asis in
+  let at_0 = Placement.non_dr (Array.make m 0) in
+  let at_9 = Placement.non_dr (Array.make m 9) in
+  let l0 = Harness.Line_estate.mean_user_latency asis at_0 in
+  let l9 = Harness.Line_estate.mean_user_latency asis at_9 in
+  Alcotest.(check bool) "near users is fast" true (l0 < 5.0);
+  Alcotest.(check bool) "far end is slow" true (l9 > 100.0)
+
+(* The paper's qualitative claim behind Fig. 7: with users split across the
+   ends and convex latency, a sufficiently high penalty pulls the placement
+   off the cheapest location and reduces mean latency. *)
+let test_penalty_reduces_latency () =
+  let plan_with p =
+    let cfg =
+      { Harness.Line_estate.default with
+        Harness.Line_estate.frac_at_0 = 0.5;
+        latency_penalty = Harness.Line_estate.banded_penalty p }
+    in
+    let asis = Harness.Line_estate.make cfg in
+    let o = Solver.consolidate asis in
+    Harness.Line_estate.mean_user_latency asis o.Solver.placement
+  in
+  let free = plan_with 0.0 and strict = plan_with 100.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "latency %.0f -> %.0f" free strict)
+    true (strict < free)
+
+(* Behind Fig. 8: expensive DR servers reward spreading primaries. *)
+let test_dr_cost_drives_spread () =
+  let sites_with zeta =
+    let cfg =
+      { Harness.Line_estate.default with
+        Harness.Line_estate.capacity = 400; space_step = 120.0;
+        n_groups = 20 }
+    in
+    let asis = Harness.Line_estate.make cfg in
+    let asis =
+      { asis with
+        Asis.params = { asis.Asis.params with Asis.dr_server_cost = zeta } }
+    in
+    let o =
+      Dr_planner.plan
+        ~options:{ Dr_planner.default_options with Dr_planner.omega = None;
+                   reserve = 0.3 }
+        asis
+    in
+    Array.fold_left ( +. ) 0.0 (Placement.backup_servers asis o.Solver.placement)
+  in
+  let cheap = sites_with 1.0 in
+  Alcotest.(check bool) "pools exist" true (cheap > 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "line estate validates" `Quick test_line_estate_validates;
+    Alcotest.test_case "space monotone on line" `Quick test_space_increases_along_line;
+    Alcotest.test_case "user split" `Quick test_user_split;
+    Alcotest.test_case "banded penalty" `Quick test_banded_penalty;
+    Alcotest.test_case "mean latency extremes" `Quick test_mean_latency_extremes;
+    Alcotest.test_case "penalty reduces latency" `Slow test_penalty_reduces_latency;
+    Alcotest.test_case "DR pools computed" `Slow test_dr_cost_drives_spread;
+  ]

@@ -1,0 +1,79 @@
+(* The iterative-modification interface (paper Fig. 5). *)
+
+open Etransform
+
+let test_pin_changes_plan () =
+  let asis = Fixtures.asis () in
+  let base = Iterate.replan asis [] in
+  let pinned_target =
+    (* Pin group 0 somewhere it would not otherwise go. *)
+    if base.Solver.placement.Placement.primary.(0) = 2 then 0 else 2
+  in
+  let adjusted = Iterate.replan asis [ Iterate.Pin (0, pinned_target) ] in
+  Alcotest.(check int) "pin honoured" pinned_target
+    adjusted.Solver.placement.Placement.primary.(0)
+
+let test_close_dc () =
+  let asis = Fixtures.asis () in
+  let o = Iterate.replan asis [ Iterate.Close_dc 0 ] in
+  Array.iter
+    (fun j -> Alcotest.(check bool) "site closed" true (j <> 0))
+    o.Solver.placement.Placement.primary
+
+let test_spread () =
+  let asis = Fixtures.asis () in
+  let o = Iterate.replan asis [ Iterate.Spread 0.5 ] in
+  let counts = Array.make 3 0 in
+  Array.iter (fun j -> counts.(j) <- counts.(j) + 1)
+    o.Solver.placement.Placement.primary;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "spread enforced" true (c <= 2))
+    counts
+
+let test_adjustments_compose () =
+  let asis = Fixtures.asis () in
+  let o =
+    Iterate.replan asis [ Iterate.Close_dc 0; Iterate.Forbid (1, 1) ]
+  in
+  Array.iteri
+    (fun i j ->
+      Alcotest.(check bool) "no site 0" true (j <> 0);
+      if i = 1 then Alcotest.(check bool) "group 1 not at B" true (j <> 1))
+    o.Solver.placement.Placement.primary
+
+let test_cost_never_improves_with_constraints () =
+  let asis = Fixtures.asis () in
+  let base = Iterate.replan asis [] in
+  let constrained = Iterate.replan asis [ Iterate.Close_dc 0 ] in
+  Alcotest.(check bool) "constraints cannot reduce optimal cost" true
+    (Evaluate.total constrained.Solver.summary.Evaluate.cost
+    >= Evaluate.total base.Solver.summary.Evaluate.cost -. 1e-6)
+
+let test_bad_adjustments_rejected () =
+  let asis = Fixtures.asis () in
+  Alcotest.(check bool) "unknown group" true
+    (try ignore (Iterate.replan asis [ Iterate.Pin (99, 0) ]); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unknown target" true
+    (try ignore (Iterate.replan asis [ Iterate.Close_dc 99 ]); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad spread" true
+    (try ignore (Iterate.replan asis [ Iterate.Spread 1.5 ]); false
+     with Invalid_argument _ -> true)
+
+let test_pp_adjustment () =
+  Alcotest.(check string) "pin" "pin group 1 to target 2"
+    (Fmt.str "%a" Iterate.pp_adjustment (Iterate.Pin (1, 2)));
+  Alcotest.(check string) "spread" "at most 50% of groups per site"
+    (Fmt.str "%a" Iterate.pp_adjustment (Iterate.Spread 0.5))
+
+let suite =
+  [
+    Alcotest.test_case "pin changes plan" `Quick test_pin_changes_plan;
+    Alcotest.test_case "close a site" `Quick test_close_dc;
+    Alcotest.test_case "spread constraint" `Quick test_spread;
+    Alcotest.test_case "adjustments compose" `Quick test_adjustments_compose;
+    Alcotest.test_case "constraints cost monotone" `Quick test_cost_never_improves_with_constraints;
+    Alcotest.test_case "invalid adjustments rejected" `Quick test_bad_adjustments_rejected;
+    Alcotest.test_case "adjustment printing" `Quick test_pp_adjustment;
+  ]

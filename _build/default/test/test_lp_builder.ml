@@ -1,0 +1,216 @@
+(* MILP construction: the §III model, its options, and decode. *)
+
+open Etransform
+
+let solve ?(options = Lp_builder.default_options) asis =
+  let built = Lp_builder.build ~options asis in
+  let r = Lp.Milp.solve built.Lp_builder.model in
+  (built, r)
+
+let test_model_dimensions () =
+  let asis = Fixtures.asis () in
+  let built = Lp_builder.build asis in
+  let m = built.Lp_builder.model in
+  (* 4 groups x 3 targets assignment binaries; 4 assignment + 3 capacity rows. *)
+  Alcotest.(check int) "vars" 12 (Lp.Model.num_vars m);
+  Alcotest.(check int) "rows" 7 (Lp.Model.num_constrs m)
+
+let test_solves_to_optimal_assignment () =
+  let asis = Fixtures.asis () in
+  let built, r = solve asis in
+  Alcotest.(check string) "optimal" "optimal" (Lp.Status.to_string r.Lp.Milp.status);
+  let p = Lp_builder.decode built r.Lp.Milp.x in
+  Alcotest.(check (list string)) "feasible" [] (Placement.validate asis p);
+  (* Exhaustive check over all 3^4 assignments with the linear objective. *)
+  let best = ref infinity in
+  let assign = Array.make 4 0 in
+  let rec enum i =
+    if i = 4 then begin
+      let p = Placement.non_dr (Array.copy assign) in
+      if Placement.validate asis p = [] then begin
+        let c =
+          Array.to_list assign
+          |> List.mapi (fun g j ->
+                 Cost_model.assign_cost asis ~group:g asis.Asis.targets.(j))
+          |> List.fold_left ( +. ) 0.0
+        in
+        if c < !best then best := c
+      end
+    end
+    else
+      for j = 0 to 2 do
+        assign.(i) <- j;
+        enum (i + 1)
+      done
+  in
+  enum 0;
+  Alcotest.(check (float 1e-6)) "matches brute force" !best r.Lp.Milp.obj
+
+let test_pins () =
+  let asis = Fixtures.asis () in
+  let options = { Lp_builder.default_options with Lp_builder.pins = [ (0, 2) ] } in
+  let built, r = solve ~options asis in
+  let p = Lp_builder.decode built r.Lp.Milp.x in
+  Alcotest.(check int) "group 0 pinned to C" 2 p.Placement.primary.(0)
+
+let test_forbids () =
+  let asis = Fixtures.asis () in
+  let options =
+    { Lp_builder.default_options with
+      Lp_builder.forbids = [ (0, 0); (0, 2) ] }
+  in
+  let built, r = solve ~options asis in
+  let p = Lp_builder.decode built r.Lp.Milp.x in
+  Alcotest.(check int) "group 0 forced to B" 1 p.Placement.primary.(0)
+
+let test_omega_spreads () =
+  let asis = Fixtures.asis () in
+  (* At most half the groups per site -> at least two sites. *)
+  let options = { Lp_builder.default_options with Lp_builder.omega = Some 0.5 } in
+  let built, r = solve ~options asis in
+  let p = Lp_builder.decode built r.Lp.Milp.x in
+  let used =
+    Array.to_list p.Placement.primary |> List.sort_uniq compare |> List.length
+  in
+  Alcotest.(check bool) "at least two sites" true (used >= 2);
+  let counts = Array.make 3 0 in
+  Array.iter (fun j -> counts.(j) <- counts.(j) + 1) p.Placement.primary;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "omega respected" true (c <= 2))
+    counts
+
+let test_capacity_binds () =
+  let asis = Fixtures.asis () in
+  let built, r = solve asis in
+  let p = Lp_builder.decode built r.Lp.Milp.x in
+  let loads = Placement.servers_per_dc asis p in
+  Array.iteri
+    (fun j l ->
+      Alcotest.(check bool) "capacity" true
+        (l <= asis.Asis.targets.(j).Data_center.capacity))
+    loads
+
+let test_shared_risk_rows () =
+  let asis = Fixtures.asis () in
+  let g0 = { (Fixtures.group_0 ()) with App_group.colocate_avoid = [ 3 ] } in
+  let groups = Array.copy asis.Asis.groups in
+  groups.(0) <- g0;
+  let asis = { asis with Asis.groups = groups } in
+  let built, r = solve asis in
+  let p = Lp_builder.decode built r.Lp.Milp.x in
+  Alcotest.(check bool) "groups separated" true
+    (p.Placement.primary.(0) <> p.Placement.primary.(3))
+
+let test_eos_objective_matches_curve () =
+  (* With volume discounts, the MILP objective must equal the evaluator's
+     exact space cost, not the first-tier approximation. *)
+  let discounted_dc =
+    Data_center.v ~name:"D" ~capacity:12
+      ~space_segments:
+        [ { Lp.Piecewise.width = 6.0; unit_cost = 100.0 };
+          { Lp.Piecewise.width = 8.0; unit_cost = 50.0 } ]
+      ~wan_per_mb:0.0 ~power_per_kwh:0.0 ~admin_monthly:0.0
+      ~user_latency_ms:[| 1.0; 1.0 |] ()
+  in
+  let asis =
+    Asis.v ~params:Fixtures.params ~name:"eos"
+      ~groups:[| Fixtures.group_2 (); Fixtures.group_3 () |]
+      ~targets:[| discounted_dc |]
+      ~user_locations:[| "a"; "b" |]
+      ~current:[| Fixtures.target_a () |]
+      ~current_placement:[| 0; 0 |] ()
+  in
+  let options =
+    { Lp_builder.default_options with Lp_builder.economies_of_scale = true }
+  in
+  let _, r = solve ~options asis in
+  (* 7 servers: 6 @100 + 1 @50 = 650 space; no other costs are zero... power
+     0.1kW*100h*0 = 0, labor 0, wan 0. *)
+  Alcotest.(check (float 1e-6)) "discount priced exactly" 650.0 r.Lp.Milp.obj
+
+let test_candidate_limit_keeps_feasibility () =
+  let asis = Fixtures.synthetic ~seed:5 ~groups:20 ~targets:5 () in
+  let options =
+    { Lp_builder.default_options with Lp_builder.candidate_limit = Some 3 }
+  in
+  let built, r = solve ~options asis in
+  Alcotest.(check bool) "still solvable" true (Array.length r.Lp.Milp.x > 0);
+  let p = Lp_builder.decode built r.Lp.Milp.x in
+  Alcotest.(check (list string)) "feasible" [] (Placement.validate asis p)
+
+let test_pin_on_forbidden_rejected () =
+  let asis = Fixtures.asis () in
+  let options =
+    { Lp_builder.default_options with
+      Lp_builder.pins = [ (0, 1) ];
+      forbids = [ (0, 1) ] }
+  in
+  Alcotest.check_raises "conflicting pin"
+    (Invalid_argument "Lp_builder.build: pin targets a forbidden pair")
+    (fun () -> ignore (Lp_builder.build ~options asis))
+
+let test_lp_file_export () =
+  let asis = Fixtures.asis () in
+  let built = Lp_builder.build asis in
+  let text = Lp.Lp_format.model_to_string built.Lp_builder.model in
+  Alcotest.(check bool) "has assignment rows" true
+    (Astring_contains.contains text "assign_0");
+  Alcotest.(check bool) "has capacity rows" true
+    (Astring_contains.contains text "cap_0");
+  (* The exported file round-trips through the parser to the same optimum. *)
+  let m' = Lp.Lp_parse.model_of_string text in
+  let r = Lp.Milp.solve built.Lp_builder.model and r' = Lp.Milp.solve m' in
+  Alcotest.(check (float 1e-6)) "same optimum" r.Lp.Milp.obj r'.Lp.Milp.obj
+
+(* On random small instances the MILP optimum must match brute force over
+   all assignments (linear objective, no EoS). *)
+let prop_matches_brute_force =
+  QCheck2.Test.make ~name:"builder MILP matches brute force" ~count:20
+    QCheck2.Gen.(int_range 0 2000)
+    (fun seed ->
+      let asis = Fixtures.synthetic ~seed ~groups:6 ~targets:3 () in
+      let built, r = solve asis in
+      if r.Lp.Milp.status <> Lp.Status.Optimal then
+        QCheck2.Test.fail_reportf "status %s" (Lp.Status.to_string r.Lp.Milp.status);
+      let m = Asis.num_groups asis and n = Asis.num_targets asis in
+      let best = ref infinity in
+      let assign = Array.make m 0 in
+      let rec enum i =
+        if i = m then begin
+          let p = Placement.non_dr (Array.copy assign) in
+          if Placement.validate asis p = [] then begin
+            let c = ref 0.0 in
+            Array.iteri
+              (fun g j ->
+                c := !c +. Cost_model.assign_cost asis ~group:g asis.Asis.targets.(j))
+              assign;
+            if !c < !best then best := !c
+          end
+        end
+        else
+          for j = 0 to n - 1 do
+            assign.(i) <- j;
+            enum (i + 1)
+          done
+      in
+      enum 0;
+      if Float.abs (r.Lp.Milp.obj -. !best) > 1e-5 *. (1.0 +. Float.abs !best)
+      then QCheck2.Test.fail_reportf "milp %g vs brute %g" r.Lp.Milp.obj !best;
+      ignore built;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "model dimensions" `Quick test_model_dimensions;
+    Alcotest.test_case "optimal vs exhaustive" `Quick test_solves_to_optimal_assignment;
+    Alcotest.test_case "pins" `Quick test_pins;
+    Alcotest.test_case "forbids" `Quick test_forbids;
+    Alcotest.test_case "business-impact omega" `Quick test_omega_spreads;
+    Alcotest.test_case "capacity rows" `Quick test_capacity_binds;
+    Alcotest.test_case "shared-risk rows" `Quick test_shared_risk_rows;
+    Alcotest.test_case "economies of scale priced exactly" `Quick test_eos_objective_matches_curve;
+    Alcotest.test_case "candidate pruning" `Quick test_candidate_limit_keeps_feasibility;
+    Alcotest.test_case "pin/forbid conflict" `Quick test_pin_on_forbidden_rejected;
+    Alcotest.test_case "LP file export" `Quick test_lp_file_export;
+    QCheck_alcotest.to_alcotest prop_matches_brute_force;
+  ]

@@ -1,0 +1,172 @@
+(* LP-format writer/parser round-trips and MPS writer sanity. *)
+
+open Lp
+
+let sample_model () =
+  let m = Model.create ~name:"sample" () in
+  let x = Model.add_var m ~hi:4.0 "x" in
+  let y = Model.add_var m ~lo:(-1.0) ~hi:3.5 "why" in
+  let z = Model.add_var m ~binary:true "z" in
+  let w = Model.add_var m ~integer:true ~hi:7.0 "w" in
+  Model.add_le m "c1" Model.Linexpr.(sum [ var x; term 2.0 y; term (-3.0) z ]) 9.0;
+  Model.add_ge m "c2" Model.Linexpr.(add (var y) (term 4.0 w)) 2.0;
+  Model.add_eq m "c3" Model.Linexpr.(sub (var x) (var w)) 0.0;
+  Model.set_objective m
+    Model.Linexpr.(sum [ term 3.0 x; term (-1.0) y; term 10.0 z; var w ]);
+  m
+
+let solve m =
+  let r = Milp.solve m in
+  (r.Milp.status, r.Milp.obj)
+
+let test_roundtrip_solution_equal () =
+  let m = sample_model () in
+  let text = Lp_format.model_to_string m in
+  let m' = Lp_parse.model_of_string text in
+  Alcotest.(check int) "vars" (Model.num_vars m) (Model.num_vars m');
+  Alcotest.(check int) "constrs" (Model.num_constrs m) (Model.num_constrs m');
+  let s1, o1 = solve m and s2, o2 = solve m' in
+  Alcotest.(check string) "status" (Status.to_string s1) (Status.to_string s2);
+  Alcotest.(check (float 1e-6)) "objective preserved" o1 o2
+
+let test_roundtrip_twice_stable () =
+  let m = sample_model () in
+  let t1 = Lp_format.model_to_string m in
+  let t2 = Lp_format.model_to_string (Lp_parse.model_of_string ~name:"sample" t1) in
+  Alcotest.(check string) "fixed point" t1 t2
+
+let test_sections_written () =
+  let text = Lp_format.model_to_string (sample_model ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "contains %S" needle)
+        true
+        (Astring_contains.contains text needle))
+    [ "Minimize"; "Subject To"; "Bounds"; "Binaries"; "Generals"; "End" ]
+
+let test_maximize_preserved () =
+  let m = Model.create () in
+  let x = Model.add_var m ~hi:2.0 "x" in
+  Model.set_objective m ~minimize:false (Model.Linexpr.var x);
+  let m' = Lp_parse.model_of_string (Lp_format.model_to_string m) in
+  Alcotest.(check bool) "maximize" false (Model.minimize m');
+  let _, o = solve m' in
+  Alcotest.(check (float 1e-9)) "obj" 2.0 o
+
+let test_sanitize_names () =
+  Alcotest.(check string) "spaces" "a_b" (Lp_format.sanitize_name "a b");
+  Alcotest.(check string) "leading digit" "x1a" (Lp_format.sanitize_name "1a");
+  Alcotest.(check string) "leading e" "xe10" (Lp_format.sanitize_name "e10");
+  Alcotest.(check string) "empty" "x" (Lp_format.sanitize_name "")
+
+let test_parse_free_and_inf () =
+  let text =
+    "Minimize\n obj: x + y\nSubject To\n c: x + y >= -2\nBounds\n x free\n \
+     -inf <= y <= 4\nEnd\n"
+  in
+  let m = Lp_parse.model_of_string text in
+  let r = Milp.solve m in
+  Alcotest.(check string) "status" "optimal" (Status.to_string r.Milp.status);
+  Alcotest.(check (float 1e-6)) "obj" (-2.0) r.Milp.obj
+
+let test_parse_errors () =
+  let bad = "Minimize\n obj: x\nSubject To\n c: x * 1\nEnd\n" in
+  Alcotest.check_raises "bad char"
+    (Lp_parse.Parse_error "unexpected character '*'") (fun () ->
+      ignore (Lp_parse.model_of_string bad));
+  let missing_rhs = "Minimize\n obj: x\nSubject To\n c: x <=\nEnd\n" in
+  Alcotest.check_raises "missing rhs"
+    (Lp_parse.Parse_error "constraint 0: expected relation and rhs") (fun () ->
+      ignore (Lp_parse.model_of_string missing_rhs))
+
+let test_solution_file () =
+  let m = sample_model () in
+  let r = Milp.solve m in
+  let text =
+    Lp_format.solution_to_string m ~status:r.Milp.status ~obj:r.Milp.obj
+      r.Milp.x
+  in
+  Alcotest.(check bool) "has status line" true
+    (Astring_contains.contains text "status: optimal");
+  Alcotest.(check bool) "has objective" true
+    (Astring_contains.contains text "objective:")
+
+let test_mps_writer () =
+  let text = Mps_format.model_to_string (sample_model ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "contains %S" needle)
+        true
+        (Astring_contains.contains text needle))
+    [ "NAME"; "ROWS"; "COLUMNS"; "RHS"; "BOUNDS"; "ENDATA"; "INTORG" ]
+
+let prop_random_models_roundtrip =
+  let gen =
+    QCheck2.Gen.(
+      let* n = int_range 1 6 in
+      let* rows = int_range 0 5 in
+      let* coeffs = list_repeat ((rows + 1) * n) (int_range (-9) 9) in
+      let* rhss = list_repeat (max rows 1) (int_range (-20) 20) in
+      let* senses = list_repeat (max rows 1) (int_range 0 2) in
+      let* kinds = list_repeat n (int_range 0 2) in
+      return (n, rows, Array.of_list coeffs, Array.of_list rhss,
+              Array.of_list senses, Array.of_list kinds))
+  in
+  QCheck2.Test.make ~name:"random models round-trip through LP format"
+    ~count:80 gen (fun (n, rows, coeffs, rhss, senses, kinds) ->
+      let m = Model.create () in
+      let vars =
+        Array.init n (fun i ->
+            match kinds.(i) with
+            | 0 -> Model.add_var m ~hi:6.0 (Printf.sprintf "v%d" i)
+            | 1 -> Model.add_var m ~binary:true (Printf.sprintf "v%d" i)
+            | _ -> Model.add_var m ~integer:true ~hi:4.0 (Printf.sprintf "v%d" i))
+      in
+      for r = 0 to rows - 1 do
+        let e =
+          Model.Linexpr.sum
+            (List.init n (fun j ->
+                 Model.Linexpr.term
+                   (float_of_int coeffs.(((r + 1) * n) + j))
+                   vars.(j)))
+        in
+        let sense =
+          match senses.(r) with 0 -> Model.Le | 1 -> Model.Ge | _ -> Model.Eq
+        in
+        (* Keep equality rows satisfiable: anchor them at zero. *)
+        let rhs =
+          if sense = Model.Eq then 0.0 else float_of_int rhss.(r)
+        in
+        Model.add_constr m (Printf.sprintf "r%d" r) e sense rhs
+      done;
+      Model.set_objective m
+        (Model.Linexpr.sum
+           (List.init n (fun j ->
+                Model.Linexpr.term (float_of_int coeffs.(j)) vars.(j))));
+      let m' = Lp_parse.model_of_string (Lp_format.model_to_string m) in
+      let r1 = Milp.solve m and r2 = Milp.solve m' in
+      if r1.Milp.status <> r2.Milp.status then
+        QCheck2.Test.fail_reportf "status %s vs %s"
+          (Status.to_string r1.Milp.status)
+          (Status.to_string r2.Milp.status);
+      if
+        r1.Milp.status = Status.Optimal
+        && Float.abs (r1.Milp.obj -. r2.Milp.obj) > 1e-6
+      then QCheck2.Test.fail_reportf "objective %g vs %g" r1.Milp.obj r2.Milp.obj;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip preserves optimum" `Quick test_roundtrip_solution_equal;
+    Alcotest.test_case "write-parse-write is stable" `Quick test_roundtrip_twice_stable;
+    Alcotest.test_case "all sections written" `Quick test_sections_written;
+    Alcotest.test_case "maximize preserved" `Quick test_maximize_preserved;
+    Alcotest.test_case "name sanitizer" `Quick test_sanitize_names;
+    Alcotest.test_case "free and infinite bounds" `Quick test_parse_free_and_inf;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "solution file" `Quick test_solution_file;
+    Alcotest.test_case "mps writer" `Quick test_mps_writer;
+    QCheck_alcotest.to_alcotest prop_random_models_roundtrip;
+  ]

@@ -1,0 +1,236 @@
+(* Branch-and-bound MILP tests, including brute-force cross-checks. *)
+
+open Lp
+
+let le = Model.Linexpr.sum
+
+let test_knapsack_small () =
+  (* max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 6, binaries: best is b+c = 20
+     (weight 6); a+c only reaches 17. *)
+  let m = Model.create ~name:"knapsack" () in
+  let a = Model.add_var m ~binary:true "a"
+  and b = Model.add_var m ~binary:true "b"
+  and c = Model.add_var m ~binary:true "c" in
+  Model.add_le m "w"
+    (le Model.Linexpr.[ term 3.0 a; term 4.0 b; term 2.0 c ])
+    6.0;
+  Model.set_objective m ~minimize:false
+    (le Model.Linexpr.[ term 10.0 a; term 13.0 b; term 7.0 c ]);
+  let r = Milp.solve m in
+  Alcotest.(check string) "status" "optimal" (Status.to_string r.Milp.status);
+  Alcotest.(check (float 1e-6)) "obj" 20.0 r.Milp.obj;
+  Alcotest.(check (float 1e-9)) "gap" 0.0 r.Milp.gap
+
+let test_integer_general () =
+  (* max x + y, 2x + y <= 7, x + 3y <= 9, x,y integer >= 0 -> (2.4,2.2) LP,
+     integer optimum 5 at e.g. (3,1) or (2,2)... check: 2x+y<=7, x+3y<=9.
+     (3,1): 7<=7, 6<=9 ok sum 4. (2,2): 6<=7, 8<=9 sum 4. (1,2): sum 3.
+     LP opt: x=2.4,y=2.2 sum 4.6 -> integer best is 4. *)
+  let m = Model.create () in
+  let x = Model.add_var m ~integer:true ~hi:10.0 "x"
+  and y = Model.add_var m ~integer:true ~hi:10.0 "y" in
+  Model.add_le m "c1" Model.Linexpr.(add (term 2.0 x) (var y)) 7.0;
+  Model.add_le m "c2" Model.Linexpr.(add (var x) (term 3.0 y)) 9.0;
+  Model.set_objective m ~minimize:false Model.Linexpr.(add (var x) (var y));
+  let r = Milp.solve m in
+  Alcotest.(check string) "status" "optimal" (Status.to_string r.Milp.status);
+  Alcotest.(check (float 1e-6)) "obj" 4.0 r.Milp.obj
+
+let test_infeasible_integrality () =
+  (* 0.4 <= x <= 0.6 with x integer has no integral point. *)
+  let m = Model.create () in
+  let x = Model.add_var m ~integer:true ~lo:0.4 ~hi:0.6 "x" in
+  Model.set_objective m (Model.Linexpr.var x);
+  let r = Milp.solve m in
+  Alcotest.(check string) "status" "infeasible" (Status.to_string r.Milp.status)
+
+let test_mixed () =
+  (* min 3y + x s.t. x >= 1.3, x <= 2.7, y binary, y >= x - 2 (so x > 2
+     forces y). Optimum: x = 1.3, y = 0 -> 1.3. *)
+  let m = Model.create () in
+  let x = Model.add_var m ~lo:1.3 ~hi:2.7 "x" in
+  let y = Model.add_var m ~binary:true "y" in
+  Model.add_ge m "link" Model.Linexpr.(sub (term 1.0 y) (term 0.5 x)) (-1.0);
+  Model.set_objective m Model.Linexpr.(add (term 3.0 y) (var x));
+  let r = Milp.solve m in
+  Alcotest.(check string) "status" "optimal" (Status.to_string r.Milp.status);
+  Alcotest.(check (float 1e-6)) "obj" 1.3 r.Milp.obj
+
+let test_node_limit_returns_feasible () =
+  (* With a crippled node budget the dive heuristic must still produce an
+     integer-feasible incumbent. *)
+  let m = Model.create () in
+  let n = 10 in
+  let xs =
+    Array.init n (fun i -> Model.add_var m ~binary:true (Printf.sprintf "x%d" i))
+  in
+  let weights = Array.init n (fun i -> float_of_int (((i * 7) mod 5) + 1)) in
+  let values = Array.init n (fun i -> float_of_int (((i * 11) mod 7) + 1)) in
+  Model.add_le m "w"
+    (le (Array.to_list (Array.mapi (fun i x -> Model.Linexpr.term weights.(i) x) xs)))
+    12.0;
+  Model.set_objective m ~minimize:false
+    (le (Array.to_list (Array.mapi (fun i x -> Model.Linexpr.term values.(i) x) xs)));
+  let r =
+    Milp.solve ~options:{ Milp.default_options with Milp.node_limit = 1 } m
+  in
+  Alcotest.(check bool) "has point" true (Array.length r.Milp.x > 0);
+  Alcotest.(check bool) "integral" true (Milp.integral m r.Milp.x);
+  Alcotest.(check bool) "bound sane" true (r.Milp.bound >= r.Milp.obj -. 1e-6)
+
+let brute_force_knapsack weights values cap =
+  let n = Array.length weights in
+  let best = ref 0.0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let w = ref 0.0 and v = ref 0.0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        w := !w +. weights.(i);
+        v := !v +. values.(i)
+      end
+    done;
+    if !w <= cap && !v > !best then best := !v
+  done;
+  !best
+
+let prop_knapsack_matches_brute_force =
+  let gen =
+    QCheck2.Gen.(
+      let* n = int_range 3 10 in
+      let* ws = list_repeat n (int_range 1 9) in
+      let* vs = list_repeat n (int_range 1 9) in
+      let* cap = int_range 5 25 in
+      return (Array.of_list ws, Array.of_list vs, cap))
+  in
+  QCheck2.Test.make ~name:"binary knapsack matches brute force" ~count:60 gen
+    (fun (ws, vs, cap) ->
+      let n = Array.length ws in
+      let m = Model.create () in
+      let xs =
+        Array.init n (fun i ->
+            Model.add_var m ~binary:true (Printf.sprintf "x%d" i))
+      in
+      Model.add_le m "w"
+        (le
+           (Array.to_list
+              (Array.mapi
+                 (fun i x -> Model.Linexpr.term (float_of_int ws.(i)) x)
+                 xs)))
+        (float_of_int cap);
+      Model.set_objective m ~minimize:false
+        (le
+           (Array.to_list
+              (Array.mapi
+                 (fun i x -> Model.Linexpr.term (float_of_int vs.(i)) x)
+                 xs)));
+      let r = Milp.solve m in
+      let expected =
+        brute_force_knapsack
+          (Array.map float_of_int ws)
+          (Array.map float_of_int vs)
+          (float_of_int cap)
+      in
+      if r.Milp.status <> Status.Optimal then
+        QCheck2.Test.fail_reportf "status %s" (Status.to_string r.Milp.status);
+      if Float.abs (r.Milp.obj -. expected) > 1e-6 then
+        QCheck2.Test.fail_reportf "milp %g, brute force %g" r.Milp.obj expected;
+      true)
+
+(* Small generalized-assignment instances: the exact shape used by the
+   consolidation planner (assignment rows + capacity rows). *)
+let prop_assignment_matches_brute_force =
+  let gen =
+    QCheck2.Gen.(
+      let* groups = int_range 2 6 in
+      let* dcs = int_range 2 3 in
+      let* sizes = list_repeat groups (int_range 1 4) in
+      let* costs = list_repeat (groups * dcs) (int_range 1 20) in
+      let* cap = int_range 6 14 in
+      return (groups, dcs, Array.of_list sizes, Array.of_list costs, float_of_int cap))
+  in
+  QCheck2.Test.make ~name:"assignment MILP matches brute force" ~count:60 gen
+    (fun (groups, dcs, sizes, costs, cap) ->
+      let m = Model.create () in
+      let x =
+        Array.init groups (fun i ->
+            Array.init dcs (fun j ->
+                Model.add_var m ~binary:true (Printf.sprintf "x_%d_%d" i j)))
+      in
+      for i = 0 to groups - 1 do
+        Model.add_eq m
+          (Printf.sprintf "assign%d" i)
+          (le (Array.to_list (Array.map Model.Linexpr.var x.(i))))
+          1.0
+      done;
+      for j = 0 to dcs - 1 do
+        Model.add_le m
+          (Printf.sprintf "cap%d" j)
+          (le
+             (List.init groups (fun i ->
+                  Model.Linexpr.term (float_of_int sizes.(i)) x.(i).(j))))
+          cap
+      done;
+      Model.set_objective m
+        (le
+           (List.concat_map
+              (fun i ->
+                List.init dcs (fun j ->
+                    Model.Linexpr.term
+                      (float_of_int costs.((i * dcs) + j))
+                      x.(i).(j)))
+              (List.init groups Fun.id)));
+      let r = Milp.solve m in
+      (* Brute force over dcs^groups assignments. *)
+      let best = ref infinity in
+      let assign = Array.make groups 0 in
+      let rec enum i =
+        if i = groups then begin
+          let load = Array.make dcs 0.0 in
+          let cost = ref 0.0 in
+          for g = 0 to groups - 1 do
+            load.(assign.(g)) <- load.(assign.(g)) +. float_of_int sizes.(g);
+            cost := !cost +. float_of_int costs.((g * dcs) + assign.(g))
+          done;
+          if Array.for_all (fun l -> l <= cap) load && !cost < !best then
+            best := !cost
+        end
+        else
+          for j = 0 to dcs - 1 do
+            assign.(i) <- j;
+            enum (i + 1)
+          done
+      in
+      enum 0;
+      match (r.Milp.status, !best = infinity) with
+      | Status.Infeasible, true -> true
+      | Status.Infeasible, false ->
+          QCheck2.Test.fail_reportf "milp infeasible but brute force found %g" !best
+      | Status.Optimal, true ->
+          QCheck2.Test.fail_reportf "milp optimal %g but instance infeasible" r.Milp.obj
+      | Status.Optimal, false ->
+          if Float.abs (r.Milp.obj -. !best) > 1e-6 then
+            QCheck2.Test.fail_reportf "milp %g, brute force %g" r.Milp.obj !best
+          else true
+      | s, _ -> QCheck2.Test.fail_reportf "status %s" (Status.to_string s))
+
+let test_relax_reports_fractional () =
+  let m = Model.create () in
+  let x = Model.add_var m ~binary:true "x" in
+  Model.add_le m "c" (Model.Linexpr.term 2.0 x) 1.0;
+  Model.set_objective m ~minimize:false (Model.Linexpr.var x);
+  let r = Milp.relax m in
+  Alcotest.(check (float 1e-9)) "fractional root" 0.5 r.Simplex.x.(0);
+  Alcotest.(check bool) "not integral" false (Milp.integral m r.Simplex.x)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    Alcotest.test_case "small knapsack" `Quick test_knapsack_small;
+    Alcotest.test_case "general integers" `Quick test_integer_general;
+    Alcotest.test_case "integrality infeasible" `Quick test_infeasible_integrality;
+    Alcotest.test_case "mixed integer-continuous" `Quick test_mixed;
+    Alcotest.test_case "node limit still feasible" `Quick test_node_limit_returns_feasible;
+    Alcotest.test_case "relaxation is fractional" `Quick test_relax_reports_fractional;
+    q prop_knapsack_matches_brute_force;
+    q prop_assignment_matches_brute_force;
+  ]

@@ -1,0 +1,53 @@
+(* The heap underlies best-bound node selection in branch-and-bound. *)
+
+open Lp
+
+let test_ordering () =
+  let h = Pqueue.create () in
+  List.iter (fun k -> Pqueue.push h k (int_of_float k)) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let out = ref [] in
+  let rec drain () =
+    match Pqueue.pop h with
+    | None -> ()
+    | Some (_, v) ->
+        out := v :: !out;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 5; 4; 3; 2; 1 ] !out
+
+let test_empty () =
+  let h = Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty h);
+  Alcotest.(check bool) "pop none" true (Pqueue.pop h = None);
+  Alcotest.(check bool) "min none" true (Pqueue.min_key h = None)
+
+let test_min_key () =
+  let h = Pqueue.create () in
+  Pqueue.push h 7.0 "a";
+  Pqueue.push h 2.0 "b";
+  Alcotest.(check bool) "min" true (Pqueue.min_key h = Some 2.0);
+  Alcotest.(check int) "len" 2 (Pqueue.length h)
+
+let prop_heap_sorts =
+  QCheck2.Test.make ~name:"heap drains keys in nondecreasing order" ~count:200
+    QCheck2.Gen.(list (float_range (-100.0) 100.0))
+    (fun keys ->
+      let h = Pqueue.create () in
+      List.iteri (fun i k -> Pqueue.push h k i) keys;
+      let rec drain acc =
+        match Pqueue.pop h with
+        | None -> List.rev acc
+        | Some (k, _) -> drain (k :: acc)
+      in
+      let out = drain [] in
+      List.length out = List.length keys
+      && out = List.sort compare keys)
+
+let suite =
+  [
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "min key and length" `Quick test_min_key;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+  ]

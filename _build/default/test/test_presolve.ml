@@ -1,0 +1,65 @@
+open Lp
+
+let test_singleton_tightening () =
+  let m = Model.create () in
+  let x = Model.add_var m ~hi:100.0 "x" in
+  let y = Model.add_var m ~hi:100.0 "y" in
+  Model.add_le m "c1" (Model.Linexpr.term 2.0 x) 10.0;
+  Model.add_ge m "c2" (Model.Linexpr.var y) 3.0;
+  Model.add_le m "c3" Model.Linexpr.(add (var x) (var y)) 50.0;
+  let changed = Presolve.tighten m in
+  Alcotest.(check bool) "some bounds changed" true (changed >= 2);
+  Alcotest.(check (float 1e-9)) "x hi" 5.0 (Model.vars m).(0).Model.hi;
+  Alcotest.(check (float 1e-9)) "y lo" 3.0 (Model.vars m).(1).Model.lo
+
+let test_negative_coefficient_singleton () =
+  let m = Model.create () in
+  let x = Model.add_var m ~lo:(-50.0) ~hi:50.0 "x" in
+  (* -2x <= 10  <=>  x >= -5 *)
+  Model.add_le m "c" (Model.Linexpr.term (-2.0) x) 10.0;
+  ignore (Presolve.tighten m);
+  Alcotest.(check (float 1e-9)) "x lo" (-5.0) (Model.vars m).(0).Model.lo
+
+let test_integer_rounding () =
+  let m = Model.create () in
+  let x = Model.add_var m ~integer:true ~lo:0.3 ~hi:4.7 "x" in
+  ignore (Presolve.tighten m);
+  Alcotest.(check (float 1e-9)) "lo rounded" 1.0 (Model.vars m).(0).Model.lo;
+  Alcotest.(check (float 1e-9)) "hi rounded" 4.0 (Model.vars m).(0).Model.hi;
+  ignore x
+
+let test_diagnose_empty_domain () =
+  let m = Model.create () in
+  let _ = Model.add_var m ~integer:true ~lo:0.4 ~hi:0.6 "x" in
+  let issues = Presolve.diagnose m in
+  Alcotest.(check bool) "reports empty integral domain" true
+    (List.exists
+       (fun s -> Astring_contains.contains s "empty integral domain")
+       issues)
+
+let test_validate_bad_bounds () =
+  let m = Model.create () in
+  let x = Model.add_var m "x" in
+  Model.set_bounds m x ~lo:2.0 ~hi:1.0;
+  Alcotest.(check bool) "bound order flagged" true (Model.validate m <> [])
+
+let test_tighten_preserves_optimum () =
+  let m = Model.create () in
+  let x = Model.add_var m ~hi:100.0 "x" and y = Model.add_var m ~hi:100.0 "y" in
+  Model.add_le m "c1" (Model.Linexpr.term 2.0 x) 10.0;
+  Model.add_le m "c2" Model.Linexpr.(add (var x) (var y)) 8.0;
+  Model.set_objective m ~minimize:false Model.Linexpr.(add (term 3.0 x) (var y));
+  let before = (Milp.solve m).Milp.obj in
+  ignore (Presolve.tighten m);
+  let after = (Milp.solve m).Milp.obj in
+  Alcotest.(check (float 1e-6)) "optimum unchanged" before after
+
+let suite =
+  [
+    Alcotest.test_case "singleton rows tighten bounds" `Quick test_singleton_tightening;
+    Alcotest.test_case "negative coefficient" `Quick test_negative_coefficient_singleton;
+    Alcotest.test_case "integer bound rounding" `Quick test_integer_rounding;
+    Alcotest.test_case "diagnose empty domain" `Quick test_diagnose_empty_domain;
+    Alcotest.test_case "validate crossed bounds" `Quick test_validate_bad_bounds;
+    Alcotest.test_case "tighten preserves optimum" `Quick test_tighten_preserves_optimum;
+  ]

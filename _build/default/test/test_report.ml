@@ -1,0 +1,80 @@
+(* Report formatting and the Fig. 5 pipeline artifacts. *)
+
+open Etransform
+
+let test_table_alignment () =
+  let t =
+    Report.table ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  let lines = String.split_on_char '\n' (String.trim t) in
+  Alcotest.(check int) "header + rule + 2 rows" 4 (List.length lines);
+  Alcotest.(check bool) "has rule" true
+    (Astring_contains.contains t "---")
+
+let test_money () =
+  Alcotest.(check string) "small" "$12.00" (Report.money 12.0);
+  Alcotest.(check string) "thousands" "$54321" (Report.money 54321.0);
+  Alcotest.(check bool) "scientific for big" true
+    (Astring_contains.contains (Report.money 3.3e8) "e+08")
+
+let test_percent () =
+  Alcotest.(check string) "reduction" "-43%" (Report.percent ~relative_to:100.0 57.0);
+  Alcotest.(check string) "increase" "+37%" (Report.percent ~relative_to:100.0 137.0);
+  Alcotest.(check string) "degenerate" "n/a" (Report.percent ~relative_to:0.0 5.0)
+
+let test_comparison_rows () =
+  let asis = Fixtures.asis () in
+  let s = Evaluate.plan asis (Placement.non_dr [| 0; 1; 2; 0 |]) in
+  let rows = Report.comparison_rows ~asis_total:10_000.0 [ ("ETRANSFORM", s) ] in
+  Alcotest.(check int) "one row" 1 (List.length rows);
+  let row = List.hd rows in
+  Alcotest.(check int) "all columns" (List.length Report.comparison_header)
+    (List.length row);
+  Alcotest.(check string) "name first" "ETRANSFORM" (List.hd row)
+
+let test_pipeline_artifacts () =
+  let asis = Fixtures.asis () in
+  let dir = Filename.temp_file "etransform" "" in
+  Sys.remove dir;
+  let artifacts = Pipeline.run ~workdir:dir asis in
+  (match artifacts.Pipeline.lp_file with
+  | None -> Alcotest.fail "expected LP file"
+  | Some path ->
+      Alcotest.(check bool) "LP file exists" true (Sys.file_exists path);
+      (* The exported LP file parses back. *)
+      let m = Lp.Lp_parse.read_model_file path in
+      Alcotest.(check bool) "parses" true (Lp.Model.num_vars m > 0));
+  (match artifacts.Pipeline.solution_file with
+  | None -> Alcotest.fail "expected solution file"
+  | Some path ->
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      Alcotest.(check bool) "mentions to-be state" true
+        (Astring_contains.contains text "total_monthly_cost"));
+  Alcotest.(check (list string)) "outcome feasible" []
+    (Placement.validate asis artifacts.Pipeline.outcome.Solver.placement)
+
+let test_pipeline_no_workdir () =
+  let asis = Fixtures.asis () in
+  let artifacts = Pipeline.run asis in
+  Alcotest.(check bool) "no files" true
+    (artifacts.Pipeline.lp_file = None && artifacts.Pipeline.solution_file = None)
+
+let test_pipeline_dr () =
+  let asis = Fixtures.synthetic ~seed:41 ~groups:10 ~targets:3 () in
+  let artifacts = Pipeline.run ~dr:true asis in
+  Alcotest.(check bool) "secondaries set" true
+    (artifacts.Pipeline.outcome.Solver.placement.Placement.secondary <> None)
+
+let suite =
+  [
+    Alcotest.test_case "table alignment" `Quick test_table_alignment;
+    Alcotest.test_case "money formatting" `Quick test_money;
+    Alcotest.test_case "percent formatting" `Quick test_percent;
+    Alcotest.test_case "comparison rows" `Quick test_comparison_rows;
+    Alcotest.test_case "pipeline artifacts" `Quick test_pipeline_artifacts;
+    Alcotest.test_case "pipeline without workdir" `Quick test_pipeline_no_workdir;
+    Alcotest.test_case "pipeline with DR" `Quick test_pipeline_dr;
+  ]

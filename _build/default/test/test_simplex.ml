@@ -1,0 +1,211 @@
+(* Unit and property tests for the bounded-variable two-phase simplex. *)
+
+open Lp
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let solve_model m = Simplex.solve (Simplex.of_model m)
+
+let assert_optimal ?(tol = 1e-6) m expected =
+  let input = Simplex.of_model m in
+  let r = Simplex.solve input in
+  Alcotest.(check string) "status" "optimal" (Status.to_string r.Simplex.status);
+  Alcotest.(check (float tol)) "objective" expected r.Simplex.obj_value;
+  match Simplex.check_certificate input r with
+  | [] -> ()
+  | errs -> Alcotest.failf "certificate: %s" (String.concat "; " errs)
+
+(* Classic textbook LP: max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18. *)
+let test_textbook () =
+  let m = Model.create ~name:"textbook" () in
+  let x = Model.add_var m "x" and y = Model.add_var m "y" in
+  Model.add_le m "c1" (Model.Linexpr.var x) 4.0;
+  Model.add_le m "c2" (Model.Linexpr.term 2.0 y) 12.0;
+  Model.add_le m "c3"
+    (Model.Linexpr.add (Model.Linexpr.term 3.0 x) (Model.Linexpr.term 2.0 y))
+    18.0;
+  Model.set_objective m ~minimize:false
+    (Model.Linexpr.add (Model.Linexpr.term 3.0 x) (Model.Linexpr.term 5.0 y));
+  let r = solve_model m in
+  check_float "objective" 36.0 r.Simplex.obj_value;
+  check_float "x" 2.0 r.Simplex.x.(0);
+  check_float "y" 6.0 r.Simplex.x.(1)
+
+let test_equality_rows () =
+  (* min x + 2y s.t. x + y = 10, x - y = 2  ->  x=6, y=4, obj=14 *)
+  let m = Model.create () in
+  let x = Model.add_var m "x" and y = Model.add_var m "y" in
+  Model.add_eq m "sum" Model.Linexpr.(add (var x) (var y)) 10.0;
+  Model.add_eq m "diff" Model.Linexpr.(sub (var x) (var y)) 2.0;
+  Model.set_objective m Model.Linexpr.(add (var x) (term 2.0 y));
+  let r = solve_model m in
+  check_float "obj" 14.0 r.Simplex.obj_value;
+  check_float "x" 6.0 r.Simplex.x.(0);
+  check_float "y" 4.0 r.Simplex.x.(1)
+
+let test_bound_flip () =
+  (* max x + y with box [0,1]^2 and x + y <= 1.5: needs a nonbasic var to
+     ride to its upper bound. *)
+  let m = Model.create () in
+  let x = Model.add_var m ~hi:1.0 "x" and y = Model.add_var m ~hi:1.0 "y" in
+  Model.add_le m "c" Model.Linexpr.(add (var x) (var y)) 1.5;
+  Model.set_objective m ~minimize:false Model.Linexpr.(add (var x) (var y));
+  let r = solve_model m in
+  check_float "obj" 1.5 r.Simplex.obj_value
+
+let test_negative_lower_bounds () =
+  (* min x + y with x,y in [-2, 3] and x + y >= -1 -> obj -1. *)
+  let m = Model.create () in
+  let x = Model.add_var m ~lo:(-2.0) ~hi:3.0 "x"
+  and y = Model.add_var m ~lo:(-2.0) ~hi:3.0 "y" in
+  Model.add_ge m "c" Model.Linexpr.(add (var x) (var y)) (-1.0);
+  Model.set_objective m Model.Linexpr.(add (var x) (var y));
+  assert_optimal m (-1.0)
+
+let test_infeasible () =
+  let m = Model.create () in
+  let x = Model.add_var m ~hi:1.0 "x" in
+  Model.add_ge m "c" (Model.Linexpr.var x) 5.0;
+  Model.set_objective m (Model.Linexpr.var x);
+  let r = solve_model m in
+  Alcotest.(check string)
+    "status" "infeasible"
+    (Status.to_string r.Simplex.status)
+
+let test_unbounded () =
+  let m = Model.create () in
+  let x = Model.add_var m "x" in
+  Model.add_ge m "c" (Model.Linexpr.var x) 1.0;
+  Model.set_objective m ~minimize:false (Model.Linexpr.var x);
+  let r = solve_model m in
+  Alcotest.(check string) "status" "unbounded" (Status.to_string r.Simplex.status)
+
+let test_fixed_variable () =
+  let m = Model.create () in
+  let x = Model.add_var m ~lo:2.0 ~hi:2.0 "x" in
+  let y = Model.add_var m ~hi:10.0 "y" in
+  Model.add_le m "c" Model.Linexpr.(add (var x) (var y)) 7.0;
+  Model.set_objective m ~minimize:false Model.Linexpr.(add (var x) (var y));
+  assert_optimal m 7.0
+
+let test_degenerate () =
+  (* Multiple constraints tight at the optimum; exercises anti-cycling. *)
+  let m = Model.create () in
+  let x = Model.add_var m "x" and y = Model.add_var m "y" in
+  Model.add_le m "c1" Model.Linexpr.(add (var x) (var y)) 1.0;
+  Model.add_le m "c2" Model.Linexpr.(add (term 2.0 x) (term 2.0 y)) 2.0;
+  Model.add_le m "c3" Model.Linexpr.(add (term 3.0 x) (term 3.0 y)) 3.0;
+  Model.set_objective m ~minimize:false Model.Linexpr.(add (var x) (var y));
+  assert_optimal m 1.0
+
+let test_redundant_equalities () =
+  (* Linearly dependent equality rows leave an artificial stuck in the
+     basis; the solver must cope. *)
+  let m = Model.create () in
+  let x = Model.add_var m "x" and y = Model.add_var m "y" in
+  Model.add_eq m "e1" Model.Linexpr.(add (var x) (var y)) 4.0;
+  Model.add_eq m "e2" Model.Linexpr.(add (term 2.0 x) (term 2.0 y)) 8.0;
+  Model.set_objective m Model.Linexpr.(add (term 3.0 x) (var y));
+  assert_optimal m 4.0
+
+let test_objective_constant () =
+  let m = Model.create () in
+  let x = Model.add_var m ~hi:2.0 "x" in
+  Model.set_objective m Model.Linexpr.(add (var x) (constant 100.0));
+  assert_optimal m 100.0
+
+let test_free_variable () =
+  (* min y s.t. y >= x - 3, y >= -x + 1, x free: optimum x=2, y=-1. *)
+  let m = Model.create () in
+  let x = Model.add_var m ~lo:neg_infinity ~hi:infinity "x" in
+  let y = Model.add_var m ~lo:(-100.0) "y" in
+  Model.add_ge m "c1" Model.Linexpr.(sub (var y) (var x)) (-3.0);
+  Model.add_ge m "c2" Model.Linexpr.(add (var y) (var x)) 1.0;
+  Model.set_objective m (Model.Linexpr.var y);
+  assert_optimal m (-1.0)
+
+let test_duals_transportation () =
+  (* 2x2 transportation problem: ship 4 at cost 1, 1 at cost 2, 5 at cost 1
+     -> 11.  The certificate check exercises dual recovery. *)
+  let m = Model.create () in
+  let x = Array.init 4 (fun i -> Model.add_var m (Printf.sprintf "x%d" i)) in
+  (* supplies 5, 5; demands 4, 6; costs 1 2 / 3 1 *)
+  Model.add_le m "s0" Model.Linexpr.(add (var x.(0)) (var x.(1))) 5.0;
+  Model.add_le m "s1" Model.Linexpr.(add (var x.(2)) (var x.(3))) 5.0;
+  Model.add_ge m "d0" Model.Linexpr.(add (var x.(0)) (var x.(2))) 4.0;
+  Model.add_ge m "d1" Model.Linexpr.(add (var x.(1)) (var x.(3))) 6.0;
+  Model.set_objective m
+    Model.Linexpr.(
+      sum [ var x.(0); term 2.0 x.(1); term 3.0 x.(2); var x.(3) ]);
+  assert_optimal m 11.0
+
+(* Random feasible-by-construction LPs must solve to optimality with a
+   verifiable KKT certificate and beat the seed point. *)
+let prop_random_feasible =
+  let gen =
+    QCheck2.Gen.(
+      let* n = int_range 2 6 in
+      let* rows = int_range 1 6 in
+      let* x0 = list_repeat n (float_bound_inclusive 3.0) in
+      let* objc = list_repeat n (float_range (-4.0) 4.0) in
+      let* coeffs = list_repeat (rows * n) (float_range (-5.0) 5.0) in
+      let* senses = list_repeat rows (int_range 0 2) in
+      return (n, rows, Array.of_list x0, Array.of_list objc, Array.of_list coeffs, Array.of_list senses))
+  in
+  QCheck2.Test.make ~name:"random feasible LPs solve optimally" ~count:150 gen
+    (fun (n, rows, x0, objc, coeffs, senses) ->
+      let m = Model.create () in
+      let vars =
+        Array.init n (fun i -> Model.add_var m ~hi:5.0 (Printf.sprintf "v%d" i))
+      in
+      for r = 0 to rows - 1 do
+        let e = ref Model.Linexpr.zero in
+        let lhs = ref 0.0 in
+        for j = 0 to n - 1 do
+          let c = coeffs.((r * n) + j) in
+          e := Model.Linexpr.add !e (Model.Linexpr.term c vars.(j));
+          lhs := !lhs +. (c *. x0.(j))
+        done;
+        (match senses.(r) with
+        | 0 -> Model.add_le m (Printf.sprintf "r%d" r) !e (!lhs +. 1.0)
+        | 1 -> Model.add_ge m (Printf.sprintf "r%d" r) !e (!lhs -. 1.0)
+        | _ -> Model.add_eq m (Printf.sprintf "r%d" r) !e !lhs)
+      done;
+      let obj =
+        Model.Linexpr.sum
+          (List.init n (fun j -> Model.Linexpr.term objc.(j) vars.(j)))
+      in
+      Model.set_objective m obj;
+      let input = Simplex.of_model m in
+      let r = Simplex.solve input in
+      if r.Simplex.status <> Status.Optimal then
+        QCheck2.Test.fail_reportf "status %s" (Status.to_string r.Simplex.status);
+      let obj_at_x0 =
+        Array.to_list (Array.mapi (fun j c -> c *. x0.(j)) objc)
+        |> List.fold_left ( +. ) 0.0
+      in
+      if r.Simplex.obj_value > obj_at_x0 +. 1e-6 then
+        QCheck2.Test.fail_reportf "optimum %g worse than seed %g"
+          r.Simplex.obj_value obj_at_x0;
+      (match Simplex.check_certificate input r with
+      | [] -> ()
+      | errs -> QCheck2.Test.fail_reportf "certificate: %s" (String.concat "; " errs));
+      true)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    Alcotest.test_case "textbook max LP" `Quick test_textbook;
+    Alcotest.test_case "equality rows" `Quick test_equality_rows;
+    Alcotest.test_case "bound flip to upper" `Quick test_bound_flip;
+    Alcotest.test_case "negative lower bounds" `Quick test_negative_lower_bounds;
+    Alcotest.test_case "infeasible detection" `Quick test_infeasible;
+    Alcotest.test_case "unbounded detection" `Quick test_unbounded;
+    Alcotest.test_case "fixed variable" `Quick test_fixed_variable;
+    Alcotest.test_case "degenerate constraints" `Quick test_degenerate;
+    Alcotest.test_case "redundant equalities" `Quick test_redundant_equalities;
+    Alcotest.test_case "objective constant" `Quick test_objective_constant;
+    Alcotest.test_case "free variable" `Quick test_free_variable;
+    Alcotest.test_case "transportation duals" `Quick test_duals_transportation;
+    q prop_random_feasible;
+  ]

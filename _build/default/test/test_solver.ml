@@ -1,0 +1,121 @@
+(* The end-to-end consolidation engine: optimality on small instances,
+   robustness under budgets, local search, and the LP-rounding fallback. *)
+
+open Etransform
+
+let test_beats_baselines () =
+  let asis = Fixtures.synthetic ~seed:1 ~groups:30 ~targets:5 () in
+  let o = Solver.consolidate asis in
+  let e = Evaluate.total o.Solver.summary.Evaluate.cost in
+  let g = Evaluate.total (Evaluate.plan asis (Greedy.plan asis)).Evaluate.cost in
+  let m = Evaluate.total (Evaluate.plan asis (Manual.plan asis)).Evaluate.cost in
+  Alcotest.(check bool) "beats or ties greedy" true (e <= g +. 1e-6);
+  Alcotest.(check bool) "beats or ties manual" true (e <= m +. 1e-6)
+
+let test_feasible_outcome () =
+  let asis = Fixtures.synthetic ~seed:2 () in
+  let o = Solver.consolidate asis in
+  Alcotest.(check (list string)) "placement feasible" []
+    (Placement.validate asis o.Solver.placement)
+
+let test_rejects_invalid_asis () =
+  let asis = Fixtures.asis () in
+  let broken = { asis with Asis.current_placement = [| 0 |] } in
+  Alcotest.(check bool) "raises on invalid input" true
+    (try
+       ignore (Solver.consolidate broken);
+       false
+     with Invalid_argument _ -> true)
+
+let test_budget_still_feasible () =
+  let asis = Fixtures.synthetic ~seed:3 ~groups:40 ~targets:6 () in
+  let milp =
+    { Solver.default_milp_options with Lp.Milp.node_limit = 1; time_limit = 5.0 }
+  in
+  let o = Solver.consolidate ~milp asis in
+  Alcotest.(check (list string)) "feasible under tiny budget" []
+    (Placement.validate asis o.Solver.placement)
+
+let test_local_search_improves_or_ties () =
+  let asis = Fixtures.synthetic ~seed:4 ~groups:30 ~targets:5 () in
+  let without = Solver.consolidate ~local_search:false asis in
+  let with_ls = Solver.consolidate ~local_search:true asis in
+  Alcotest.(check bool) "local search never hurts" true
+    (Evaluate.total with_ls.Solver.summary.Evaluate.cost
+    <= Evaluate.total without.Solver.summary.Evaluate.cost +. 1e-6)
+
+let test_local_search_fixes_bad_plan () =
+  let asis = Fixtures.asis () in
+  (* Start from a deliberately bad plan: latency-sensitive groups on the
+     wrong coasts. *)
+  let bad = Placement.non_dr [| 1; 0; 2; 2 |] in
+  let improved, moves = Local_search.improve asis bad in
+  Alcotest.(check bool) "made moves" true (moves > 0);
+  let before = Evaluate.total (Evaluate.plan asis bad).Evaluate.cost in
+  let after = Evaluate.total (Evaluate.plan asis improved).Evaluate.cost in
+  Alcotest.(check bool) "cost decreased" true (after < before)
+
+let test_local_search_respects_constraints () =
+  let asis = Fixtures.asis () in
+  let g0 = { (Fixtures.group_0 ()) with App_group.allowed_dcs = Some [| 1 |] } in
+  let groups = Array.copy asis.Asis.groups in
+  groups.(0) <- g0;
+  let asis = { asis with Asis.groups = groups } in
+  let start = Placement.non_dr [| 1; 0; 2; 2 |] in
+  let improved, _ = Local_search.improve asis start in
+  Alcotest.(check int) "pinned group stays" 1 improved.Placement.primary.(0)
+
+let test_solver_optimal_small () =
+  (* On the fixture the engine must land on the global optimum of the exact
+     (flat-pricing) cost: compare against exhaustive search over plans. *)
+  let asis = Fixtures.asis () in
+  let o = Solver.consolidate asis in
+  let best = ref infinity in
+  let assign = Array.make 4 0 in
+  let rec enum i =
+    if i = 4 then begin
+      let p = Placement.non_dr (Array.copy assign) in
+      if Placement.validate asis p = [] then begin
+        let c = Evaluate.total (Evaluate.plan asis p).Evaluate.cost in
+        if c < !best then best := c
+      end
+    end
+    else
+      for j = 0 to 2 do
+        assign.(i) <- j;
+        enum (i + 1)
+      done
+  in
+  enum 0;
+  Alcotest.(check (float 1e-6)) "global optimum" !best
+    (Evaluate.total o.Solver.summary.Evaluate.cost)
+
+let test_gap_reported () =
+  let asis = Fixtures.synthetic ~seed:5 () in
+  let o = Solver.consolidate asis in
+  Alcotest.(check bool) "gap in [0,1]" true
+    (o.Solver.milp_gap >= 0.0 && o.Solver.milp_gap <= 1.0)
+
+let prop_solver_never_worse_than_greedy =
+  QCheck2.Test.make ~name:"engine never loses to greedy" ~count:12
+    QCheck2.Gen.(int_range 0 3000)
+    (fun seed ->
+      let asis = Fixtures.synthetic ~seed ~groups:20 ~targets:4 () in
+      let o = Solver.consolidate asis in
+      let e = Evaluate.total o.Solver.summary.Evaluate.cost in
+      let g = Evaluate.total (Evaluate.plan asis (Greedy.plan asis)).Evaluate.cost in
+      e <= g +. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "beats baselines" `Quick test_beats_baselines;
+    Alcotest.test_case "feasible outcome" `Quick test_feasible_outcome;
+    Alcotest.test_case "rejects invalid as-is" `Quick test_rejects_invalid_asis;
+    Alcotest.test_case "tiny budgets stay feasible" `Quick test_budget_still_feasible;
+    Alcotest.test_case "local search monotone" `Quick test_local_search_improves_or_ties;
+    Alcotest.test_case "local search repairs" `Quick test_local_search_fixes_bad_plan;
+    Alcotest.test_case "local search respects constraints" `Quick test_local_search_respects_constraints;
+    Alcotest.test_case "optimal on fixture" `Quick test_solver_optimal_small;
+    Alcotest.test_case "gap reported" `Quick test_gap_reported;
+    QCheck_alcotest.to_alcotest prop_solver_never_worse_than_greedy;
+  ]
