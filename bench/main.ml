@@ -37,6 +37,56 @@ let kernel_tests () =
   in
   let built = Etransform.Lp_builder.build fixture in
   let greedy_plan = Etransform.Greedy.plan fixture in
+  (* A generalized-assignment model with tight bin capacities: unlike the
+     consolidation fixture (which solves at the root) its relaxation is
+     fractional, so the branch-and-bound variants exercise a real tree. *)
+  let gap_model =
+    let nitems = 14 and nbins = 4 in
+    let rng = Datasets.Prng.create 7 in
+    let m = Lp.Model.create ~name:"bench_gap" () in
+    let x =
+      Array.init nitems (fun i ->
+          Array.init nbins (fun b ->
+              Lp.Model.add_var m ~binary:true (Printf.sprintf "x_%d_%d" i b)))
+    in
+    let weight =
+      Array.init nitems (fun _ -> 2.0 +. Datasets.Prng.range rng 0.0 8.0)
+    in
+    let cost =
+      Array.init nitems (fun _ ->
+          Array.init nbins (fun _ -> 1.0 +. Datasets.Prng.range rng 0.0 9.0))
+    in
+    for i = 0 to nitems - 1 do
+      Lp.Model.add_eq m (Printf.sprintf "assign_%d" i)
+        (Lp.Model.Linexpr.sum
+           (List.init nbins (fun b -> Lp.Model.Linexpr.var x.(i).(b))))
+        1.0
+    done;
+    let total_w = Array.fold_left ( +. ) 0.0 weight in
+    let cap = 1.12 *. total_w /. float_of_int nbins in
+    for b = 0 to nbins - 1 do
+      Lp.Model.add_le m (Printf.sprintf "cap_%d" b)
+        (Lp.Model.Linexpr.sum
+           (List.init nitems (fun i ->
+                Lp.Model.Linexpr.term weight.(i) x.(i).(b))))
+        cap
+    done;
+    Lp.Model.set_objective m ~minimize:true
+      (Lp.Model.Linexpr.sum
+         (List.concat
+            (List.init nitems (fun i ->
+                 List.init nbins (fun b ->
+                     Lp.Model.Linexpr.term cost.(i).(b) x.(i).(b))))));
+    m
+  in
+  let milp_opts ?(warm_start = true) ?(workers = 1) () =
+    { Lp.Milp.default_options with
+      Lp.Milp.node_limit = 50; warm_start; workers }
+  in
+  let gap_opts ?warm_start ?workers () =
+    { (milp_opts ?warm_start ?workers ()) with
+      Lp.Milp.node_limit = 5000; dive_first = false }
+  in
   [
     Test.make ~name:"e1_simplex_solve"
       (Staged.stage (fun () ->
@@ -44,9 +94,29 @@ let kernel_tests () =
     Test.make ~name:"e1_milp_assignment"
       (Staged.stage (fun () ->
            ignore
-             (Lp.Milp.solve
-                ~options:{ Lp.Milp.default_options with Lp.Milp.node_limit = 50 }
+             (Lp.Milp.solve ~options:(milp_opts ())
                 built.Etransform.Lp_builder.model)));
+    Test.make ~name:"e1_milp_assignment_cold"
+      (Staged.stage (fun () ->
+           ignore
+             (Lp.Milp.solve
+                ~options:(milp_opts ~warm_start:false ())
+                built.Etransform.Lp_builder.model)));
+    Test.make ~name:"e1_milp_assignment_par4"
+      (Staged.stage (fun () ->
+           ignore
+             (Lp.Milp.solve ~options:(milp_opts ~workers:4 ())
+                built.Etransform.Lp_builder.model)));
+    Test.make ~name:"e1_milp_gap_tree_cold"
+      (Staged.stage (fun () ->
+           ignore
+             (Lp.Milp.solve ~options:(gap_opts ~warm_start:false ()) gap_model)));
+    Test.make ~name:"e1_milp_gap_tree_warm"
+      (Staged.stage (fun () ->
+           ignore (Lp.Milp.solve ~options:(gap_opts ()) gap_model)));
+    Test.make ~name:"e1_milp_gap_tree_par4"
+      (Staged.stage (fun () ->
+           ignore (Lp.Milp.solve ~options:(gap_opts ~workers:4 ()) gap_model)));
     Test.make ~name:"e1_greedy_baseline"
       (Staged.stage (fun () -> ignore (Etransform.Greedy.plan fixture)));
     Test.make ~name:"e2_backup_pools"
@@ -67,7 +137,7 @@ let kernel_tests () =
            ignore (Datasets.Synth.generate Datasets.Synth.default)));
   ]
 
-let run_kernels () =
+let run_kernels ?(json = false) () =
   Printf.printf "\n===== Kernels (Bechamel, one Test.make per family) =====\n%!";
   let cfg = Benchmark.cfg ~limit:150 ~quota:(Time.second 0.6) () in
   let instance = Toolkit.Instance.monotonic_clock in
@@ -78,7 +148,7 @@ let run_kernels () =
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  let rows = ref [] in
+  let results = ref [] in
   Hashtbl.iter
     (fun name bench ->
       let est = Analyze.one ols instance bench in
@@ -87,20 +157,49 @@ let run_kernels () =
         | Some (t :: _) -> t
         | _ -> nan
       in
-      let pretty =
-        if Float.is_nan time_ns then "n/a"
-        else if time_ns > 1e9 then Printf.sprintf "%.2f s" (time_ns /. 1e9)
-        else if time_ns > 1e6 then Printf.sprintf "%.2f ms" (time_ns /. 1e6)
-        else if time_ns > 1e3 then Printf.sprintf "%.2f us" (time_ns /. 1e3)
-        else Printf.sprintf "%.0f ns" time_ns
-      in
-      rows := [ name; pretty ] :: !rows)
+      results := (name, time_ns) :: !results)
     raws;
-  let rows = List.sort compare !rows in
-  print_string (Etransform.Report.table ~header:[ "kernel"; "time/run" ] rows)
+  let results = List.sort compare !results in
+  let rows =
+    List.map
+      (fun (name, time_ns) ->
+        let pretty =
+          if Float.is_nan time_ns then "n/a"
+          else if time_ns > 1e9 then Printf.sprintf "%.2f s" (time_ns /. 1e9)
+          else if time_ns > 1e6 then Printf.sprintf "%.2f ms" (time_ns /. 1e6)
+          else if time_ns > 1e3 then Printf.sprintf "%.2f us" (time_ns /. 1e3)
+          else Printf.sprintf "%.0f ns" time_ns
+        in
+        [ name; pretty ])
+      results
+  in
+  print_string (Etransform.Report.table ~header:[ "kernel"; "time/run" ] rows);
+  if json then begin
+    (* Machine-readable mirror of the table, so the perf trajectory can be
+       tracked across commits. *)
+    let path = "BENCH_kernels.json" in
+    let oc = open_out path in
+    output_string oc "[\n";
+    List.iteri
+      (fun i (name, time_ns) ->
+        Printf.fprintf oc "  {\"kernel\": %S, \"ns_per_run\": %s}%s\n" name
+          (if Float.is_nan time_ns then "null"
+           else Printf.sprintf "%.2f" time_ns)
+          (if i < List.length results - 1 then "," else ""))
+      results;
+    output_string oc "]\n";
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+  end
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let argv = Array.to_list Sys.argv in
+  let json = List.mem "--json" argv in
+  let mode =
+    match List.filter (fun a -> a <> "--json") (List.tl argv) with
+    | m :: _ -> m
+    | [] -> "all"
+  in
   (match mode with
   | "e0" -> Harness.Studies.e0_datasets ()
   | "e1" -> ignore (Harness.Studies.e1_consolidation ())
@@ -109,10 +208,10 @@ let () =
   | "e4" -> ignore (Harness.Studies.e4_dr_server_cost ())
   | "e5" -> ignore (Harness.Studies.e5_space_wan_tradeoff ())
   | "e6" -> ignore (Harness.Studies.e6_placement_growth ())
-  | "kernels" -> run_kernels ()
+  | "kernels" -> run_kernels ~json ()
   | "all" ->
       Harness.Studies.all ();
-      run_kernels ()
+      run_kernels ~json ()
   | other ->
       Printf.eprintf "unknown experiment %S (want e0..e6, kernels, all)\n" other;
       exit 2);

@@ -139,6 +139,64 @@ let secondary_model ?candidates asis (primary : int array) =
   Model.set_objective model (Model.Linexpr.sum !terms);
   (model, y)
 
+(* Deterministic fallback when the stage-2 MILP yields no integer point
+   within its budget: assign secondaries greedily, largest groups first,
+   maintaining the same pool semantics as the MILP — site [b]'s pool must
+   cover the worst single-site failover, i.e. the max over primary sites
+   [a] of the servers of groups with primary [a] backed up at [b], and
+   primary load plus pool must fit [b]'s full capacity.  Each group takes
+   the site with the cheapest incremental pool cost.  Returns [None] when
+   some group fits nowhere. *)
+let greedy_secondary asis (primary : int array) =
+  let m = Asis.num_groups asis and n = Asis.num_targets asis in
+  let price b =
+    let dc = asis.Asis.targets.(b) in
+    asis.Asis.params.Asis.dr_server_cost
+    +. Cost_model.power_labor_per_server asis dc
+    +. Data_center.first_tier_space dc
+  in
+  let load = Array.make n 0 in
+  Array.iteri
+    (fun i a -> load.(a) <- load.(a) + asis.Asis.groups.(i).App_group.servers)
+    primary;
+  let demand = Array.make_matrix n n 0 in
+  let pool = Array.make n 0 in
+  let secondary = Array.make m (-1) in
+  let order =
+    List.init m Fun.id
+    |> List.sort (fun i j ->
+           compare
+             (asis.Asis.groups.(j).App_group.servers, i)
+             (asis.Asis.groups.(i).App_group.servers, j))
+  in
+  let place i =
+    let a = primary.(i) in
+    let s = asis.Asis.groups.(i).App_group.servers in
+    let best = ref (-1) and best_cost = ref infinity in
+    for b = 0 to n - 1 do
+      if b <> a && App_group.allowed asis.Asis.groups.(i) b then begin
+        let new_pool = max pool.(b) (demand.(a).(b) + s) in
+        if load.(b) + new_pool <= asis.Asis.targets.(b).Data_center.capacity
+        then begin
+          let cost = float_of_int (new_pool - pool.(b)) *. price b in
+          if cost < !best_cost -. 1e-9 then begin
+            best_cost := cost;
+            best := b
+          end
+        end
+      end
+    done;
+    if !best < 0 then false
+    else begin
+      let b = !best in
+      demand.(a).(b) <- demand.(a).(b) + s;
+      pool.(b) <- max pool.(b) demand.(a).(b);
+      secondary.(i) <- b;
+      true
+    end
+  in
+  if List.for_all place order then Some secondary else None
+
 let decode_secondary asis primary y solution =
   let n = Asis.num_targets asis in
   Array.init (Array.length primary) (fun i ->
@@ -181,19 +239,7 @@ let plan ?(options = default_options) asis =
     let primary = stage1.Solver.placement.Placement.primary in
     let model, y = secondary_model ?candidates asis primary in
     let r = Lp.Milp.solve ~options:options.milp model in
-    if Array.length r.Lp.Milp.x = 0 then
-      if tries > 0 then begin
-        Log.info (fun f ->
-            f "stage 2 infeasible at reserve %.2f; retrying" reserve);
-        (* Widen the pool-site candidate set before reserving more. *)
-        match candidates with
-        | Some _ -> attempt ~candidates:None reserve (tries - 1)
-        | None -> attempt ~candidates:None (reserve +. 0.1) (tries - 1)
-      end
-      else
-        failwith "Dr_planner.plan: could not fit backup pools; raise capacity"
-    else begin
-      let secondary = decode_secondary asis primary y r.Lp.Milp.x in
+    let finish ~secondary ~status ~gap =
       let placement = Placement.with_dr ~primary ~secondary () in
       let placement, moves =
         if options.local_search then
@@ -204,13 +250,45 @@ let plan ?(options = default_options) asis =
       {
         Solver.placement;
         summary = Evaluate.plan asis placement;
-        milp_status = r.Lp.Milp.status;
-        milp_gap = (if Float.is_nan r.Lp.Milp.gap then 1.0 else r.Lp.Milp.gap);
+        milp_status = status;
+        milp_gap = gap;
         nodes = stage1.Solver.nodes + r.Lp.Milp.nodes;
         lp_iterations = stage1.Solver.lp_iterations + r.Lp.Milp.lp_iterations;
         local_moves = moves;
       }
+    in
+    if Array.length r.Lp.Milp.x = 0 then begin
+      (* A node or time budget can run out before branch-and-bound (or its
+         dive heuristic) finds any integer point; that is not evidence of
+         infeasibility.  A greedy secondary assignment over the same pool
+         constraints recovers a feasible plan directly in that case. *)
+      match
+        if r.Lp.Milp.status = Lp.Status.Infeasible then None
+        else greedy_secondary asis primary
+      with
+      | Some secondary ->
+          Log.info (fun f ->
+              f "stage 2 MILP found no incumbent (%a); using greedy secondaries"
+                Lp.Status.pp r.Lp.Milp.status);
+          finish ~secondary ~status:Lp.Status.Feasible ~gap:1.0
+      | None ->
+          if tries > 0 then begin
+            Log.info (fun f ->
+                f "stage 2 infeasible at reserve %.2f; retrying" reserve);
+            (* Widen the pool-site candidate set before reserving more. *)
+            match candidates with
+            | Some _ -> attempt ~candidates:None reserve (tries - 1)
+            | None -> attempt ~candidates:None (reserve +. 0.1) (tries - 1)
+          end
+          else
+            failwith
+              "Dr_planner.plan: could not fit backup pools; raise capacity"
     end
+    else
+      finish
+        ~secondary:(decode_secondary asis primary y r.Lp.Milp.x)
+        ~status:r.Lp.Milp.status
+        ~gap:(if Float.is_nan r.Lp.Milp.gap then 1.0 else r.Lp.Milp.gap)
   in
   attempt ~candidates:options.secondary_candidates options.reserve 3
 

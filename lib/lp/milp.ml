@@ -8,6 +8,8 @@ type options = {
   gap_tol : float;
   int_tol : float;
   dive_first : bool;
+  warm_start : bool;
+  workers : int;
   log : bool;
 }
 
@@ -18,6 +20,8 @@ let default_options =
     gap_tol = 1e-6;
     int_tol = 1e-6;
     dive_first = true;
+    warm_start = true;
+    workers = 1;
     log = false;
   }
 
@@ -40,23 +44,21 @@ let integral ?(tol = 1e-6) m x =
       Float.abs (xv -. Float.round xv) <= tol)
     (Model.integer_vars m)
 
-(* A node is the list of bound changes relative to the root problem. *)
-type node = { diffs : (int * float * float) list; depth : int }
-
-let apply_diffs ~root_lo ~root_hi ~lo ~hi diffs =
-  Array.blit root_lo 0 lo 0 (Array.length root_lo);
-  Array.blit root_hi 0 hi 0 (Array.length root_hi);
-  List.iter
-    (fun (j, l, h) ->
-      lo.(j) <- Float.max lo.(j) l;
-      hi.(j) <- Float.min hi.(j) h)
-    diffs
+(* A node is the list of bound changes relative to the root problem, plus
+   the optimal basis of the parent LP: a child differs from its parent by a
+   single bound, so the dual simplex restarted from that basis usually
+   repairs it in a handful of pivots. *)
+type node = {
+  diffs : (int * float * float) list;
+  depth : int;
+  warm : Simplex.basis option;
+}
 
 let most_fractional int_ids tol x =
   let best = ref (-1) and score = ref tol in
   List.iter
     (fun j ->
-      let f = x.(j) -. Float.of_int (int_of_float (Float.floor x.(j))) in
+      let f = x.(j) -. Float.floor x.(j) in
       let dist = Float.min f (1.0 -. f) in
       if dist > !score then begin
         score := dist;
@@ -81,17 +83,16 @@ let solve ?(options = default_options) m =
   let key_of_obj o = if minimize then o else -.o in
   let obj_of_key k = if minimize then k else -.k in
   let int_ids = List.map (fun (v : Model.var) -> v.Model.id) (Model.integer_vars m) in
-  let n = input.Simplex.nvars in
-  let lo_scratch = Array.make n 0.0 and hi_scratch = Array.make n 0.0 in
-  let lp_iters = ref 0 in
-  let solve_node diffs =
-    apply_diffs ~root_lo:input.Simplex.lo ~root_hi:input.Simplex.hi
-      ~lo:lo_scratch ~hi:hi_scratch diffs;
-    let r =
-      Simplex.solve
-        { input with Simplex.lo = Array.copy lo_scratch; hi = Array.copy hi_scratch }
-    in
-    lp_iters := !lp_iters + r.Simplex.iterations;
+  let lp_iters = Atomic.make 0 in
+  let solve_node ?warm ?(want_basis = false) diffs =
+    let lo = Array.copy input.Simplex.lo and hi = Array.copy input.Simplex.hi in
+    List.iter
+      (fun (j, l, h) ->
+        lo.(j) <- Float.max lo.(j) l;
+        hi.(j) <- Float.min hi.(j) h)
+      diffs;
+    let r = Simplex.solve ?warm ~want_basis { input with Simplex.lo = lo; hi } in
+    ignore (Atomic.fetch_and_add lp_iters r.Simplex.iterations);
     r
   in
   let start = Sys.time () in
@@ -119,7 +120,9 @@ let solve ?(options = default_options) m =
      Batch fixes are provisional: zeros pinned early can strand a variable's
      row-mates and make later rounds infeasible, so on conflict the batch is
      dropped (the explicitly chosen single fixes are kept) and diving
-     continues from a fresh LP. *)
+     continues from a fresh LP.  Dives fix many bounds at once, which is
+     outside the one-bound-change regime the dual warm start is good at, so
+     they stay on the cold path. *)
   let dive diffs r0 =
     let fixed = Hashtbl.create 64 in
     List.iter (fun (j, _, _) -> Hashtbl.replace fixed j ()) diffs;
@@ -184,18 +187,22 @@ let solve ?(options = default_options) m =
     in
     go ~singles:[] ~batch:[] r0 150
   in
+  (* The initial root solve stays on the plain cold path (which may shrink
+     the LP via fixed-column elimination): when the relaxation is already
+     integral no basis is ever needed, and when it is not, the tree loop
+     below re-solves the root node with [want_basis] anyway. *)
   let root = solve_node [] in
   match root.Simplex.status with
   | Status.Infeasible ->
       { status = Status.Infeasible; x = [||]; obj = nan; bound = nan;
-        gap = nan; nodes = 0; lp_iterations = !lp_iters }
+        gap = nan; nodes = 0; lp_iterations = Atomic.get lp_iters }
   | Status.Unbounded ->
       { status = Status.Unbounded; x = [||]; obj = nan; bound = nan;
-        gap = nan; nodes = 0; lp_iterations = !lp_iters }
+        gap = nan; nodes = 0; lp_iterations = Atomic.get lp_iters }
   | Status.Iteration_limit | Status.Time_limit | Status.Node_limit
   | Status.Feasible ->
       { status = Status.Iteration_limit; x = [||]; obj = nan; bound = nan;
-        gap = nan; nodes = 0; lp_iterations = !lp_iters }
+        gap = nan; nodes = 0; lp_iterations = Atomic.get lp_iters }
   | Status.Optimal ->
       let root_key = key_of_obj root.Simplex.obj_value in
       if most_fractional int_ids options.int_tol root.Simplex.x = -1 then begin
@@ -203,64 +210,122 @@ let solve ?(options = default_options) m =
         let _, x = Option.get !incumbent in
         { status = Status.Optimal; x; obj = obj_of_key root_key;
           bound = obj_of_key root_key; gap = 0.0; nodes = 1;
-          lp_iterations = !lp_iters }
+          lp_iterations = Atomic.get lp_iters }
       end
       else begin
         if options.dive_first then dive [] root;
         let pq = Pqueue.create () in
-        Pqueue.push pq root_key { diffs = []; depth = 0 };
+        let child_warm r =
+          if options.warm_start then r.Simplex.basis else None
+        in
+        Pqueue.push pq root_key { diffs = []; depth = 0; warm = None };
         let nodes = ref 0 in
         let stop_reason = ref None in
-        let rec loop () =
-          match Pqueue.pop pq with
-          | None -> ()
-          | Some (k, nd) ->
-              let prune =
+        (* The tree search below runs under one lock shared by all workers;
+           LP solves happen outside it.  [in_flight] counts nodes popped but
+           not yet fully processed, so an idle worker can tell "queue empty
+           for now" from "tree exhausted". *)
+        let lock = Mutex.create () in
+        let work = Condition.create () in
+        let in_flight = ref 0 in
+        (* Called with [lock] held. *)
+        let process_result nd r =
+          match r.Simplex.status with
+          | Status.Infeasible -> ()
+          | Status.Optimal -> (
+              let k' = key_of_obj r.Simplex.obj_value in
+              let worse =
                 match !incumbent with
-                | Some (ki, _) -> k >= ki -. 1e-12
+                | Some (ki, _) -> k' >= ki -. 1e-9 *. (1.0 +. Float.abs ki)
                 | None -> false
               in
-              if prune then loop ()
-              else if !nodes >= options.node_limit then begin
-                Pqueue.push pq k nd;
-                stop_reason := Some Status.Node_limit
-              end
-              else if out_of_time () then begin
-                Pqueue.push pq k nd;
-                stop_reason := Some Status.Time_limit
-              end
-              else begin
-                incr nodes;
-                let r = solve_node nd.diffs in
-                (match r.Simplex.status with
-                | Status.Infeasible -> ()
-                | Status.Optimal -> (
-                    let k' = key_of_obj r.Simplex.obj_value in
-                    let worse =
-                      match !incumbent with
-                      | Some (ki, _) -> k' >= ki -. 1e-9 *. (1.0 +. Float.abs ki)
-                      | None -> false
-                    in
-                    if not worse then
-                      match most_fractional int_ids options.int_tol r.Simplex.x with
-                      | -1 -> accept_candidate r
-                      | j ->
-                          let xv = r.Simplex.x.(j) in
-                          let fl = Float.floor xv and ce = Float.ceil xv in
-                          Pqueue.push pq k'
-                            { diffs = (j, neg_infinity, fl) :: nd.diffs;
-                              depth = nd.depth + 1 };
-                          Pqueue.push pq k'
-                            { diffs = (j, ce, infinity) :: nd.diffs;
-                              depth = nd.depth + 1 })
-                | _ ->
-                    (* A node LP that fails numerically is abandoned; the
-                       incumbent, if any, remains valid. *)
-                    ());
-                loop ()
-              end
+              if not worse then
+                match most_fractional int_ids options.int_tol r.Simplex.x with
+                | -1 -> accept_candidate r
+                | j ->
+                    let xv = r.Simplex.x.(j) in
+                    let fl = Float.floor xv and ce = Float.ceil xv in
+                    let warm = child_warm r in
+                    Pqueue.push pq k'
+                      { diffs = (j, neg_infinity, fl) :: nd.diffs;
+                        depth = nd.depth + 1; warm };
+                    Pqueue.push pq k'
+                      { diffs = (j, ce, infinity) :: nd.diffs;
+                        depth = nd.depth + 1; warm };
+                    Condition.broadcast work)
+          | _ ->
+              (* A node LP that fails numerically is abandoned; the
+                 incumbent, if any, remains valid. *)
+              ()
         in
-        loop ();
+        (* Worker body; entered and left with [lock] held.  With one worker
+           this visits nodes in exactly the sequential best-bound order. *)
+        let rec worker () =
+          if !stop_reason <> None then ()
+          else begin
+            (* Best-bound frontier check: the heap minimum prunes only if
+               every open node does, so the whole tree is exhausted. *)
+            let all_pruned =
+              match (Pqueue.peek pq, !incumbent) with
+              | Some (k, _), Some (ki, _) -> k >= ki -. 1e-12
+              | _ -> false
+            in
+            if all_pruned then begin
+              while Pqueue.pop pq <> None do () done;
+              (* In-flight workers may still push fresh children; keep
+                 serving the queue rather than exiting here. *)
+              if !in_flight = 0 then Condition.broadcast work
+              else Condition.wait work lock;
+              worker ()
+            end
+            else
+              match Pqueue.pop pq with
+              | None ->
+                  if !in_flight = 0 then Condition.broadcast work
+                  else begin
+                    Condition.wait work lock;
+                    worker ()
+                  end
+              | Some (k, nd) ->
+                  if !nodes >= options.node_limit then begin
+                    Pqueue.push pq k nd;
+                    stop_reason := Some Status.Node_limit;
+                    Condition.broadcast work
+                  end
+                  else if out_of_time () then begin
+                    Pqueue.push pq k nd;
+                    stop_reason := Some Status.Time_limit;
+                    Condition.broadcast work
+                  end
+                  else begin
+                    incr nodes;
+                    incr in_flight;
+                    Mutex.unlock lock;
+                    let r =
+                      solve_node ?warm:nd.warm ~want_basis:options.warm_start
+                        nd.diffs
+                    in
+                    Mutex.lock lock;
+                    decr in_flight;
+                    process_result nd r;
+                    if Pqueue.is_empty pq && !in_flight = 0 then
+                      Condition.broadcast work;
+                    worker ()
+                  end
+          end
+        in
+        let run_worker () =
+          Mutex.lock lock;
+          worker ();
+          Mutex.unlock lock
+        in
+        let extra = max 0 (min (options.workers - 1) 63) in
+        if extra = 0 then run_worker ()
+        else begin
+          let doms = Array.init extra (fun _ -> Domain.spawn run_worker) in
+          run_worker ();
+          Array.iter Domain.join doms
+        end;
         let open_bound =
           match (!stop_reason, Pqueue.min_key pq) with
           | None, _ -> infinity (* tree exhausted: incumbent is optimal *)
@@ -273,7 +338,7 @@ let solve ?(options = default_options) m =
               match !stop_reason with None -> Status.Infeasible | Some s -> s
             in
             { status; x = [||]; obj = nan; bound = obj_of_key root_key;
-              gap = nan; nodes = !nodes; lp_iterations = !lp_iters }
+              gap = nan; nodes = !nodes; lp_iterations = Atomic.get lp_iters }
         | Some (ki, x) ->
             let bound_key =
               if open_bound = infinity then ki else Float.max root_key open_bound
@@ -289,5 +354,5 @@ let solve ?(options = default_options) m =
               | Some _ -> Status.Feasible
             in
             { status; x; obj = obj_of_key ki; bound = obj_of_key bound_key;
-              gap; nodes = !nodes; lp_iterations = !lp_iters }
+              gap; nodes = !nodes; lp_iterations = Atomic.get lp_iters }
       end

@@ -4,14 +4,34 @@
     simplex of {!Simplex}.  A dive-and-fix heuristic seeds the incumbent at
     the root and serves as the fallback when node or time budgets run out,
     so a feasible plan is almost always returned together with the LP lower
-    bound and the resulting optimality gap. *)
+    bound and the resulting optimality gap.
+
+    With [warm_start] (the default) every branch-and-bound node carries its
+    parent's optimal basis and the node LP is reoptimized by the dual
+    simplex instead of solved from scratch; the solver falls back to a cold
+    solve per node whenever the warm path struggles, so statuses are
+    unchanged and objectives agree to solver tolerance.
+
+    With [workers > 1] the tree search fans out over that many OCaml 5
+    domains sharing one best-bound queue and one incumbent.  The returned
+    solution is still optimal whenever the sequential solver's is, but the
+    visit order — and therefore [nodes] and [lp_iterations] — may differ
+    run to run.  [workers = 1] is exactly the deterministic sequential
+    search. *)
 
 type options = {
   node_limit : int;        (** maximum branch-and-bound nodes (default 5000) *)
-  time_limit : float;      (** CPU-seconds budget, [infinity] = none *)
+  time_limit : float;
+      (** CPU-seconds budget ([Sys.time]), [infinity] = none.  Note that
+          with [workers > 1] CPU time accumulates across domains, so the
+          budget is consumed up to [workers] times faster than wall clock. *)
   gap_tol : float;         (** stop when relative gap falls below this *)
   int_tol : float;         (** integrality tolerance on LP values *)
   dive_first : bool;       (** seed the incumbent by diving at the root *)
+  warm_start : bool;
+      (** reoptimize node LPs from the parent basis (default [true]) *)
+  workers : int;
+      (** domains searching the tree (default 1 = sequential) *)
   log : bool;              (** emit progress on the [lp.milp] log source *)
 }
 

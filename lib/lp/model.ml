@@ -88,7 +88,24 @@ module Linexpr = struct
     end
 end
 
-type constr = { cname : string; expr : Linexpr.t; sense : sense; rhs : float }
+type constr = {
+  cname : string;
+  expr : Linexpr.t;
+  sense : sense;
+  rhs : float;
+  mutable tcache : (int * float) array option;
+}
+
+(* Rows are frozen once added, so their canonical term arrays can be
+   computed once and reused — [Milp.solve] compiles the same rows on every
+   call, which made repeated canonicalization the dominant setup cost. *)
+let row_terms c =
+  match c.tcache with
+  | Some a -> a
+  | None ->
+      let a = Linexpr.terms c.expr in
+      c.tcache <- Some a;
+      a
 
 type t = {
   mname : string;
@@ -98,6 +115,7 @@ type t = {
   mutable nrows : int;
   mutable obj : Linexpr.t;
   mutable min : bool;
+  mutable obj_cache : ((int * float) array * float) option;
 }
 
 let create ?(name = "model") () =
@@ -109,6 +127,7 @@ let create ?(name = "model") () =
     nrows = 0;
     obj = Linexpr.zero;
     min = true;
+    obj_cache = None;
   }
 
 let name t = t.mname
@@ -133,7 +152,8 @@ let add_constr t cname expr sense rhs =
      stored row is in canonical [terms sense rhs] form. *)
   let c = Linexpr.const_part expr in
   let expr = if c = 0.0 then expr else Linexpr.sub expr (Linexpr.constant c) in
-  t.rows_rev <- { cname; expr; sense; rhs = rhs -. c } :: t.rows_rev;
+  t.rows_rev <-
+    { cname; expr; sense; rhs = rhs -. c; tcache = None } :: t.rows_rev;
   t.nrows <- t.nrows + 1
 
 let add_le t n e rhs = add_constr t n e Le rhs
@@ -141,10 +161,19 @@ let add_ge t n e rhs = add_constr t n e Ge rhs
 let add_eq t n e rhs = add_constr t n e Eq rhs
 let set_objective t ?(minimize = true) e =
   t.obj <- e;
-  t.min <- minimize
+  t.min <- minimize;
+  t.obj_cache <- None
 
 let objective t = t.obj
 let minimize t = t.min
+
+let objective_terms t =
+  match t.obj_cache with
+  | Some (a, c) -> (a, c)
+  | None ->
+      let a = Linexpr.terms t.obj and c = Linexpr.const_part t.obj in
+      t.obj_cache <- Some (a, c);
+      (a, c)
 
 let set_bounds _t v ~lo ~hi =
   v.lo <- lo;

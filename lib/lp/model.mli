@@ -45,6 +45,8 @@ type constr = private {
   expr : Linexpr.t;
   sense : sense;
   rhs : float;
+  mutable tcache : (int * float) array option;
+      (** memoized canonical terms of [expr]; use {!row_terms} *)
 }
 
 type t
@@ -76,6 +78,15 @@ val set_objective : t -> ?minimize:bool -> Linexpr.t -> unit
 
 val objective : t -> Linexpr.t
 val minimize : t -> bool
+
+(** [row_terms c] is [Linexpr.terms c.expr], memoized — rows are immutable
+    once added, so repeated compilation of the same model skips the
+    canonicalization pass. *)
+val row_terms : constr -> (int * float) array
+
+(** [objective_terms t] is the memoized canonical objective: its term array
+    and constant part.  Invalidated by {!set_objective}. *)
+val objective_terms : t -> (int * float) array * float
 
 val set_bounds : t -> var -> lo:float -> hi:float -> unit
 val set_integer : t -> var -> bool -> unit

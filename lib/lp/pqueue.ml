@@ -60,3 +60,7 @@ let pop h =
   end
 
 let min_key h = if h.size = 0 then None else Some (fst h.data.(0))
+
+(* Smallest entry without removing it; lets a best-bound search test the
+   frontier (e.g. for wholesale pruning) before committing to a pop. *)
+let peek h = if h.size = 0 then None else Some h.data.(0)

@@ -8,6 +8,17 @@ type input = {
   rows : ((int * float) array * Model.sense * float) array;
 }
 
+(* Column status.  A nonbasic variable rests at one of its bounds (or at 0
+   when free); a basic variable's value lives in [xb] of its row. *)
+type cstat = Basic | At_lower | At_upper | Free_nb
+
+(* A restart point: which column is basic in each row, and where every
+   column (structural, slack and artificial alike) rests.  The layout is
+   determined by the row structure of the input, so a basis saved from one
+   solve can seed any later solve whose rows are identical — only the
+   bounds may differ, which is exactly the branch-and-bound situation. *)
+type basis = { vbasis : int array; vstat : cstat array }
+
 type result = {
   status : Status.t;
   x : float array;
@@ -15,6 +26,8 @@ type result = {
   duals : float array;
   reduced_costs : float array;
   iterations : int;
+  basis : basis option;
+  warm_started : bool;
 }
 
 let of_model m =
@@ -23,28 +36,15 @@ let of_model m =
   let lo = Array.map (fun (v : Model.var) -> v.Model.lo) vs in
   let hi = Array.map (fun (v : Model.var) -> v.Model.hi) vs in
   let obj = Array.make nvars 0.0 in
-  Array.iter
-    (fun (id, c) -> obj.(id) <- obj.(id) +. c)
-    (Model.Linexpr.terms (Model.objective m));
+  let obj_terms, obj_const = Model.objective_terms m in
+  Array.iter (fun (id, c) -> obj.(id) <- obj.(id) +. c) obj_terms;
   let rows =
     Array.map
       (fun (c : Model.constr) ->
-        (Model.Linexpr.terms c.Model.expr, c.Model.sense, c.Model.rhs))
+        (Model.row_terms c, c.Model.sense, c.Model.rhs))
       (Model.constrs m)
   in
-  {
-    nvars;
-    lo;
-    hi;
-    obj;
-    obj_const = Model.Linexpr.const_part (Model.objective m);
-    minimize = Model.minimize m;
-    rows;
-  }
-
-(* Column status.  A nonbasic variable rests at one of its bounds (or at 0
-   when free); a basic variable's value lives in [xb] of its row. *)
-type cstat = Basic | At_lower | At_upper | Free_nb
+  { nvars; lo; hi; obj; obj_const; minimize = Model.minimize m; rows }
 
 let tol_piv = 1e-9
 let tol_cost = 1e-7
@@ -66,14 +66,16 @@ let feasible ?(tol = 1e-6) input x =
     input.rows;
   !ok
 
-(* Internal mutable solver state over the dense tableau. *)
+(* Internal mutable solver state.  The tableau holds m x (ntot+1) entries:
+   B^-1 A over all columns, with the transformed right-hand side riding in
+   the final column so row operations carry it automatically. *)
 type state = {
   m : int;                  (* rows *)
   ntot : int;               (* structural + slack + artificial columns *)
   art0 : int;               (* first artificial column *)
   slo : float array;        (* bounds over all columns *)
   shi : float array;
-  t : float array array;    (* m x ntot, equals B^-1 A *)
+  tab : Tableau.t;          (* m x (ntot + 1), equals B^-1 [A | b] *)
   xb : float array;         (* value of the basic variable of each row *)
   basis : int array;
   stat : cstat array;
@@ -131,7 +133,7 @@ let ratio_test st q d =
   if Float.is_nan !t_best then t_best := infinity;
   let row = ref (-1) and to_upper = ref false and piv_best = ref 0.0 in
   for i = 0 to st.m - 1 do
-    let w = st.t.(i).(q) in
+    let w = Tableau.unsafe_get st.tab i q in
     let rate = -.d *. w in
     if Float.abs w > tol_piv then begin
       let bi = st.basis.(i) in
@@ -165,6 +167,10 @@ let ratio_test st q d =
   done;
   (!t_best, !row, !to_upper)
 
+(* Gauss-Jordan pivot on (lrow, q), keeping the reduced-cost row in sync.
+   These loops carry essentially all of the solver's flops. *)
+let do_pivot st lrow q = Tableau.pivot ~aux:st.z st.tab ~row:lrow ~col:q
+
 (* One simplex step for entering column [q] moving in direction [d].
    Returns [false] when the problem is unbounded in this direction. *)
 let step st q d =
@@ -175,7 +181,7 @@ let step st q d =
     if tstep < 1e-9 then st.degen <- st.degen + 1 else st.degen <- 0;
     (* Move every basic variable by its rate. *)
     for i = 0 to st.m - 1 do
-      st.xb.(i) <- st.xb.(i) -. (d *. st.t.(i).(q) *. tstep)
+      st.xb.(i) <- st.xb.(i) -. (d *. Tableau.unsafe_get st.tab i q *. tstep)
     done;
     if lrow < 0 then begin
       (* Bound flip: q travels to its opposite bound, basis unchanged. *)
@@ -196,38 +202,7 @@ let step st q d =
       st.basis.(lrow) <- q;
       st.stat.(q) <- Basic;
       st.xb.(lrow) <- xq;
-      (* Gauss-Jordan elimination on the pivot column.  These loops carry
-         essentially all of the solver's flops, hence the unsafe accesses
-         (bounds are loop-invariant by construction). *)
-      let prow = st.t.(lrow) in
-      let piv = prow.(q) in
-      let inv = 1.0 /. piv in
-      for j = 0 to st.ntot - 1 do
-        Array.unsafe_set prow j (Array.unsafe_get prow j *. inv)
-      done;
-      prow.(q) <- 1.0;
-      for i = 0 to st.m - 1 do
-        if i <> lrow then begin
-          let f = st.t.(i).(q) in
-          if f <> 0.0 then begin
-            let ri = st.t.(i) in
-            for j = 0 to st.ntot - 1 do
-              Array.unsafe_set ri j
-                (Array.unsafe_get ri j -. (f *. Array.unsafe_get prow j))
-            done;
-            ri.(q) <- 0.0
-          end
-        end
-      done;
-      let f = st.z.(q) in
-      if f <> 0.0 then begin
-        let z = st.z in
-        for j = 0 to st.ntot - 1 do
-          Array.unsafe_set z j
-            (Array.unsafe_get z j -. (f *. Array.unsafe_get prow j))
-        done;
-        st.z.(q) <- 0.0
-      end
+      do_pivot st lrow q
     end;
     true
   end
@@ -239,13 +214,7 @@ let reset_reduced_costs st c =
   done;
   for i = 0 to st.m - 1 do
     let cb = c.(st.basis.(i)) in
-    if cb <> 0.0 then begin
-      let ri = st.t.(i) and z = st.z in
-      for j = 0 to st.ntot - 1 do
-        Array.unsafe_set z j
-          (Array.unsafe_get z j -. (cb *. Array.unsafe_get ri j))
-      done
-    end
+    if cb <> 0.0 then Tableau.sub_scaled_vec st.tab ~src:i cb st.z
   done;
   for i = 0 to st.m - 1 do
     st.z.(st.basis.(i)) <- 0.0
@@ -253,7 +222,7 @@ let reset_reduced_costs st c =
 
 let empty_result status =
   { status; x = [||]; obj_value = nan; duals = [||]; reduced_costs = [||];
-    iterations = 0 }
+    iterations = 0; basis = None; warm_started = false }
 
 (* Columns pinned by branching or diving ([lo = hi]) are substituted into
    the right-hand sides before the tableau is built; after a dive's first
@@ -312,46 +281,27 @@ let eliminate_fixed input =
     Some (reduced, back)
   end
 
-let rec solve ?max_iters input =
+(* Shared construction of the working frame: padded bounds, the tableau
+   rows with slack columns and the rhs in the final column, and the initial
+   resting point of every structural and slack column.  Artificial columns
+   are declared but left zero: the cold path adds their identity entries
+   only after deciding row signs, the warm path adds them immediately. *)
+type frame = {
+  f_m : int;
+  f_n : int;
+  f_art0 : int;
+  f_ntot : int;
+  f_slo : float array;
+  f_shi : float array;
+  f_tab : Tableau.t;
+  f_stat : cstat array;
+  f_vnb : float array;
+  f_slack : int array;      (* slack column of each row, or -1 *)
+}
+
+let build_frame input =
   let m = Array.length input.rows in
   let n = input.nvars in
-  (* Branching can cross bounds; such boxes are empty, not "solved". *)
-  let crossed = ref false in
-  for j = 0 to n - 1 do
-    if input.lo.(j) > input.hi.(j) +. 1e-11 then crossed := true
-  done;
-  if !crossed then empty_result Status.Infeasible
-  else
-  match eliminate_fixed input with
-  | Some (reduced, back) ->
-      let r = solve ?max_iters reduced in
-      let x = Array.copy input.lo in
-      let reduced_costs = Array.make n 0.0 in
-      if Array.length r.x > 0 then
-        Array.iteri (fun k j -> x.(j) <- r.x.(k)) back;
-      if r.status = Status.Optimal then begin
-        (* Reduced costs of fixed columns from the duals: c_j - y' A_j. *)
-        let cmin j = if input.minimize then input.obj.(j) else -.input.obj.(j) in
-        for j = 0 to n - 1 do
-          reduced_costs.(j) <- cmin j
-        done;
-        Array.iteri
-          (fun i (terms, _, _) ->
-            let y = r.duals.(i) in
-            if y <> 0.0 then
-              Array.iter
-                (fun (j, c) ->
-                  reduced_costs.(j) <- reduced_costs.(j) -. (y *. c))
-                terms)
-          input.rows;
-        Array.iteri (fun k j -> reduced_costs.(j) <- r.reduced_costs.(k)) back
-      end;
-      {
-        r with
-        x = (if r.status = Status.Optimal then x else [||]);
-        reduced_costs;
-      }
-  | None ->
   let nslack =
     Array.fold_left
       (fun a (_, s, _) -> match s with Model.Eq -> a | _ -> a + 1)
@@ -359,28 +309,28 @@ let rec solve ?max_iters input =
   in
   let art0 = n + nslack in
   let ntot = art0 + m in
-  let max_iters =
-    match max_iters with Some k -> k | None -> max 2000 (60 * (m + n))
-  in
   let slo = Array.make ntot 0.0 and shi = Array.make ntot infinity in
   Array.blit input.lo 0 slo 0 n;
   Array.blit input.hi 0 shi 0 n;
-  (* Dense constraint rows including slack columns. *)
-  let t = Array.init m (fun _ -> Array.make ntot 0.0) in
-  let rhs = Array.make m 0.0 in
+  let tab = Tableau.create ~rows:m ~cols:(ntot + 1) in
+  let slack = Array.make m (-1) in
   let next_slack = ref n in
   Array.iteri
     (fun i (terms, sense, r) ->
-      Array.iter (fun (j, c) -> t.(i).(j) <- t.(i).(j) +. c) terms;
+      Array.iter
+        (fun (j, c) -> Tableau.set tab i j (Tableau.get tab i j +. c))
+        terms;
       (match sense with
       | Model.Le ->
-          t.(i).(!next_slack) <- 1.0;
+          Tableau.set tab i !next_slack 1.0;
+          slack.(i) <- !next_slack;
           incr next_slack
       | Model.Ge ->
-          t.(i).(!next_slack) <- -1.0;
+          Tableau.set tab i !next_slack (-1.0);
+          slack.(i) <- !next_slack;
           incr next_slack
       | Model.Eq -> ());
-      rhs.(i) <- r)
+      Tableau.set tab i ntot r)
     input.rows;
   (* Initial nonbasic point: every column at its finite bound nearest 0. *)
   let stat = Array.make ntot At_lower in
@@ -399,84 +349,237 @@ let rec solve ?max_iters input =
       vnb.(j) <- 0.0
     end
   done;
-  (* Artificial basis: row i holds artificial art0+i with value |residual|. *)
-  let sgn = Array.make m 1.0 in
-  let xb = Array.make m 0.0 in
-  let basis = Array.init m (fun i -> art0 + i) in
-  for i = 0 to m - 1 do
-    let acc = ref 0.0 in
-    for j = 0 to art0 - 1 do
-      if t.(i).(j) <> 0.0 then acc := !acc +. (t.(i).(j) *. vnb.(j))
-    done;
-    let resid = rhs.(i) -. !acc in
-    let s = if resid >= 0.0 then 1.0 else -1.0 in
-    sgn.(i) <- s;
-    if s < 0.0 then
-      for j = 0 to art0 - 1 do
-        t.(i).(j) <- -.t.(i).(j)
-      done;
-    t.(i).(art0 + i) <- 1.0;
-    xb.(i) <- Float.abs resid;
-    stat.(art0 + i) <- Basic
-  done;
-  let st =
-    { m; ntot; art0; slo; shi; t; xb; basis; stat; vnb; z = Array.make ntot 0.0;
-      sgn; iters = 0; degen = 0 }
-  in
-  (* Internal costs are always minimization. *)
-  let cost = Array.make ntot 0.0 in
+  { f_m = m; f_n = n; f_art0 = art0; f_ntot = ntot; f_slo = slo; f_shi = shi;
+    f_tab = tab; f_stat = stat; f_vnb = vnb; f_slack = slack }
+
+let default_iters max_iters m n =
+  match max_iters with Some k -> k | None -> max 2000 (60 * (m + n))
+
+(* Extract the user-facing result from a finished state. *)
+let finish ~emit_basis ~warm_started input st status =
+  let n = input.nvars in
+  let x = Array.make n 0.0 in
   for j = 0 to n - 1 do
+    if st.stat.(j) <> Basic then x.(j) <- st.vnb.(j)
+  done;
+  for i = 0 to st.m - 1 do
+    if st.basis.(i) < n then x.(st.basis.(i)) <- st.xb.(i)
+  done;
+  let obj_value =
+    let a = ref input.obj_const in
+    for j = 0 to n - 1 do
+      a := !a +. (input.obj.(j) *. x.(j))
+    done;
+    !a
+  in
+  let duals = Array.make st.m 0.0 in
+  let reduced = Array.make n 0.0 in
+  if status = Status.Optimal then begin
+    for i = 0 to st.m - 1 do
+      duals.(i) <- -.st.z.(st.art0 + i) *. st.sgn.(i)
+    done;
+    for j = 0 to n - 1 do
+      reduced.(j) <- st.z.(j)
+    done
+  end;
+  let basis =
+    if emit_basis && status = Status.Optimal then
+      Some { vbasis = Array.copy st.basis; vstat = Array.copy st.stat }
+    else None
+  in
+  { status; x; obj_value; duals; reduced_costs = reduced;
+    iterations = st.iters; basis; warm_started }
+
+let run_phase st max_iters c =
+  reset_reduced_costs st c;
+  let rec loop () =
+    if st.iters >= max_iters then `Iters
+    else
+      match price st with
+      | None -> `Done
+      | Some (q, d) -> if step st q d then loop () else `Unbounded
+  in
+  loop ()
+
+(* Phase-2 costs in the internal minimization convention. *)
+let phase2_cost input ntot =
+  let cost = Array.make ntot 0.0 in
+  for j = 0 to input.nvars - 1 do
     cost.(j) <- (if input.minimize then input.obj.(j) else -.input.obj.(j))
   done;
+  cost
+
+(* ------------------------------------------------------------------ *)
+(* Cold start: slack + greedy structural crash, then two-phase primal. *)
+(* ------------------------------------------------------------------ *)
+
+let solve_cold ?max_iters ~emit_basis input =
+  let fr = build_frame input in
+  let m = fr.f_m and n = fr.f_n and art0 = fr.f_art0 and ntot = fr.f_ntot in
+  let slo = fr.f_slo and shi = fr.f_shi and tab = fr.f_tab in
+  let stat = fr.f_stat and vnb = fr.f_vnb in
+  let max_iters = default_iters max_iters m n in
+  let sgn = Array.make m 1.0 in
+  let xb = Array.make m 0.0 in
+  let basis = Array.make m (-1) in
+  let rowdone = Array.make m false in
+  (* Residual of each row at the nonbasic resting point.  Until a row gets
+     a basic column this is the value its artificial would take. *)
+  let resid = Array.make m 0.0 in
+  Array.iteri
+    (fun i (terms, _, rhs) ->
+      (* Slacks rest at zero, so only the sparse structural terms count. *)
+      let acc = ref rhs in
+      Array.iter
+        (fun (j, c) ->
+          let v = vnb.(j) in
+          if v <> 0.0 then acc := !acc -. (c *. v))
+        terms;
+      resid.(i) <- !acc)
+    input.rows;
+  (* Slack crash: an inequality row whose slack value is feasible at the
+     resting point starts with that slack basic — no artificial, no
+     phase-1 work.  Ge rows are flipped so the slack coefficient is +1. *)
+  Array.iteri
+    (fun i (_, sense, _) ->
+      match (sense, fr.f_slack.(i)) with
+      | Model.Le, s when s >= 0 && resid.(i) >= 0.0 ->
+          basis.(i) <- s;
+          stat.(s) <- Basic;
+          xb.(i) <- resid.(i);
+          rowdone.(i) <- true
+      | Model.Ge, s when s >= 0 && resid.(i) <= 0.0 ->
+          Tableau.flip_row tab i;
+          sgn.(i) <- -1.0;
+          resid.(i) <- -.resid.(i);
+          basis.(i) <- s;
+          stat.(s) <- Basic;
+          xb.(i) <- resid.(i);
+          rowdone.(i) <- true
+      | _ -> ())
+    input.rows;
+  (* Remaining rows get an artificial; flip them so its value is >= 0. *)
+  for i = 0 to m - 1 do
+    if not rowdone.(i) && resid.(i) < 0.0 then begin
+      Tableau.flip_row tab i;
+      sgn.(i) <- -1.0;
+      resid.(i) <- -.resid.(i)
+    end
+  done;
+  (* All row signs are now final: add the artificial identity columns. *)
+  for i = 0 to m - 1 do
+    Tableau.set tab i (art0 + i) 1.0;
+    if rowdone.(i) then begin
+      (* This artificial is never needed; pin it. *)
+      slo.(art0 + i) <- 0.0;
+      shi.(art0 + i) <- 0.0
+    end
+  done;
+  (* Greedy structural crash: drive each leftover residual to zero with a
+     single structural pivot when one exists that keeps every basic value
+     (and every pending residual) feasible.  Preferring cheap columns
+     starts phase 2 near the optimum; on assignment-shaped models this
+     usually empties phase 1 entirely. *)
+  let cmin j = if input.minimize then input.obj.(j) else -.input.obj.(j) in
+  let val_of r = if rowdone.(r) then xb.(r) else resid.(r) in
+  for i = 0 to m - 1 do
+    if not rowdone.(i) then begin
+      let maxabs = ref 0.0 in
+      for j = 0 to n - 1 do
+        if stat.(j) <> Basic && slo.(j) < shi.(j) then begin
+          let w = Float.abs (Tableau.unsafe_get tab i j) in
+          if w > !maxabs then maxabs := w
+        end
+      done;
+      let best = ref (-1) and best_score = ref infinity in
+      let best_delta = ref 0.0 and best_v = ref 0.0 in
+      if !maxabs > 1e-7 then
+        for j = 0 to n - 1 do
+          if stat.(j) <> Basic && slo.(j) < shi.(j) then begin
+            let w = Tableau.unsafe_get tab i j in
+            if Float.abs w >= 0.25 *. !maxabs then begin
+              let delta = resid.(i) /. w in
+              let v = vnb.(j) +. delta in
+              if v >= slo.(j) -. 1e-9 && v <= shi.(j) +. 1e-9 then begin
+                let score = cmin j *. delta in
+                if score < !best_score -. 1e-12 then begin
+                  (* Would this pivot knock any other row out of bounds? *)
+                  let safe = ref true in
+                  for r = 0 to m - 1 do
+                    if !safe && r <> i then begin
+                      let wr = Tableau.unsafe_get tab r j in
+                      if wr <> 0.0 then begin
+                        let nv = val_of r -. (wr *. delta) in
+                        if rowdone.(r) then begin
+                          let b = basis.(r) in
+                          if nv < slo.(b) -. 1e-9 || nv > shi.(b) +. 1e-9 then
+                            safe := false
+                        end
+                        else if nv < -1e-9 then safe := false
+                      end
+                    end
+                  done;
+                  if !safe then begin
+                    best := j;
+                    best_score := score;
+                    best_delta := delta;
+                    best_v := v
+                  end
+                end
+              end
+            end
+          end
+        done;
+      match !best with
+      | -1 -> ()
+      | q ->
+          let delta = !best_delta in
+          for r = 0 to m - 1 do
+            if r <> i then begin
+              let wr = Tableau.unsafe_get tab r q in
+              if wr <> 0.0 then
+                if rowdone.(r) then xb.(r) <- xb.(r) -. (wr *. delta)
+                else resid.(r) <- resid.(r) -. (wr *. delta)
+            end
+          done;
+          stat.(q) <- Basic;
+          basis.(i) <- q;
+          xb.(i) <- Float.max slo.(q) (Float.min shi.(q) !best_v);
+          rowdone.(i) <- true;
+          slo.(art0 + i) <- 0.0;
+          shi.(art0 + i) <- 0.0;
+          Tableau.pivot tab ~row:i ~col:q
+    end
+  done;
+  (* Rows the crash could not cover keep their artificial basic. *)
+  let any_art = ref false in
+  for i = 0 to m - 1 do
+    if not rowdone.(i) then begin
+      basis.(i) <- art0 + i;
+      stat.(art0 + i) <- Basic;
+      xb.(i) <- Float.max 0.0 resid.(i);
+      any_art := true
+    end
+  done;
+  let st =
+    { m; ntot; art0; slo; shi; tab; xb; basis; stat; vnb;
+      z = Array.make ntot 0.0; sgn; iters = 0; degen = 0 }
+  in
+  let cost = phase2_cost input ntot in
   let phase1_cost = Array.make ntot 0.0 in
   for i = 0 to m - 1 do
     phase1_cost.(art0 + i) <- 1.0
   done;
-  let run_phase c =
-    reset_reduced_costs st c;
-    let rec loop () =
-      if st.iters >= max_iters then `Iters
-      else
-        match price st with
-        | None -> `Done
-        | Some (q, d) -> if step st q d then loop () else `Unbounded
-    in
-    loop ()
+  let fin = finish ~emit_basis ~warm_started:false input st in
+  let phase1_outcome =
+    if !any_art then run_phase st max_iters phase1_cost else `Done
   in
-  let finish status =
-    let x = Array.make n 0.0 in
-    for j = 0 to n - 1 do
-      if st.stat.(j) <> Basic then x.(j) <- st.vnb.(j)
-    done;
-    for i = 0 to m - 1 do
-      if st.basis.(i) < n then x.(st.basis.(i)) <- st.xb.(i)
-    done;
-    let obj_value =
-      let a = ref input.obj_const in
-      for j = 0 to n - 1 do
-        a := !a +. (input.obj.(j) *. x.(j))
-      done;
-      !a
-    in
-    let duals = Array.make m 0.0 in
-    let reduced = Array.make n 0.0 in
-    if status = Status.Optimal then begin
-      for i = 0 to m - 1 do
-        duals.(i) <- -.st.z.(art0 + i) *. st.sgn.(i)
-      done;
-      for j = 0 to n - 1 do
-        reduced.(j) <- st.z.(j)
-      done
-    end;
-    { status; x; obj_value; duals; reduced_costs = reduced;
-      iterations = st.iters }
-  in
-  match run_phase phase1_cost with
-  | `Iters -> finish Status.Iteration_limit
+  match phase1_outcome with
+  | `Iters -> fin Status.Iteration_limit
   | `Unbounded ->
       (* Phase-1 objective is bounded below by zero; reaching here means a
          numerical breakdown, which we surface as an iteration failure. *)
-      finish Status.Iteration_limit
+      fin Status.Iteration_limit
   | `Done ->
       let p1 = ref 0.0 in
       for i = 0 to m - 1 do
@@ -485,7 +588,7 @@ let rec solve ?max_iters input =
       for j = art0 to ntot - 1 do
         if st.stat.(j) <> Basic then p1 := !p1 +. st.vnb.(j)
       done;
-      if !p1 > tol_feas *. float_of_int (1 + m) then finish Status.Infeasible
+      if !p1 > tol_feas *. float_of_int (1 + m) then fin Status.Infeasible
       else begin
         (* Pivot leftover artificials out of the basis where possible; rows
            where no structural pivot exists are redundant and keep a fixed
@@ -495,7 +598,7 @@ let rec solve ?max_iters input =
             let q = ref (-1) in
             for j = 0 to art0 - 1 do
               if !q < 0 && st.stat.(j) <> Basic
-                 && Float.abs st.t.(i).(j) > 1e-7
+                 && Float.abs (Tableau.get st.tab i j) > 1e-7
               then q := j
             done;
             match !q with
@@ -507,25 +610,7 @@ let rec solve ?max_iters input =
                 st.basis.(i) <- q;
                 st.stat.(q) <- Basic;
                 st.xb.(i) <- st.vnb.(q);
-                let prow = st.t.(i) in
-                let piv = prow.(q) in
-                let inv = 1.0 /. piv in
-                for j = 0 to st.ntot - 1 do
-                  prow.(j) <- prow.(j) *. inv
-                done;
-                prow.(q) <- 1.0;
-                for r = 0 to st.m - 1 do
-                  if r <> i then begin
-                    let f = st.t.(r).(q) in
-                    if f <> 0.0 then begin
-                      let rr = st.t.(r) in
-                      for j = 0 to st.ntot - 1 do
-                        rr.(j) <- rr.(j) -. (f *. prow.(j))
-                      done;
-                      rr.(q) <- 0.0
-                    end
-                  end
-                done
+                Tableau.pivot st.tab ~row:i ~col:q
           end
         done;
         (* Artificials may no longer move in phase 2. *)
@@ -534,11 +619,269 @@ let rec solve ?max_iters input =
           st.shi.(j) <- 0.0
         done;
         st.degen <- 0;
-        match run_phase cost with
-        | `Done -> finish Status.Optimal
-        | `Unbounded -> finish Status.Unbounded
-        | `Iters -> finish Status.Iteration_limit
+        match run_phase st max_iters cost with
+        | `Done -> fin Status.Optimal
+        | `Unbounded -> fin Status.Unbounded
+        | `Iters -> fin Status.Iteration_limit
       end
+
+(* ------------------------------------------------------------------ *)
+(* Warm start: refactorize a saved basis, dual simplex, primal polish. *)
+(* ------------------------------------------------------------------ *)
+
+(* Bounded-variable dual simplex.  The basis is assumed (near) dual
+   feasible; primal feasibility is restored one bound violation at a time.
+   Returns [`Feasible] when all basic values are within bounds,
+   [`Infeasible] when some violated row admits no entering column (a
+   primal-infeasibility certificate independent of the reduced costs), or
+   [`Iters] when the budget runs out. *)
+let dual_loop st max_iters =
+  let rec loop () =
+    if st.iters >= max_iters then `Iters
+    else begin
+      (* Most violated basic variable. *)
+      let row = ref (-1) and viol = ref tol_feas and below = ref false in
+      for i = 0 to st.m - 1 do
+        let b = st.basis.(i) in
+        let lo = st.slo.(b) and hi = st.shi.(b) in
+        let v_lo = (lo -. st.xb.(i)) /. (1.0 +. Float.abs lo) in
+        let v_hi = (st.xb.(i) -. hi) /. (1.0 +. Float.abs hi) in
+        if v_lo > !viol then begin
+          viol := v_lo;
+          row := i;
+          below := true
+        end;
+        if v_hi > !viol then begin
+          viol := v_hi;
+          row := i;
+          below := false
+        end
+      done;
+      if !row < 0 then `Feasible
+      else begin
+        let r = !row in
+        let b = st.basis.(r) in
+        let target = if !below then st.slo.(b) else st.shi.(b) in
+        (* Entering column: admissible direction that moves xb(r) toward
+           [target]; min |z/w| ratio keeps the basis dual feasible. *)
+        let q = ref (-1) and best_ratio = ref infinity and best_w = ref 0.0 in
+        for j = 0 to st.ntot - 1 do
+          if st.stat.(j) <> Basic && (st.slo.(j) < st.shi.(j)) then begin
+            let w = Tableau.unsafe_get st.tab r j in
+            let eligible =
+              if Float.abs w <= tol_piv then false
+              else
+                match st.stat.(j) with
+                | Free_nb -> true
+                | At_lower -> if !below then w < 0.0 else w > 0.0
+                | At_upper -> if !below then w > 0.0 else w < 0.0
+                | Basic -> false
+            in
+            if eligible then begin
+              let ratio =
+                match st.stat.(j) with
+                | Free_nb -> Float.abs (st.z.(j) /. w)
+                | _ -> Float.max 0.0 (if !below then -.(st.z.(j) /. w) else st.z.(j) /. w)
+              in
+              if
+                ratio < !best_ratio -. 1e-10
+                || (ratio < !best_ratio +. 1e-10 && Float.abs w > Float.abs !best_w)
+              then begin
+                q := j;
+                best_ratio := ratio;
+                best_w := w
+              end
+            end
+          end
+        done;
+        if !q < 0 then `Infeasible
+        else begin
+          let q = !q in
+          let w = Tableau.unsafe_get st.tab r q in
+          let delta = (st.xb.(r) -. target) /. w in
+          st.iters <- st.iters + 1;
+          for i = 0 to st.m - 1 do
+            if i <> r then
+              st.xb.(i) <- st.xb.(i) -. (Tableau.unsafe_get st.tab i q *. delta)
+          done;
+          st.vnb.(b) <- target;
+          st.stat.(b) <- (if !below then At_lower else At_upper);
+          st.basis.(r) <- q;
+          st.stat.(q) <- Basic;
+          st.xb.(r) <- st.vnb.(q) +. delta;
+          do_pivot st r q;
+          loop ()
+        end
+      end
+    end
+  in
+  loop ()
+
+(* Rebuild the tableau for [input] around the saved basis [w].  Returns
+   [None] when the basis does not fit these rows or turns out singular —
+   the caller then falls back to a cold solve. *)
+let warm_state input (w : basis) =
+  let fr = build_frame input in
+  let m = fr.f_m and art0 = fr.f_art0 and ntot = fr.f_ntot in
+  if Array.length w.vstat <> ntot || Array.length w.vbasis <> m then None
+  else begin
+    let slo = fr.f_slo and shi = fr.f_shi and tab = fr.f_tab in
+    let stat = Array.copy w.vstat and vnb = Array.make ntot 0.0 in
+    let basis = Array.copy w.vbasis in
+    let ok = ref true in
+    Array.iter (fun b -> if b < 0 || b >= ntot then ok := false) basis;
+    if not !ok then None
+    else begin
+      for i = 0 to m - 1 do
+        Tableau.set tab i (art0 + i) 1.0
+      done;
+      (* Artificials are pinned at zero in any warm solve; one that is
+         basic in [w] marks a redundant row and keeps its zero value. *)
+      for j = art0 to ntot - 1 do
+        slo.(j) <- 0.0;
+        shi.(j) <- 0.0;
+        if stat.(j) <> Basic then begin
+          stat.(j) <- At_lower;
+          vnb.(j) <- 0.0
+        end
+      done;
+      (* Resolve nonbasic resting points against the (possibly changed)
+         bounds. *)
+      for j = 0 to art0 - 1 do
+        if stat.(j) <> Basic then
+          if slo.(j) > neg_infinity
+             && (stat.(j) = At_lower || shi.(j) = infinity
+                 || slo.(j) >= shi.(j))
+          then begin
+            stat.(j) <- At_lower;
+            vnb.(j) <- slo.(j)
+          end
+          else if shi.(j) < infinity then begin
+            stat.(j) <- At_upper;
+            vnb.(j) <- shi.(j)
+          end
+          else if slo.(j) > neg_infinity then begin
+            stat.(j) <- At_lower;
+            vnb.(j) <- slo.(j)
+          end
+          else begin
+            stat.(j) <- Free_nb;
+            vnb.(j) <- 0.0
+          end
+      done;
+      Array.iter (fun b -> stat.(b) <- Basic) basis;
+      (* Refactorize: make each basis column a unit vector, choosing the
+         largest available pivot at every step for stability. *)
+      let rowdone = Array.make m false in
+      (try
+         for _step = 0 to m - 1 do
+           let r = ref (-1) and best = ref 1e-8 in
+           for i = 0 to m - 1 do
+             if not rowdone.(i) then begin
+               let w = Float.abs (Tableau.get tab i basis.(i)) in
+               if w > !best then begin
+                 best := w;
+                 r := i
+               end
+             end
+           done;
+           if !r < 0 then raise Exit;
+           Tableau.pivot tab ~row:!r ~col:basis.(!r);
+           rowdone.(!r) <- true
+         done
+       with Exit -> ok := false);
+      if not !ok then None
+      else begin
+        let xb = Array.make m 0.0 in
+        for i = 0 to m - 1 do
+          let acc = ref (Tableau.get tab i ntot) in
+          for j = 0 to art0 - 1 do
+            if stat.(j) <> Basic && vnb.(j) <> 0.0 then begin
+              let w = Tableau.unsafe_get tab i j in
+              if w <> 0.0 then acc := !acc -. (w *. vnb.(j))
+            end
+          done;
+          xb.(i) <- !acc
+        done;
+        Some
+          { m; ntot; art0; slo; shi; tab; xb; basis; stat; vnb;
+            z = Array.make ntot 0.0; sgn = Array.make m 1.0; iters = 0;
+            degen = 0 }
+      end
+    end
+  end
+
+let solve_warm ?max_iters input w =
+  match warm_state input w with
+  | None -> None
+  | Some st ->
+      let max_iters = default_iters max_iters st.m input.nvars in
+      let cost = phase2_cost input st.ntot in
+      reset_reduced_costs st cost;
+      let fin = finish ~emit_basis:true ~warm_started:true input st in
+      (match dual_loop st max_iters with
+      | `Iters -> None (* numerical trouble: let the cold path decide *)
+      | `Infeasible -> Some (fin Status.Infeasible)
+      | `Feasible -> (
+          st.degen <- 0;
+          match run_phase st max_iters cost with
+          | `Done -> Some (fin Status.Optimal)
+          | `Unbounded -> Some (fin Status.Unbounded)
+          | `Iters -> None))
+
+let rec solve ?max_iters ?warm ?(want_basis = false) input =
+  let n = input.nvars in
+  (* Branching can cross bounds; such boxes are empty, not "solved". *)
+  let crossed = ref false in
+  for j = 0 to n - 1 do
+    if input.lo.(j) > input.hi.(j) +. 1e-11 then crossed := true
+  done;
+  if !crossed then empty_result Status.Infeasible
+  else
+    match warm with
+    | Some w -> (
+        match solve_warm ?max_iters input w with
+        | Some r -> r
+        | None -> solve ?max_iters ~want_basis:true input)
+    | None ->
+        if want_basis then solve_cold ?max_iters ~emit_basis:true input
+        else (
+          match eliminate_fixed input with
+          | Some (reduced, back) ->
+              let r = solve ?max_iters reduced in
+              let x = Array.copy input.lo in
+              let reduced_costs = Array.make n 0.0 in
+              if Array.length r.x > 0 then
+                Array.iteri (fun k j -> x.(j) <- r.x.(k)) back;
+              if r.status = Status.Optimal then begin
+                (* Reduced costs of fixed columns from the duals:
+                   c_j - y' A_j. *)
+                let cmin j =
+                  if input.minimize then input.obj.(j) else -.input.obj.(j)
+                in
+                for j = 0 to n - 1 do
+                  reduced_costs.(j) <- cmin j
+                done;
+                Array.iteri
+                  (fun i (terms, _, _) ->
+                    let y = r.duals.(i) in
+                    if y <> 0.0 then
+                      Array.iter
+                        (fun (j, c) ->
+                          reduced_costs.(j) <- reduced_costs.(j) -. (y *. c))
+                        terms)
+                  input.rows;
+                Array.iteri
+                  (fun k j -> reduced_costs.(j) <- r.reduced_costs.(k))
+                  back
+              end;
+              {
+                r with
+                x = (if r.status = Status.Optimal then x else [||]);
+                reduced_costs;
+                basis = None;
+              }
+          | None -> solve_cold ?max_iters ~emit_basis:false input)
 
 let check_certificate ?(tol = 1e-5) input result =
   let errs = ref [] in

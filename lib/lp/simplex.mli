@@ -1,10 +1,20 @@
-(** Two-phase primal simplex for linear programs with bounded variables.
+(** Two-phase primal simplex with dual-simplex warm starts, for linear
+    programs with bounded variables.
 
-    The solver works on a dense tableau and supports variables resting at
-    either bound (so binary upper bounds cost no extra rows), equality /
-    inequality rows (slacks are added internally), Dantzig pricing with a
-    Bland anti-cycling fallback, and produces a dual certificate that
-    {!check_certificate} can verify independently. *)
+    The solver works on a dense flat tableau ({!Tableau}) and supports
+    variables resting at either bound (so binary upper bounds cost no extra
+    rows), equality / inequality rows (slacks are added internally), a
+    slack-plus-structural crash basis that usually skips phase 1 outright,
+    Dantzig pricing with a Bland anti-cycling fallback, and produces a dual
+    certificate that {!check_certificate} can verify independently.
+
+    A solve can export its optimal {!basis} and a later solve over the
+    {e same rows} but different bounds can restart from it: the basis is
+    refactorized and a bounded-variable dual simplex repairs the bound
+    violations, which after a single branch-and-bound bound change is
+    typically a handful of pivots instead of a full cold solve.  Warm
+    solves fall back to the cold path automatically when the saved basis is
+    singular or the reoptimization struggles numerically. *)
 
 type input = {
   nvars : int;
@@ -17,6 +27,16 @@ type input = {
       (** sparse rows: (terms, sense, rhs) *)
 }
 
+(** Column status: a nonbasic column rests at one of its bounds (or at 0
+    when free); a basic column's value lives in its row. *)
+type cstat = Basic | At_lower | At_upper | Free_nb
+
+(** A restart point.  [vbasis.(i)] is the column basic in row [i];
+    [vstat.(j)] is the resting status of every column (structural, slack
+    and artificial).  Only valid for inputs with the same row structure as
+    the solve that produced it — bounds and objective may differ. *)
+type basis = { vbasis : int array; vstat : cstat array }
+
 type result = {
   status : Status.t;
   x : float array;           (** structural variable values, length [nvars] *)
@@ -24,12 +44,23 @@ type result = {
   duals : float array;       (** one multiplier per row, min convention *)
   reduced_costs : float array;  (** per structural variable, min convention *)
   iterations : int;
+  basis : basis option;
+      (** final basis, present when requested and [status = Optimal] *)
+  warm_started : bool;
+      (** whether this result came from the dual-simplex warm path (false
+          when a warm attempt fell back to the cold solver) *)
 }
 
 (** [of_model m] compiles a {!Model.t}, ignoring integrality marks. *)
 val of_model : Model.t -> input
 
-val solve : ?max_iters:int -> input -> result
+(** [solve input] runs the two-phase primal simplex.  With [~warm] the
+    solver instead refactorizes the given basis and reoptimizes with the
+    dual simplex (falling back to a cold solve on failure); warm solves
+    always export their basis.  With [~want_basis:true] a cold solve skips
+    fixed-column elimination and exports its final basis so children can
+    warm start. *)
+val solve : ?max_iters:int -> ?warm:basis -> ?want_basis:bool -> input -> result
 
 (** [check_certificate input result] re-verifies, from scratch, that
     [result] is a valid optimum of [input]: primal feasibility, the sign

@@ -1,0 +1,100 @@
+type t = { rows : int; cols : int; a : float array }
+
+let create ~rows ~cols = { rows; cols; a = Array.make (rows * cols) 0.0 }
+let copy t = { t with a = Array.copy t.a }
+let get t i j = t.a.((i * t.cols) + j)
+let set t i j v = t.a.((i * t.cols) + j) <- v
+
+let unsafe_get t i j = Array.unsafe_get t.a ((i * t.cols) + j)
+
+let scale_row t i f =
+  let a = t.a in
+  let off = i * t.cols in
+  for j = off to off + t.cols - 1 do
+    Array.unsafe_set a j (Array.unsafe_get a j *. f)
+  done
+
+let flip_row t i = scale_row t i (-1.0)
+
+let sub_scaled_vec t ~src f v =
+  let a = t.a in
+  let off = src * t.cols in
+  let n = min t.cols (Array.length v) in
+  for j = 0 to n - 1 do
+    Array.unsafe_set v j
+      (Array.unsafe_get v j -. (f *. Array.unsafe_get a (off + j)))
+  done
+
+(* [dst -= f * src] over whole rows, both addressed by their flat offset. *)
+let sub_scaled_row t ~src_off ~dst_off f =
+  let a = t.a in
+  for j = 0 to t.cols - 1 do
+    Array.unsafe_set a (dst_off + j)
+      (Array.unsafe_get a (dst_off + j)
+      -. (f *. Array.unsafe_get a (src_off + j)))
+  done
+
+(* [dst -= f * src] visiting only the pivot row's nonzero columns. *)
+let sub_scaled_row_nnz a ~src_off ~dst_off f idx nnz =
+  for k = 0 to nnz - 1 do
+    let j = Array.unsafe_get idx k in
+    Array.unsafe_set a (dst_off + j)
+      (Array.unsafe_get a (dst_off + j)
+      -. (f *. Array.unsafe_get a (src_off + j)))
+  done
+
+let pivot ?aux t ~row ~col =
+  let a = t.a in
+  let cols = t.cols in
+  let src_off = row * cols in
+  let piv = Array.unsafe_get a (src_off + col) in
+  scale_row t row (1.0 /. piv);
+  Array.unsafe_set a (src_off + col) 1.0;
+  (* Early pivot rows are very sparse (a handful of nonzeros out of
+     hundreds of columns), so eliminations walk an index list of the pivot
+     row's nonzeros; once the row densifies past half full the plain
+     contiguous loop wins and we use it instead. *)
+  let idx = Array.make cols 0 in
+  let nnz = ref 0 in
+  for j = 0 to cols - 1 do
+    if Array.unsafe_get a (src_off + j) <> 0.0 then begin
+      Array.unsafe_set idx !nnz j;
+      incr nnz
+    end
+  done;
+  let nnz = !nnz in
+  let sparse = 2 * nnz < cols in
+  for i = 0 to t.rows - 1 do
+    if i <> row then begin
+      let dst_off = i * cols in
+      let f = Array.unsafe_get a (dst_off + col) in
+      if f <> 0.0 then begin
+        if sparse then sub_scaled_row_nnz a ~src_off ~dst_off f idx nnz
+        else sub_scaled_row t ~src_off ~dst_off f;
+        Array.unsafe_set a (dst_off + col) 0.0
+      end
+    end
+  done;
+  match aux with
+  | None -> ()
+  | Some v ->
+      let f = Array.unsafe_get v col in
+      if f <> 0.0 then begin
+        let n = min cols (Array.length v) in
+        if sparse then begin
+          for k = 0 to nnz - 1 do
+            let j = Array.unsafe_get idx k in
+            if j < n then
+              Array.unsafe_set v j
+                (Array.unsafe_get v j
+                -. (f *. Array.unsafe_get a (src_off + j)))
+          done
+        end
+        else
+          for j = 0 to n - 1 do
+            Array.unsafe_set v j
+              (Array.unsafe_get v j
+              -. (f *. Array.unsafe_get a (src_off + j)))
+          done;
+        if col < n then Array.unsafe_set v col 0.0
+      end

@@ -1,0 +1,43 @@
+(** Flat row-major dense tableau with the simplex pivot kernels.
+
+    The tableau stores [rows] constraint rows of [cols] columns in a single
+    [float array], so the innermost elimination loops walk one contiguous
+    buffer instead of chasing a per-row pointer.  By convention the caller
+    reserves the last column for the right-hand side, which lets the
+    Gauss-Jordan kernels carry it through row operations for free.
+
+    The kernels use unsafe indexing internally; all offsets are derived from
+    [rows]/[cols], so they are in bounds whenever the row and column
+    arguments are. *)
+
+type t = private { rows : int; cols : int; a : float array }
+
+val create : rows:int -> cols:int -> t
+
+val copy : t -> t
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+(** [unsafe_get t i j] reads without bounds checks; the caller guarantees
+    [0 <= i < rows] and [0 <= j < cols]. *)
+val unsafe_get : t -> int -> int -> float
+
+(** [scale_row t i f] multiplies row [i] by [f] in place. *)
+val scale_row : t -> int -> float -> unit
+
+(** [flip_row t i] negates row [i] in place. *)
+val flip_row : t -> int -> unit
+
+(** [sub_scaled_vec t ~src f v] computes [v := v - f * row src] for a dense
+    vector [v] of length [cols] (or shorter; its length bounds the loop). *)
+val sub_scaled_vec : t -> src:int -> float -> float array -> unit
+
+(** [pivot ?aux t ~row ~col] performs one full Gauss-Jordan pivot: row
+    [row] is scaled so the pivot element becomes exactly 1, then column
+    [col] is eliminated from every other row — and from the dense side row
+    [aux] (the reduced-cost row) when given.  Eliminations visit only the
+    pivot row's nonzero columns while it is sparse.  The pivot element must
+    be nonzero.  This is the flops-dominant kernel of the solver. *)
+val pivot : ?aux:float array -> t -> row:int -> col:int -> unit

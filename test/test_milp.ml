@@ -213,6 +213,105 @@ let prop_assignment_matches_brute_force =
           else true
       | s, _ -> QCheck2.Test.fail_reportf "status %s" (Status.to_string s))
 
+(* Random generalized-assignment MILPs for the warm-start / parallel
+   agreement checks: eq assignment rows + tight capacity rows give
+   fractional relaxations, so the branch-and-bound tree is real. *)
+let random_gap rng =
+  let groups = 3 + Datasets.Prng.int rng 5 in
+  let dcs = 2 + Datasets.Prng.int rng 2 in
+  let m = Model.create () in
+  let x =
+    Array.init groups (fun i ->
+        Array.init dcs (fun j ->
+            Model.add_var m ~binary:true (Printf.sprintf "x_%d_%d" i j)))
+  in
+  let sizes =
+    Array.init groups (fun _ -> 1.0 +. Datasets.Prng.range rng 0.0 4.0)
+  in
+  for i = 0 to groups - 1 do
+    Model.add_eq m
+      (Printf.sprintf "assign%d" i)
+      (le (Array.to_list (Array.map Model.Linexpr.var x.(i))))
+      1.0
+  done;
+  let total = Array.fold_left ( +. ) 0.0 sizes in
+  let cap =
+    (* Usually tight but feasible; occasionally infeasible, which both
+       solver configurations must classify identically. *)
+    total /. float_of_int dcs *. Datasets.Prng.range rng 0.95 1.4
+  in
+  for j = 0 to dcs - 1 do
+    Model.add_le m
+      (Printf.sprintf "cap%d" j)
+      (le
+         (List.init groups (fun i -> Model.Linexpr.term sizes.(i) x.(i).(j))))
+      cap
+  done;
+  Model.set_objective m
+    (le
+       (List.concat_map
+          (fun i ->
+            List.init dcs (fun j ->
+                Model.Linexpr.term
+                  (1.0 +. Datasets.Prng.range rng 0.0 9.0)
+                  x.(i).(j)))
+          (List.init groups Fun.id)));
+  m
+
+let agree name a b =
+  if a.Milp.status <> b.Milp.status then
+    Alcotest.failf "%s: status mismatch %s vs %s" name
+      (Status.to_string a.Milp.status)
+      (Status.to_string b.Milp.status);
+  if
+    a.Milp.status = Status.Optimal
+    && Float.abs (a.Milp.obj -. b.Milp.obj)
+       > 1e-6 *. (1.0 +. Float.abs a.Milp.obj)
+  then Alcotest.failf "%s: objective mismatch %.9g vs %.9g" name a.Milp.obj b.Milp.obj
+
+let test_warm_matches_cold () =
+  (* >= 50 seeded random MILPs: the warm-started solver must agree with the
+     cold-started one on status and objective.  Diving is off so the tree
+     (and with it the dual warm path) is actually exercised. *)
+  let rng = Datasets.Prng.create 2024 in
+  let trees = ref 0 in
+  for case = 1 to 55 do
+    let m = random_gap rng in
+    let cold =
+      Milp.solve
+        ~options:
+          { Milp.default_options with
+            Milp.warm_start = false; dive_first = false }
+        m
+    in
+    let warm =
+      Milp.solve
+        ~options:{ Milp.default_options with Milp.dive_first = false }
+        m
+    in
+    agree (Printf.sprintf "case %d" case) cold warm;
+    if warm.Milp.nodes > 1 then incr trees
+  done;
+  Alcotest.(check bool) "some instances branched" true (!trees > 0)
+
+let test_parallel_matches_sequential () =
+  let rng = Datasets.Prng.create 7_777 in
+  for case = 1 to 12 do
+    let m = random_gap rng in
+    let seq =
+      Milp.solve
+        ~options:{ Milp.default_options with Milp.dive_first = false }
+        m
+    in
+    let par =
+      Milp.solve
+        ~options:
+          { Milp.default_options with Milp.workers = 4; dive_first = false }
+        m
+    in
+    agree (Printf.sprintf "case %d" case) seq par
+  done
+
 let test_relax_reports_fractional () =
   let m = Model.create () in
   let x = Model.add_var m ~binary:true "x" in
@@ -231,6 +330,10 @@ let suite =
     Alcotest.test_case "mixed integer-continuous" `Quick test_mixed;
     Alcotest.test_case "node limit still feasible" `Quick test_node_limit_returns_feasible;
     Alcotest.test_case "relaxation is fractional" `Quick test_relax_reports_fractional;
+    Alcotest.test_case "warm start matches cold start" `Quick
+      test_warm_matches_cold;
+    Alcotest.test_case "parallel matches sequential" `Quick
+      test_parallel_matches_sequential;
     q prop_knapsack_matches_brute_force;
     q prop_assignment_matches_brute_force;
   ]

@@ -192,6 +192,127 @@ let prop_random_feasible =
       | errs -> QCheck2.Test.fail_reportf "certificate: %s" (String.concat "; " errs));
       true)
 
+(* ---- dual-simplex warm starts ---------------------------------------- *)
+
+let textbook_input ~hiy =
+  let m = Model.create () in
+  let x = Model.add_var m "x" and y = Model.add_var m ~hi:hiy "y" in
+  Model.add_le m "c1" (Model.Linexpr.var x) 4.0;
+  Model.add_le m "c2" (Model.Linexpr.term 2.0 y) 12.0;
+  Model.add_le m "c3"
+    (Model.Linexpr.add (Model.Linexpr.term 3.0 x) (Model.Linexpr.term 2.0 y))
+    18.0;
+  Model.set_objective m ~minimize:false
+    (Model.Linexpr.add (Model.Linexpr.term 3.0 x) (Model.Linexpr.term 5.0 y));
+  Simplex.of_model m
+
+let test_warm_reopt_tightened () =
+  (* Solve the textbook LP, save its basis, tighten y's upper bound below
+     the optimal y = 6, and reoptimize warm: the dual simplex must land on
+     the new optimum x = 10/3, y = 4 -> 30 without a cold restart. *)
+  let base = textbook_input ~hiy:infinity in
+  let r0 = Simplex.solve ~want_basis:true base in
+  Alcotest.(check string) "base status" "optimal"
+    (Status.to_string r0.Simplex.status);
+  check_float "base obj" 36.0 r0.Simplex.obj_value;
+  let basis =
+    match r0.Simplex.basis with
+    | Some b -> b
+    | None -> Alcotest.fail "no basis exported"
+  in
+  let tightened = textbook_input ~hiy:4.0 in
+  let rw = Simplex.solve ~warm:basis tightened in
+  let rf = Simplex.solve tightened in
+  Alcotest.(check string) "warm status" "optimal"
+    (Status.to_string rw.Simplex.status);
+  Alcotest.(check bool) "dual path used" true rw.Simplex.warm_started;
+  check_float "warm obj" 30.0 rw.Simplex.obj_value;
+  check_float "matches fresh" rf.Simplex.obj_value rw.Simplex.obj_value;
+  check_float "warm x" rf.Simplex.x.(0) rw.Simplex.x.(0);
+  check_float "warm y" rf.Simplex.x.(1) rw.Simplex.x.(1);
+  (match Simplex.check_certificate tightened rw with
+  | [] -> ()
+  | errs -> Alcotest.failf "warm certificate: %s" (String.concat "; " errs))
+
+let test_warm_detects_infeasible () =
+  (* min x + y s.t. x + y >= 5 on [0,3]^2 is feasible; shrinking the box to
+     [0,1]^2 makes it infeasible, which the warm path must certify. *)
+  let build hi =
+    let m = Model.create () in
+    let x = Model.add_var m ~hi "x" and y = Model.add_var m ~hi "y" in
+    Model.add_ge m "c" Model.Linexpr.(add (var x) (var y)) 5.0;
+    Model.set_objective m Model.Linexpr.(add (var x) (var y));
+    Simplex.of_model m
+  in
+  let r0 = Simplex.solve ~want_basis:true (build 3.0) in
+  Alcotest.(check string) "base status" "optimal"
+    (Status.to_string r0.Simplex.status);
+  let basis = Option.get r0.Simplex.basis in
+  let rw = Simplex.solve ~warm:basis (build 1.0) in
+  Alcotest.(check string) "warm status" "infeasible"
+    (Status.to_string rw.Simplex.status)
+
+let test_warm_random_bound_changes () =
+  (* Feasible-by-construction random LPs: save the optimal basis, tighten a
+     random variable's upper bound, and check the warm reoptimization
+     agrees with a fresh solve on status and objective.  At least some of
+     the cases must actually take the dual path (not fall back cold). *)
+  let rng = Datasets.Prng.create 42 in
+  let warm_hits = ref 0 in
+  for _case = 1 to 60 do
+    let n = 2 + Datasets.Prng.int rng 5 in
+    let rows = 1 + Datasets.Prng.int rng 5 in
+    let x0 = Array.init n (fun _ -> Datasets.Prng.range rng 0.0 3.0) in
+    let m = Model.create () in
+    let vars =
+      Array.init n (fun i -> Model.add_var m ~hi:5.0 (Printf.sprintf "v%d" i))
+    in
+    for r = 0 to rows - 1 do
+      let e = ref Model.Linexpr.zero in
+      let lhs = ref 0.0 in
+      for j = 0 to n - 1 do
+        let c = Datasets.Prng.range rng (-5.0) 5.0 in
+        e := Model.Linexpr.add !e (Model.Linexpr.term c vars.(j));
+        lhs := !lhs +. (c *. x0.(j))
+      done;
+      match Datasets.Prng.int rng 3 with
+      | 0 -> Model.add_le m (Printf.sprintf "r%d" r) !e (!lhs +. 1.0)
+      | 1 -> Model.add_ge m (Printf.sprintf "r%d" r) !e (!lhs -. 1.0)
+      | _ -> Model.add_eq m (Printf.sprintf "r%d" r) !e !lhs
+    done;
+    Model.set_objective m
+      (Model.Linexpr.sum
+         (List.init n (fun j ->
+              Model.Linexpr.term (Datasets.Prng.range rng (-4.0) 4.0) vars.(j))));
+    let input = Simplex.of_model m in
+    let r0 = Simplex.solve ~want_basis:true input in
+    match (r0.Simplex.status, r0.Simplex.basis) with
+    | Status.Optimal, Some basis ->
+        let j = Datasets.Prng.int rng n in
+        let hi' = Array.copy input.Simplex.hi in
+        hi'.(j) <- Datasets.Prng.range rng 0.0 4.0;
+        let tightened = { input with Simplex.hi = hi' } in
+        let rw = Simplex.solve ~warm:basis tightened in
+        let rf = Simplex.solve tightened in
+        if rw.Simplex.status <> rf.Simplex.status then
+          Alcotest.failf "status mismatch: warm %s, fresh %s"
+            (Status.to_string rw.Simplex.status)
+            (Status.to_string rf.Simplex.status);
+        if rw.Simplex.status = Status.Optimal then begin
+          if Float.abs (rw.Simplex.obj_value -. rf.Simplex.obj_value) > 1e-6
+          then
+            Alcotest.failf "objective mismatch: warm %.9g, fresh %.9g"
+              rw.Simplex.obj_value rf.Simplex.obj_value;
+          match Simplex.check_certificate tightened rw with
+          | [] -> ()
+          | errs ->
+              Alcotest.failf "warm certificate: %s" (String.concat "; " errs)
+        end;
+        if rw.Simplex.warm_started then incr warm_hits
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "dual path exercised" true (!warm_hits > 0)
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   [
@@ -207,5 +328,11 @@ let suite =
     Alcotest.test_case "objective constant" `Quick test_objective_constant;
     Alcotest.test_case "free variable" `Quick test_free_variable;
     Alcotest.test_case "transportation duals" `Quick test_duals_transportation;
+    Alcotest.test_case "warm reopt after tightening" `Quick
+      test_warm_reopt_tightened;
+    Alcotest.test_case "warm detects infeasible" `Quick
+      test_warm_detects_infeasible;
+    Alcotest.test_case "warm random bound changes" `Quick
+      test_warm_random_bound_changes;
     q prop_random_feasible;
   ]
