@@ -2,13 +2,20 @@
    evaluation (experiments E0-E6, see DESIGN.md) and measures the solver
    kernels with Bechamel.
 
-   Usage: main.exe [e0|e1|e2|e3|e4|e5|e6|kernels|all]   (default: all) *)
+   Usage: main.exe [--json] [--check BASELINE.json]
+                   [e0|e1|e2|e3|e4|e5|e6|kernels|smoke|all]   (default: all)
+
+   [smoke] runs every kernel thunk exactly once (no timing) so the test
+   suite can exercise the bench harness cheaply; [--check] compares the
+   measured kernels against a committed baseline and fails the run on a
+   >25% regression. *)
 
 open Bechamel
 
-(* One Test.make per experiment family, over the kernels each experiment
-   leans on. *)
-let kernel_tests () =
+(* One entry per experiment family, over the kernels each experiment
+   leans on.  Returned as named thunks so the same list backs both the
+   Bechamel timing run and the single-shot smoke mode. *)
+let kernel_thunks () =
   let small_lp () =
     let m = Lp.Model.create ~name:"bench_lp" () in
     let xs =
@@ -88,56 +95,140 @@ let kernel_tests () =
       Lp.Milp.node_limit = 5000; dive_first = false }
   in
   [
-    Test.make ~name:"e1_simplex_solve"
-      (Staged.stage (fun () ->
-           ignore (Lp.Simplex.solve (Lp.Simplex.of_model (small_lp ())))));
-    Test.make ~name:"e1_milp_assignment"
-      (Staged.stage (fun () ->
-           ignore
-             (Lp.Milp.solve ~options:(milp_opts ())
-                built.Etransform.Lp_builder.model)));
-    Test.make ~name:"e1_milp_assignment_cold"
-      (Staged.stage (fun () ->
-           ignore
-             (Lp.Milp.solve
-                ~options:(milp_opts ~warm_start:false ())
-                built.Etransform.Lp_builder.model)));
-    Test.make ~name:"e1_milp_assignment_par4"
-      (Staged.stage (fun () ->
-           ignore
-             (Lp.Milp.solve ~options:(milp_opts ~workers:4 ())
-                built.Etransform.Lp_builder.model)));
-    Test.make ~name:"e1_milp_gap_tree_cold"
-      (Staged.stage (fun () ->
-           ignore
-             (Lp.Milp.solve ~options:(gap_opts ~warm_start:false ()) gap_model)));
-    Test.make ~name:"e1_milp_gap_tree_warm"
-      (Staged.stage (fun () ->
-           ignore (Lp.Milp.solve ~options:(gap_opts ()) gap_model)));
-    Test.make ~name:"e1_milp_gap_tree_par4"
-      (Staged.stage (fun () ->
-           ignore (Lp.Milp.solve ~options:(gap_opts ~workers:4 ()) gap_model)));
-    Test.make ~name:"e1_greedy_baseline"
-      (Staged.stage (fun () -> ignore (Etransform.Greedy.plan fixture)));
-    Test.make ~name:"e2_backup_pools"
-      (Staged.stage (fun () ->
-           ignore
-             (Etransform.Placement.backup_servers fixture
-                (Etransform.Greedy.plan_dr fixture))));
-    Test.make ~name:"e3_exact_evaluation"
-      (Staged.stage (fun () ->
-           ignore (Etransform.Evaluate.plan fixture greedy_plan)));
-    Test.make ~name:"e5_lp_file_roundtrip"
-      (Staged.stage (fun () ->
-           ignore
-             (Lp.Lp_parse.model_of_string
-                (Lp.Lp_format.model_to_string built.Etransform.Lp_builder.model))));
-    Test.make ~name:"e6_dataset_synthesis"
-      (Staged.stage (fun () ->
-           ignore (Datasets.Synth.generate Datasets.Synth.default)));
+    ( "e1_simplex_solve",
+      fun () -> ignore (Lp.Simplex.solve (Lp.Simplex.of_model (small_lp ()))) );
+    ( "e1_milp_assignment",
+      fun () ->
+        ignore
+          (Lp.Milp.solve ~options:(milp_opts ())
+             built.Etransform.Lp_builder.model) );
+    ( "e1_milp_assignment_cold",
+      fun () ->
+        ignore
+          (Lp.Milp.solve
+             ~options:(milp_opts ~warm_start:false ())
+             built.Etransform.Lp_builder.model) );
+    ( "e1_milp_assignment_par4",
+      fun () ->
+        ignore
+          (Lp.Milp.solve ~options:(milp_opts ~workers:4 ())
+             built.Etransform.Lp_builder.model) );
+    ( "e1_milp_gap_tree_cold",
+      fun () ->
+        ignore (Lp.Milp.solve ~options:(gap_opts ~warm_start:false ()) gap_model)
+    );
+    ( "e1_milp_gap_tree_warm",
+      fun () -> ignore (Lp.Milp.solve ~options:(gap_opts ()) gap_model) );
+    ( "e1_milp_gap_tree_par4",
+      fun () ->
+        ignore (Lp.Milp.solve ~options:(gap_opts ~workers:4 ()) gap_model) );
+    ("e1_greedy_baseline", fun () -> ignore (Etransform.Greedy.plan fixture));
+    ( "e2_backup_pools",
+      fun () ->
+        ignore
+          (Etransform.Placement.backup_servers fixture
+             (Etransform.Greedy.plan_dr fixture)) );
+    ( "e3_exact_evaluation",
+      fun () -> ignore (Etransform.Evaluate.plan fixture greedy_plan) );
+    ( "e5_lp_file_roundtrip",
+      fun () ->
+        ignore
+          (Lp.Lp_parse.model_of_string
+             (Lp.Lp_format.model_to_string built.Etransform.Lp_builder.model))
+    );
+    ( "e6_dataset_synthesis",
+      fun () -> ignore (Datasets.Synth.generate Datasets.Synth.default) );
   ]
 
-let run_kernels ?(json = false) () =
+let kernel_tests () =
+  List.map
+    (fun (name, thunk) -> Test.make ~name (Staged.stage thunk))
+    (kernel_thunks ())
+
+(* Each kernel once, untimed: correctness smoke for `dune runtest`. *)
+let run_smoke () =
+  List.iter
+    (fun (name, thunk) ->
+      thunk ();
+      Printf.printf "smoke %-28s ok\n%!" name)
+    (kernel_thunks ())
+
+(* Minimal reader for the committed BENCH_kernels.json: one
+   {"kernel": ..., "ns_per_run": ...} object per line, as written below.
+   Returns an empty table on malformed input rather than failing the
+   bench run. *)
+let baseline_of_file path =
+  let tbl = Hashtbl.create 16 in
+  (try
+     let ic = open_in path in
+     let len = in_channel_length ic in
+     let s = really_input_string ic len in
+     close_in ic;
+     let find_sub line marker =
+       let n = String.length line and ml = String.length marker in
+       let rec go i =
+         if i + ml > n then None
+         else if String.sub line i ml = marker then Some (i + ml)
+         else go (i + 1)
+       in
+       go 0
+     in
+     String.split_on_char '\n' s
+     |> List.iter (fun line ->
+            match find_sub line "\"kernel\": \"" with
+            | None -> ()
+            | Some i -> (
+                match String.index_from_opt line i '"' with
+                | None -> ()
+                | Some j -> (
+                    let name = String.sub line i (j - i) in
+                    match find_sub line "\"ns_per_run\": " with
+                    | None -> ()
+                    | Some k ->
+                        let buf = Buffer.create 24 in
+                        (try
+                           String.iter
+                             (function
+                               | ('0' .. '9' | '.' | '-' | '+' | 'e' | 'E') as c
+                                 ->
+                                   Buffer.add_char buf c
+                               | _ -> raise Exit)
+                             (String.sub line k (String.length line - k))
+                         with Exit -> ());
+                        (match float_of_string_opt (Buffer.contents buf) with
+                        | Some v -> Hashtbl.replace tbl name v
+                        | None -> ()))))
+   with Sys_error _ -> ());
+  tbl
+
+(* Compare fresh results against the committed baseline; >25% slower on
+   any kernel fails the run.  Missing or new kernels are reported but do
+   not fail, so the guard stays usable while kernels are added. *)
+let check_regressions ~path results =
+  let baseline = baseline_of_file path in
+  if Hashtbl.length baseline = 0 then begin
+    Printf.printf "check: no baseline entries in %s; skipping\n%!" path;
+    true
+  end
+  else begin
+    let ok = ref true in
+    List.iter
+      (fun (name, t) ->
+        match Hashtbl.find_opt baseline name with
+        | None -> Printf.printf "check: %s has no baseline entry\n%!" name
+        | Some b when b > 0.0 && not (Float.is_nan t) ->
+            if t > 1.25 *. b then begin
+              ok := false;
+              Printf.printf "check: REGRESSION %s: %.2f -> %.2f ns (%+.0f%%)\n%!"
+                name b t (100.0 *. ((t /. b) -. 1.0))
+            end
+        | Some _ -> ())
+      results;
+    if !ok then Printf.printf "check: all kernels within 25%% of %s\n%!" path;
+    !ok
+  end
+
+let run_kernels ?(json = false) ?check () =
   Printf.printf "\n===== Kernels (Bechamel, one Test.make per family) =====\n%!";
   let cfg = Benchmark.cfg ~limit:150 ~quota:(Time.second 0.6) () in
   let instance = Toolkit.Instance.monotonic_clock in
@@ -174,6 +265,10 @@ let run_kernels ?(json = false) () =
       results
   in
   print_string (Etransform.Report.table ~header:[ "kernel"; "time/run" ] rows);
+  (* The baseline must be read (and compared) before --json overwrites it. *)
+  let passed =
+    match check with None -> true | Some path -> check_regressions ~path results
+  in
   if json then begin
     (* Machine-readable mirror of the table, so the perf trajectory can be
        tracked across commits. *)
@@ -190,16 +285,25 @@ let run_kernels ?(json = false) () =
     output_string oc "]\n";
     close_out oc;
     Printf.printf "wrote %s\n%!" path
-  end
+  end;
+  passed
 
 let () =
-  let argv = Array.to_list Sys.argv in
-  let json = List.mem "--json" argv in
-  let mode =
-    match List.filter (fun a -> a <> "--json") (List.tl argv) with
-    | m :: _ -> m
-    | [] -> "all"
+  let rec parse_args args (mode, json, check) =
+    match args with
+    | [] -> (mode, json, check)
+    | "--json" :: rest -> parse_args rest (mode, true, check)
+    | "--check" :: path :: rest -> parse_args rest (mode, json, Some path)
+    | "--check" :: [] ->
+        Printf.eprintf "--check needs a baseline path\n";
+        exit 2
+    | m :: rest -> parse_args rest (Some m, json, check)
   in
+  let mode, json, check =
+    parse_args (List.tl (Array.to_list Sys.argv)) (None, false, None)
+  in
+  let mode = Option.value mode ~default:"all" in
+  let passed = ref true in
   (match mode with
   | "e0" -> Harness.Studies.e0_datasets ()
   | "e1" -> ignore (Harness.Studies.e1_consolidation ())
@@ -208,11 +312,14 @@ let () =
   | "e4" -> ignore (Harness.Studies.e4_dr_server_cost ())
   | "e5" -> ignore (Harness.Studies.e5_space_wan_tradeoff ())
   | "e6" -> ignore (Harness.Studies.e6_placement_growth ())
-  | "kernels" -> run_kernels ~json ()
+  | "kernels" -> passed := run_kernels ~json ?check ()
+  | "smoke" -> run_smoke ()
   | "all" ->
       Harness.Studies.all ();
-      run_kernels ~json ()
+      passed := run_kernels ~json ?check ()
   | other ->
-      Printf.eprintf "unknown experiment %S (want e0..e6, kernels, all)\n" other;
+      Printf.eprintf "unknown experiment %S (want e0..e6, kernels, smoke, all)\n"
+        other;
       exit 2);
-  Printf.printf "\nDone.\n%!"
+  Printf.printf "\nDone.\n%!";
+  if not !passed then exit 1

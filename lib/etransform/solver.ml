@@ -15,13 +15,24 @@ type outcome = {
 (* The dive heuristic plus local search does nearly all the work on
    consolidation models; the LP bound stays loose under volume discounts,
    so a deep best-bound search rarely improves the incumbent.  Keep the
-   default tree small and let callers raise it for certified optima. *)
+   default tree small and let callers raise it for certified optima.
+
+   The reference configuration pins the dense simplex core and disables
+   presolve: with truncated trees the reported plan is the dive (or
+   LP-rounding) incumbent, and a different — equally optimal — degenerate
+   LP vertex steers those heuristics to a different, equally heuristic
+   plan.  Pinning the historical engine keeps the paper reproductions
+   (experiments E1–E3) bit-stable as the solver pipeline evolves; callers
+   chasing speed over reproducibility can flip [core]/[presolve] back to
+   the {!Lp.Milp.default_options} values. *)
 let default_milp_options =
   {
     Lp.Milp.default_options with
     Lp.Milp.node_limit = 24;
     time_limit = 60.0;
     gap_tol = 5e-3;
+    core = Lp.Simplex.Dense;
+    presolve = false;
   }
 
 (* Fallback when branch-and-bound surrenders without an incumbent: round
@@ -29,8 +40,8 @@ let default_milp_options =
    candidate with room, breaking ties toward cheaper assignments — the
    classic generalized-assignment rounding, which keeps the LP's global
    view of latency and capacity trade-offs. *)
-let lp_round asis (built : Lp_builder.built) =
-  let relax = Lp.Milp.relax built.Lp_builder.model in
+let lp_round ~core asis (built : Lp_builder.built) =
+  let relax = Lp.Milp.relax ~core built.Lp_builder.model in
   if relax.Lp.Simplex.status <> Lp.Status.Optimal then None
   else begin
     let m = Asis.num_groups asis and n = Asis.num_targets asis in
@@ -92,7 +103,7 @@ let consolidate ?(builder = Lp_builder.default_options)
       Log.warn (fun f ->
           f "MILP returned %s with no incumbent; rounding the LP relaxation"
             (Lp.Status.to_string r.Lp.Milp.status));
-      match lp_round asis built with
+      match lp_round ~core:milp.Lp.Milp.core asis built with
       | Some p -> p
       | None -> Greedy.plan asis
     end

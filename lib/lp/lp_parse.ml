@@ -19,14 +19,15 @@ let is_ident_char = function
 let is_num_start = function '0' .. '9' | '.' -> true | _ -> false
 
 (* A token may be a number only if it starts with a digit or dot; idents may
-   contain digits and dots after the first character. *)
-let tokenize_line line =
-  let n = String.length line in
+   contain digits and dots after the first character.  The tokenizer works
+   on a [lo, hi) range of the full input string, so per-line parsing never
+   allocates line substrings. *)
+let tokenize_range s lo hi =
   let toks = ref [] in
   let push t = toks := t :: !toks in
-  let i = ref 0 in
-  while !i < n do
-    let c = line.[!i] in
+  let i = ref lo in
+  while !i < hi do
+    let c = s.[!i] in
     (match c with
     | ' ' | '\t' | '\r' -> incr i
     | '+' ->
@@ -46,30 +47,30 @@ let tokenize_line line =
           | _ -> Model.Eq
         in
         incr i;
-        if !i < n && line.[!i] = '=' then incr i;
+        if !i < hi && s.[!i] = '=' then incr i;
         push (Rel sense)
     | c when is_num_start c ->
         let start = !i in
         while
-          !i < n
-          && (is_num_start line.[!i]
-             || line.[!i] = 'e' || line.[!i] = 'E'
-             || ((line.[!i] = '+' || line.[!i] = '-')
+          !i < hi
+          && (is_num_start s.[!i]
+             || s.[!i] = 'e' || s.[!i] = 'E'
+             || ((s.[!i] = '+' || s.[!i] = '-')
                 && !i > start
-                && (line.[!i - 1] = 'e' || line.[!i - 1] = 'E')))
+                && (s.[!i - 1] = 'e' || s.[!i - 1] = 'E')))
         do
           incr i
         done;
-        let s = String.sub line start (!i - start) in
-        (match float_of_string_opt s with
+        let sub = String.sub s start (!i - start) in
+        (match float_of_string_opt sub with
         | Some f -> push (Num f)
-        | None -> fail "bad number %S" s)
+        | None -> fail "bad number %S" sub)
     | c when is_ident_char c ->
         let start = !i in
-        while !i < n && is_ident_char line.[!i] do
+        while !i < hi && is_ident_char s.[!i] do
           incr i
         done;
-        push (Ident (String.sub line start (!i - start)))
+        push (Ident (String.sub s start (!i - start)))
     | c -> fail "unexpected character %C" c);
     ()
   done;
@@ -77,11 +78,6 @@ let tokenize_line line =
 
 type section = Sec_objective | Sec_constraints | Sec_bounds | Sec_binaries
              | Sec_generals | Sec_end
-
-let strip_comment line =
-  match String.index_opt line '\\' with
-  | None -> line
-  | Some i -> String.sub line 0 i
 
 let section_of_line line =
   let l = String.lowercase_ascii (String.trim line) in
@@ -238,37 +234,79 @@ let parse_marks b toks ~binary =
       | _ -> fail "expected variable name in integrality section")
     toks
 
+(* The driver makes a single pass over the input string: line boundaries
+   and comment starts are found in place, section headers are recognized
+   on a small trimmed copy, and everything else is tokenized directly from
+   the full string via [tokenize_range].  Objective and constraint bodies
+   span lines, so their tokens accumulate as reversed chunks that are
+   concatenated once at the end — appending per line is quadratic in the
+   number of rows and dominated large-model parse times. *)
 let model_of_string ?(name = "parsed") s =
   let b = { model = Model.create ~name (); tbl = Hashtbl.create 64 } in
-  let lines = String.split_on_char '\n' s in
+  let n = String.length s in
   let section = ref None in
-  let obj_toks = ref [] and con_toks = ref [] in
+  let obj_chunks = ref [] and con_chunks = ref [] in
   let maximize = ref false in
-  List.iter
-    (fun raw ->
-      let line = strip_comment raw in
-      if String.trim line <> "" then
-        match section_of_line line with
-        | Some (Sec_objective, is_max) ->
-            maximize := is_max;
-            section := Some Sec_objective
-        | Some (sec, _) -> section := Some sec
-        | None -> (
-            let toks = tokenize_line line in
-            match !section with
-            | None -> fail "content before objective section"
-            | Some Sec_objective -> obj_toks := !obj_toks @ toks
-            | Some Sec_constraints -> con_toks := !con_toks @ toks
-            | Some Sec_bounds -> parse_bounds_line b toks
-            | Some Sec_binaries -> parse_marks b toks ~binary:true
-            | Some Sec_generals -> parse_marks b toks ~binary:false
-            | Some Sec_end -> fail "content after End"))
-    lines;
-  let _, obj_body = strip_label !obj_toks in
+  let pos = ref 0 in
+  while !pos <= n - 1 do
+    let eol =
+      match String.index_from_opt s !pos '\n' with Some i -> i | None -> n
+    in
+    let lo = !pos in
+    (* Strip any comment, then trim the [lo, hi) range in place.  The
+       backslash scan must stop at the line end — searching the rest of
+       the string per line would be quadratic over the file. *)
+    let hi = ref eol in
+    (let i = ref lo in
+     while !i < !hi do
+       if s.[!i] = '\\' then hi := !i else incr i
+     done);
+    let lo = ref lo in
+    while
+      !lo < !hi && (s.[!lo] = ' ' || s.[!lo] = '\t' || s.[!lo] = '\r')
+    do
+      incr lo
+    done;
+    while
+      !hi > !lo
+      && (s.[!hi - 1] = ' ' || s.[!hi - 1] = '\t' || s.[!hi - 1] = '\r')
+    do
+      decr hi
+    done;
+    let lo = !lo and hi = !hi in
+    if hi > lo then begin
+      (* Section headers are at most 10 characters ("subject to"); longer
+         lines cannot match, so only short ones pay the substring. *)
+      let header =
+        if hi - lo <= 10 then section_of_line (String.sub s lo (hi - lo))
+        else None
+      in
+      match header with
+      | Some (Sec_objective, is_max) ->
+          maximize := is_max;
+          section := Some Sec_objective
+      | Some (sec, _) -> section := Some sec
+      | None -> (
+          match !section with
+          | None -> fail "content before objective section"
+          | Some Sec_objective ->
+              obj_chunks := tokenize_range s lo hi :: !obj_chunks
+          | Some Sec_constraints ->
+              con_chunks := tokenize_range s lo hi :: !con_chunks
+          | Some Sec_bounds -> parse_bounds_line b (tokenize_range s lo hi)
+          | Some Sec_binaries ->
+              parse_marks b (tokenize_range s lo hi) ~binary:true
+          | Some Sec_generals ->
+              parse_marks b (tokenize_range s lo hi) ~binary:false
+          | Some Sec_end -> fail "content after End")
+    end;
+    pos := eol + 1
+  done;
+  let _, obj_body = strip_label (List.concat (List.rev !obj_chunks)) in
   let expr, rest = parse_expr b obj_body in
   if rest <> [] then fail "trailing tokens in objective";
   Model.set_objective b.model ~minimize:(not !maximize) expr;
-  parse_constraints b !con_toks;
+  parse_constraints b (List.concat (List.rev !con_chunks));
   b.model
 
 let read_model_file path =

@@ -10,6 +10,9 @@ type options = {
   dive_first : bool;
   warm_start : bool;
   workers : int;
+  par_threshold : int;
+  presolve : bool;
+  core : Simplex.core;
   log : bool;
 }
 
@@ -22,6 +25,9 @@ let default_options =
     dive_first = true;
     warm_start = true;
     workers = 1;
+    par_threshold = 64;
+    presolve = true;
+    core = Simplex.Sparse;
     log = false;
   }
 
@@ -35,7 +41,8 @@ type result = {
   lp_iterations : int;
 }
 
-let relax ?max_iters m = Simplex.solve ?max_iters (Simplex.of_model m)
+let relax ?max_iters ?core m =
+  Simplex.solve ?max_iters ?core (Simplex.of_model m)
 
 let integral ?(tol = 1e-6) m x =
   List.for_all
@@ -91,7 +98,20 @@ let solve ?(options = default_options) m =
         lo.(j) <- Float.max lo.(j) l;
         hi.(j) <- Float.min hi.(j) h)
       diffs;
-    let r = Simplex.solve ?warm ~want_basis { input with Simplex.lo = lo; hi } in
+    let node_input = { input with Simplex.lo = lo; hi } in
+    (* Warm starts need the row structure intact, so presolve reductions
+       apply only to cold basis-free solves (the root and the dives, where
+       batch fixes leave plenty for presolve to strip).  Below a few dozen
+       rows the reduction sweep costs more than the pivots it saves, so
+       small node LPs skip straight to the simplex. *)
+    let presolvable =
+      options.presolve && warm = None && (not want_basis)
+      && Array.length input.Simplex.rows >= 64
+    in
+    let r =
+      if presolvable then Presolve.solve ~core:options.core node_input
+      else Simplex.solve ?warm ~want_basis ~core:options.core node_input
+    in
     ignore (Atomic.fetch_and_add lp_iters r.Simplex.iterations);
     r
   in
@@ -258,6 +278,22 @@ let solve ?(options = default_options) m =
                  incumbent, if any, remains valid. *)
               ()
         in
+        (* Adaptive granularity: the search starts strictly sequential and
+           extra domains are spawned at most once, when the open-node queue
+           shows enough work to amortize domain spawn and lock contention
+           (small trees — the common warm-started case — never pay it). *)
+        let extra = max 0 (min (options.workers - 1) 63) in
+        let spawned = ref false in
+        let doms = ref [||] in
+        (* Called with [lock] held; answers whether the caller should spawn
+           the helper domains after releasing it. *)
+        let should_spawn () =
+          extra > 0 && (not !spawned)
+          && !nodes >= options.par_threshold
+          && Pqueue.length pq + !in_flight >= options.par_threshold
+          && (spawned := true;
+              true)
+        in
         (* Worker body; entered and left with [lock] held.  With one worker
            this visits nodes in exactly the sequential best-bound order. *)
         let rec worker () =
@@ -300,7 +336,10 @@ let solve ?(options = default_options) m =
                   else begin
                     incr nodes;
                     incr in_flight;
+                    let spawn_now = should_spawn () in
                     Mutex.unlock lock;
+                    if spawn_now then
+                      doms := Array.init extra (fun _ -> Domain.spawn run_worker);
                     let r =
                       solve_node ?warm:nd.warm ~want_basis:options.warm_start
                         nd.diffs
@@ -313,19 +352,13 @@ let solve ?(options = default_options) m =
                     worker ()
                   end
           end
-        in
-        let run_worker () =
+        and run_worker () =
           Mutex.lock lock;
           worker ();
           Mutex.unlock lock
         in
-        let extra = max 0 (min (options.workers - 1) 63) in
-        if extra = 0 then run_worker ()
-        else begin
-          let doms = Array.init extra (fun _ -> Domain.spawn run_worker) in
-          run_worker ();
-          Array.iter Domain.join doms
-        end;
+        run_worker ();
+        Array.iter Domain.join !doms;
         let open_bound =
           match (!stop_reason, Pqueue.min_key pq) with
           | None, _ -> infinity (* tree exhausted: incumbent is optimal *)

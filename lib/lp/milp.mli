@@ -13,11 +13,15 @@
     unchanged and objectives agree to solver tolerance.
 
     With [workers > 1] the tree search fans out over that many OCaml 5
-    domains sharing one best-bound queue and one incumbent.  The returned
-    solution is still optimal whenever the sequential solver's is, but the
-    visit order — and therefore [nodes] and [lp_iterations] — may differ
-    run to run.  [workers = 1] is exactly the deterministic sequential
-    search. *)
+    domains sharing one best-bound queue and one incumbent.  The fan-out
+    is adaptive: the search starts sequential and the helper domains are
+    spawned only once at least [par_threshold] nodes have been processed
+    {e and} that many are simultaneously open — so small trees (the
+    common warm-started case) never pay domain spawn or lock contention
+    costs.  The returned solution is still optimal whenever the
+    sequential solver's is, but the visit order — and therefore [nodes]
+    and [lp_iterations] — may differ run to run.  [workers = 1] is
+    exactly the deterministic sequential search. *)
 
 type options = {
   node_limit : int;        (** maximum branch-and-bound nodes (default 5000) *)
@@ -32,6 +36,15 @@ type options = {
       (** reoptimize node LPs from the parent basis (default [true]) *)
   workers : int;
       (** domains searching the tree (default 1 = sequential) *)
+  par_threshold : int;
+      (** open-node / processed-node count both required before helper
+          domains actually spawn (default 64) *)
+  presolve : bool;
+      (** run {!Presolve} reductions on cold basis-free node LPs — the
+          root and the dives — when the model is large enough (at least
+          64 rows) for the reduction to pay for itself (default [true]) *)
+  core : Simplex.core;
+      (** simplex engine for node LPs (default {!Simplex.Sparse}) *)
   log : bool;              (** emit progress on the [lp.milp] log source *)
 }
 
@@ -51,7 +64,7 @@ type result = {
 val solve : ?options:options -> Model.t -> result
 
 (** [relax m] solves the LP relaxation only. *)
-val relax : ?max_iters:int -> Model.t -> Simplex.result
+val relax : ?max_iters:int -> ?core:Simplex.core -> Model.t -> Simplex.result
 
 (** [integral ?tol m x] is true when all integer-marked variables of [m]
     take integer values in [x]. *)

@@ -50,19 +50,55 @@ module Linexpr = struct
     !c
 
   let terms e =
-    let tbl = Hashtbl.create 16 in
+    (* Canonicalize by sort-and-merge over flat id/coefficient arrays
+       rather than a hash table: builders emit terms in variable order
+       almost always, so the pre-sorted check usually reduces the whole
+       pass to two array fills and one merge sweep. *)
+    let ids = ref (Array.make 16 0) and cs = ref (Array.make 16 0.0) in
+    let k = ref 0 in
     fold_terms e
       ~on_const:(fun _ -> ())
       ~on_term:(fun c v ->
-        match Hashtbl.find_opt tbl v.id with
-        | None -> Hashtbl.add tbl v.id c
-        | Some c0 -> Hashtbl.replace tbl v.id (c0 +. c));
-    let l =
-      Hashtbl.fold (fun id c acc -> if c = 0.0 then acc else (id, c) :: acc) tbl []
-    in
-    let a = Array.of_list l in
-    Array.sort (fun (i, _) (j, _) -> compare i j) a;
-    a
+        if !k = Array.length !ids then begin
+          let ids' = Array.make (2 * !k) 0 and cs' = Array.make (2 * !k) 0.0 in
+          Array.blit !ids 0 ids' 0 !k;
+          Array.blit !cs 0 cs' 0 !k;
+          ids := ids';
+          cs := cs'
+        end;
+        !ids.(!k) <- v.id;
+        !cs.(!k) <- c;
+        incr k);
+    let n0 = !k in
+    let ids = !ids and cs = !cs in
+    let sorted = ref true in
+    for i = 1 to n0 - 1 do
+      if ids.(i - 1) > ids.(i) then sorted := false
+    done;
+    if not !sorted then begin
+      let pairs = Array.init n0 (fun i -> (ids.(i), cs.(i))) in
+      Array.sort (fun (a, _) (b, _) -> Stdlib.compare (a : int) b) pairs;
+      Array.iteri
+        (fun i (id, c) ->
+          ids.(i) <- id;
+          cs.(i) <- c)
+        pairs
+    end;
+    let w = ref 0 and i = ref 0 in
+    while !i < n0 do
+      let id = ids.(!i) in
+      let acc = ref 0.0 in
+      while !i < n0 && ids.(!i) = id do
+        acc := !acc +. cs.(!i);
+        incr i
+      done;
+      if !acc <> 0.0 then begin
+        ids.(!w) <- id;
+        cs.(!w) <- !acc;
+        incr w
+      end
+    done;
+    Array.init !w (fun i -> (ids.(i), cs.(i)))
 
   let eval e x =
     let acc = ref 0.0 in

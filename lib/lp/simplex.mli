@@ -1,12 +1,17 @@
 (** Two-phase primal simplex with dual-simplex warm starts, for linear
     programs with bounded variables.
 
-    The solver works on a dense flat tableau ({!Tableau}) and supports
-    variables resting at either bound (so binary upper bounds cost no extra
-    rows), equality / inequality rows (slacks are added internally), a
-    slack-plus-structural crash basis that usually skips phase 1 outright,
-    Dantzig pricing with a Bland anti-cycling fallback, and produces a dual
-    certificate that {!check_certificate} can verify independently.
+    Two interchangeable engines share the frame layout, basis format and
+    tolerances.  The default {!Sparse} engine is a revised simplex: the
+    matrix lives in compressed column form, the basis inverse is a
+    product of eta factors with periodic refactorization, and pricing
+    touches nonzeros only.  The legacy {!Dense} engine pivots a flat
+    tableau ({!Tableau}).  Both support variables resting at either bound
+    (so binary upper bounds cost no extra rows), equality / inequality
+    rows (slacks are added internally), a slack-plus-structural crash
+    basis that usually skips phase 1 outright, Dantzig pricing with a
+    Bland anti-cycling fallback, and produce a dual certificate that
+    {!check_certificate} can verify independently.
 
     A solve can export its optimal {!basis} and a later solve over the
     {e same rows} but different bounds can restart from it: the basis is
@@ -54,13 +59,19 @@ type result = {
 (** [of_model m] compiles a {!Model.t}, ignoring integrality marks. *)
 val of_model : Model.t -> input
 
+(** Which pivot engine to run.  Bases are interchangeable between the
+    two: both use the same column layout and basis format. *)
+type core = Dense | Sparse
+
 (** [solve input] runs the two-phase primal simplex.  With [~warm] the
     solver instead refactorizes the given basis and reoptimizes with the
     dual simplex (falling back to a cold solve on failure); warm solves
     always export their basis.  With [~want_basis:true] a cold solve skips
     fixed-column elimination and exports its final basis so children can
-    warm start. *)
-val solve : ?max_iters:int -> ?warm:basis -> ?want_basis:bool -> input -> result
+    warm start.  [~core] selects the engine (default {!Sparse}). *)
+val solve :
+  ?max_iters:int -> ?warm:basis -> ?want_basis:bool -> ?core:core ->
+  input -> result
 
 (** [check_certificate input result] re-verifies, from scratch, that
     [result] is a valid optimum of [input]: primal feasibility, the sign

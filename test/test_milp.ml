@@ -123,17 +123,25 @@ let prop_knapsack_matches_brute_force =
               (Array.mapi
                  (fun i x -> Model.Linexpr.term (float_of_int vs.(i)) x)
                  xs)));
-      let r = Milp.solve m in
       let expected =
         brute_force_knapsack
           (Array.map float_of_int ws)
           (Array.map float_of_int vs)
           (float_of_int cap)
       in
-      if r.Milp.status <> Status.Optimal then
-        QCheck2.Test.fail_reportf "status %s" (Status.to_string r.Milp.status);
-      if Float.abs (r.Milp.obj -. expected) > 1e-6 then
-        QCheck2.Test.fail_reportf "milp %g, brute force %g" r.Milp.obj expected;
+      (* Both node-LP engines must reach the brute-force optimum. *)
+      List.iter
+        (fun core ->
+          let r =
+            Milp.solve ~options:{ Milp.default_options with Milp.core } m
+          in
+          if r.Milp.status <> Status.Optimal then
+            QCheck2.Test.fail_reportf "status %s"
+              (Status.to_string r.Milp.status);
+          if Float.abs (r.Milp.obj -. expected) > 1e-6 then
+            QCheck2.Test.fail_reportf "milp %g, brute force %g" r.Milp.obj
+              expected)
+        [ Simplex.Dense; Simplex.Sparse ];
       true)
 
 (* Small generalized-assignment instances: the exact shape used by the
@@ -179,7 +187,6 @@ let prop_assignment_matches_brute_force =
                       (float_of_int costs.((i * dcs) + j))
                       x.(i).(j)))
               (List.init groups Fun.id)));
-      let r = Milp.solve m in
       (* Brute force over dcs^groups assignments. *)
       let best = ref infinity in
       let assign = Array.make groups 0 in
@@ -201,17 +208,26 @@ let prop_assignment_matches_brute_force =
           done
       in
       enum 0;
-      match (r.Milp.status, !best = infinity) with
-      | Status.Infeasible, true -> true
-      | Status.Infeasible, false ->
-          QCheck2.Test.fail_reportf "milp infeasible but brute force found %g" !best
-      | Status.Optimal, true ->
-          QCheck2.Test.fail_reportf "milp optimal %g but instance infeasible" r.Milp.obj
-      | Status.Optimal, false ->
-          if Float.abs (r.Milp.obj -. !best) > 1e-6 then
-            QCheck2.Test.fail_reportf "milp %g, brute force %g" r.Milp.obj !best
-          else true
-      | s, _ -> QCheck2.Test.fail_reportf "status %s" (Status.to_string s))
+      List.iter
+        (fun core ->
+          let r =
+            Milp.solve ~options:{ Milp.default_options with Milp.core } m
+          in
+          match (r.Milp.status, !best = infinity) with
+          | Status.Infeasible, true -> ()
+          | Status.Infeasible, false ->
+              QCheck2.Test.fail_reportf
+                "milp infeasible but brute force found %g" !best
+          | Status.Optimal, true ->
+              QCheck2.Test.fail_reportf
+                "milp optimal %g but instance infeasible" r.Milp.obj
+          | Status.Optimal, false ->
+              if Float.abs (r.Milp.obj -. !best) > 1e-6 then
+                QCheck2.Test.fail_reportf "milp %g, brute force %g" r.Milp.obj
+                  !best
+          | s, _ -> QCheck2.Test.fail_reportf "status %s" (Status.to_string s))
+        [ Simplex.Dense; Simplex.Sparse ];
+      true)
 
 (* Random generalized-assignment MILPs for the warm-start / parallel
    agreement checks: eq assignment rows + tight capacity rows give

@@ -63,3 +63,167 @@ let suite =
     Alcotest.test_case "validate crossed bounds" `Quick test_validate_bad_bounds;
     Alcotest.test_case "tighten preserves optimum" `Quick test_tighten_preserves_optimum;
   ]
+
+(* ---- presolve/postsolve pipeline ------------------------------------- *)
+
+let status_t = Alcotest.testable
+    (fun ppf s -> Fmt.string ppf (Status.to_string s))
+    ( = )
+
+(* Presolve + solve + postsolve must agree with a direct solve on status
+   and objective, and the reconstructed solution must pass the full KKT
+   certificate against the *original* input. *)
+let agree_with_direct ?(tol = 1e-6) input =
+  let direct = Simplex.solve input in
+  let via = Presolve.solve input in
+  Alcotest.check status_t "status" direct.Simplex.status via.Simplex.status;
+  if direct.Simplex.status = Status.Optimal then begin
+    Alcotest.(check (float tol))
+      "objective" direct.Simplex.obj_value via.Simplex.obj_value;
+    Alcotest.(check int)
+      "primal length" input.Simplex.nvars
+      (Array.length via.Simplex.x);
+    Alcotest.(check int)
+      "dual length" (Array.length input.Simplex.rows)
+      (Array.length via.Simplex.duals);
+    match Simplex.check_certificate input via with
+    | [] -> ()
+    | errs ->
+        Alcotest.failf "postsolved certificate: %s" (String.concat "; " errs)
+  end
+
+let test_pipeline_fixed_vars () =
+  let m = Model.create () in
+  let x = Model.add_var m ~lo:2.0 ~hi:2.0 "x" in
+  let y = Model.add_var m ~hi:10.0 "y" in
+  let z = Model.add_var m ~lo:(-1.0) ~hi:(-1.0) "z" in
+  Model.add_le m "c" Model.Linexpr.(sum [ var x; var y; term 3.0 z ]) 7.0;
+  Model.set_objective m ~minimize:false
+    Model.Linexpr.(sum [ var x; var y; var z ]);
+  agree_with_direct (Simplex.of_model m)
+
+let test_pipeline_singleton_rows () =
+  let m = Model.create () in
+  let x = Model.add_var m ~hi:100.0 "x" in
+  let y = Model.add_var m ~hi:100.0 "y" in
+  Model.add_le m "sx" (Model.Linexpr.term 2.0 x) 10.0;
+  Model.add_ge m "sy" (Model.Linexpr.var y) 3.0;
+  Model.add_le m "joint" Model.Linexpr.(add (var x) (var y)) 6.0;
+  Model.set_objective m ~minimize:false Model.Linexpr.(add (term 3.0 x) (var y));
+  let input = Simplex.of_model m in
+  agree_with_direct input;
+  (* The singleton rows must actually be removed by the reduction. *)
+  match Presolve.reduce input with
+  | `Infeasible -> Alcotest.fail "unexpectedly infeasible"
+  | `Reduced red ->
+      Alcotest.(check bool)
+        "rows were removed" true
+        (Array.length (Presolve.reduced_input red).Simplex.rows
+        < Array.length input.Simplex.rows)
+
+let test_pipeline_empty_rows () =
+  let m = Model.create () in
+  let x = Model.add_var m ~hi:4.0 "x" in
+  Model.add_le m "vacuous" Model.Linexpr.zero 5.0;
+  Model.add_le m "real" (Model.Linexpr.var x) 3.0;
+  Model.set_objective m ~minimize:false (Model.Linexpr.var x);
+  agree_with_direct (Simplex.of_model m)
+
+let test_pipeline_empty_row_infeasible () =
+  let m = Model.create () in
+  let _x = Model.add_var m ~hi:4.0 "x" in
+  Model.add_ge m "impossible" Model.Linexpr.zero 5.0;
+  let input = Simplex.of_model m in
+  let via = Presolve.solve input in
+  Alcotest.check status_t "status" Status.Infeasible via.Simplex.status
+
+let test_pipeline_crossed_singleton_bounds () =
+  (* 2x <= -2 and x >= 0.5 cross: presolve must certify infeasibility, and
+     so must the direct solve. *)
+  let m = Model.create () in
+  let x = Model.add_var m ~lo:0.5 ~hi:10.0 "x" in
+  Model.add_le m "neg" (Model.Linexpr.term 2.0 x) (-2.0);
+  Model.set_objective m (Model.Linexpr.var x);
+  let input = Simplex.of_model m in
+  let direct = Simplex.solve input in
+  let via = Presolve.solve input in
+  Alcotest.check status_t "both infeasible" direct.Simplex.status
+    via.Simplex.status;
+  Alcotest.check status_t "infeasible" Status.Infeasible via.Simplex.status
+
+(* Randomized: feasible-by-construction LPs seeded with fixed variables,
+   singleton rows and empty rows, solved with and without the pipeline. *)
+let test_pipeline_random () =
+  let rng = Datasets.Prng.create 1234 in
+  for _case = 1 to 120 do
+    let n = 2 + Datasets.Prng.int rng 6 in
+    let rows = 1 + Datasets.Prng.int rng 6 in
+    let x0 = Array.init n (fun _ -> Datasets.Prng.range rng 0.0 3.0) in
+    let m = Model.create () in
+    let vars =
+      Array.init n (fun i ->
+          (* A fifth of the variables are fixed at their seed value to
+             exercise fixed-column elimination through postsolve. *)
+          if Datasets.Prng.int rng 5 = 0 then
+            Model.add_var m ~lo:x0.(i) ~hi:x0.(i) (Printf.sprintf "f%d" i)
+          else Model.add_var m ~hi:5.0 (Printf.sprintf "v%d" i))
+    in
+    for r = 0 to rows - 1 do
+      match Datasets.Prng.int rng 5 with
+      | 0 ->
+          (* Singleton row around the seed point. *)
+          let j = Datasets.Prng.int rng n in
+          let c = Datasets.Prng.range rng 0.5 3.0 in
+          Model.add_le m (Printf.sprintf "s%d" r)
+            (Model.Linexpr.term c vars.(j))
+            ((c *. x0.(j)) +. 1.0)
+      | 1 when Datasets.Prng.int rng 2 = 0 ->
+          Model.add_le m (Printf.sprintf "z%d" r) Model.Linexpr.zero 1.0
+      | _ ->
+          let e = ref Model.Linexpr.zero in
+          let lhs = ref 0.0 in
+          for j = 0 to n - 1 do
+            let c = Datasets.Prng.range rng (-5.0) 5.0 in
+            e := Model.Linexpr.add !e (Model.Linexpr.term c vars.(j));
+            lhs := !lhs +. (c *. x0.(j))
+          done;
+          (match Datasets.Prng.int rng 3 with
+          | 0 -> Model.add_le m (Printf.sprintf "r%d" r) !e (!lhs +. 1.0)
+          | 1 -> Model.add_ge m (Printf.sprintf "r%d" r) !e (!lhs -. 1.0)
+          | _ -> Model.add_eq m (Printf.sprintf "r%d" r) !e !lhs)
+    done;
+    Model.set_objective m
+      (Model.Linexpr.sum
+         (List.init n (fun j ->
+              Model.Linexpr.term (Datasets.Prng.range rng (-4.0) 4.0) vars.(j))));
+    agree_with_direct (Simplex.of_model m)
+  done
+
+let test_pipeline_scaling_badly_scaled () =
+  (* Coefficients spread over 8 orders of magnitude: equilibration must not
+     change the answer. *)
+  let m = Model.create () in
+  let x = Model.add_var m ~hi:1e6 "x" and y = Model.add_var m ~hi:1e6 "y" in
+  Model.add_le m "big" Model.Linexpr.(add (term 1e4 x) (term 2e4 y)) 3e4;
+  Model.add_le m "small" Model.Linexpr.(add (term 1e-4 x) (term 3e-4 y)) 4e-4;
+  Model.set_objective m ~minimize:false Model.Linexpr.(add (var x) (term 2.0 y));
+  agree_with_direct (Simplex.of_model m)
+
+let pipeline_suite =
+  [
+    Alcotest.test_case "pipeline: fixed variables" `Quick
+      test_pipeline_fixed_vars;
+    Alcotest.test_case "pipeline: singleton rows removed" `Quick
+      test_pipeline_singleton_rows;
+    Alcotest.test_case "pipeline: empty rows" `Quick test_pipeline_empty_rows;
+    Alcotest.test_case "pipeline: infeasible empty row" `Quick
+      test_pipeline_empty_row_infeasible;
+    Alcotest.test_case "pipeline: crossed singleton bounds" `Quick
+      test_pipeline_crossed_singleton_bounds;
+    Alcotest.test_case "pipeline: random models match direct solve" `Quick
+      test_pipeline_random;
+    Alcotest.test_case "pipeline: badly scaled model" `Quick
+      test_pipeline_scaling_badly_scaled;
+  ]
+
+let suite = suite @ pipeline_suite

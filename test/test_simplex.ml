@@ -6,14 +6,24 @@ let check_float = Alcotest.(check (float 1e-6))
 
 let solve_model m = Simplex.solve (Simplex.of_model m)
 
+(* Every exhaustive check runs against both engines: the dense tableau and
+   the sparse revised simplex must agree while both are maintained. *)
+let both_cores = [ ("dense", Simplex.Dense); ("sparse", Simplex.Sparse) ]
+
 let assert_optimal ?(tol = 1e-6) m expected =
   let input = Simplex.of_model m in
-  let r = Simplex.solve input in
-  Alcotest.(check string) "status" "optimal" (Status.to_string r.Simplex.status);
-  Alcotest.(check (float tol)) "objective" expected r.Simplex.obj_value;
-  match Simplex.check_certificate input r with
-  | [] -> ()
-  | errs -> Alcotest.failf "certificate: %s" (String.concat "; " errs)
+  List.iter
+    (fun (tag, core) ->
+      let r = Simplex.solve ~core input in
+      Alcotest.(check string)
+        (tag ^ " status") "optimal"
+        (Status.to_string r.Simplex.status);
+      Alcotest.(check (float tol)) (tag ^ " objective") expected r.Simplex.obj_value;
+      match Simplex.check_certificate input r with
+      | [] -> ()
+      | errs ->
+          Alcotest.failf "%s certificate: %s" tag (String.concat "; " errs))
+    both_cores
 
 (* Classic textbook LP: max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18. *)
 let test_textbook () =
@@ -190,7 +200,81 @@ let prop_random_feasible =
       (match Simplex.check_certificate input r with
       | [] -> ()
       | errs -> QCheck2.Test.fail_reportf "certificate: %s" (String.concat "; " errs));
+      (* The dense engine must reach the same optimum with its own valid
+         certificate. *)
+      let rd = Simplex.solve ~core:Simplex.Dense input in
+      if rd.Simplex.status <> Status.Optimal then
+        QCheck2.Test.fail_reportf "dense status %s"
+          (Status.to_string rd.Simplex.status);
+      if Float.abs (rd.Simplex.obj_value -. r.Simplex.obj_value) > 1e-6 then
+        QCheck2.Test.fail_reportf "dense %g vs sparse %g" rd.Simplex.obj_value
+          r.Simplex.obj_value;
+      (match Simplex.check_certificate input rd with
+      | [] -> ()
+      | errs ->
+          QCheck2.Test.fail_reportf "dense certificate: %s"
+            (String.concat "; " errs));
       true)
+
+(* ---- eta-file drift --------------------------------------------------- *)
+
+let test_eta_refactorization_drift () =
+  (* A dense equality-constrained LP large enough that the crash basis plus
+     the pivot sequence far exceeds the refactorization cadence, so the
+     sparse engine rebuilds its eta file mid-solve (and again at the
+     optimum).  The returned point must satisfy the rows to tight absolute
+     tolerance: any drift the product-form update accumulated and the
+     refactorizations failed to kill would show up here. *)
+  let rng = Datasets.Prng.create 99 in
+  let n = 80 and rows = 50 in
+  let x0 = Array.init n (fun _ -> Datasets.Prng.range rng 0.0 3.0) in
+  let m = Model.create ~name:"drift" () in
+  let vars =
+    Array.init n (fun i -> Model.add_var m ~hi:10.0 (Printf.sprintf "v%d" i))
+  in
+  let coeffs = Array.make_matrix rows n 0.0 in
+  for r = 0 to rows - 1 do
+    let e = ref Model.Linexpr.zero in
+    let lhs = ref 0.0 in
+    for j = 0 to n - 1 do
+      let c = Datasets.Prng.range rng (-5.0) 5.0 in
+      coeffs.(r).(j) <- c;
+      e := Model.Linexpr.add !e (Model.Linexpr.term c vars.(j));
+      lhs := !lhs +. (c *. x0.(j))
+    done;
+    if r mod 3 = 0 then Model.add_eq m (Printf.sprintf "r%d" r) !e !lhs
+    else if r mod 3 = 1 then
+      Model.add_le m (Printf.sprintf "r%d" r) !e (!lhs +. 0.5)
+    else Model.add_ge m (Printf.sprintf "r%d" r) !e (!lhs -. 0.5)
+  done;
+  Model.set_objective m
+    (Model.Linexpr.sum
+       (List.init n (fun j ->
+            Model.Linexpr.term (Datasets.Prng.range rng (-4.0) 4.0) vars.(j))));
+  let input = Simplex.of_model m in
+  let r = Simplex.solve ~core:Simplex.Sparse input in
+  Alcotest.(check string) "status" "optimal" (Status.to_string r.Simplex.status);
+  Alcotest.(check bool)
+    "pivot sequence is long" true
+    (r.Simplex.iterations > 30);
+  let residual = ref 0.0 in
+  Array.iteri
+    (fun ri (terms, sense, rhs) ->
+      ignore terms;
+      let act = ref 0.0 in
+      for j = 0 to n - 1 do
+        act := !act +. (coeffs.(ri).(j) *. r.Simplex.x.(j))
+      done;
+      let v =
+        match sense with
+        | Model.Eq -> Float.abs (!act -. rhs)
+        | Model.Le -> Float.max 0.0 (!act -. rhs)
+        | Model.Ge -> Float.max 0.0 (rhs -. !act)
+      in
+      if v > !residual then residual := v)
+    input.Simplex.rows;
+  if !residual >= 1e-8 then
+    Alcotest.failf "row residual %.3e exceeds 1e-8" !residual
 
 (* ---- dual-simplex warm starts ---------------------------------------- *)
 
@@ -334,5 +418,7 @@ let suite =
       test_warm_detects_infeasible;
     Alcotest.test_case "warm random bound changes" `Quick
       test_warm_random_bound_changes;
+    Alcotest.test_case "eta refactorization drift" `Quick
+      test_eta_refactorization_drift;
     q prop_random_feasible;
   ]
