@@ -86,6 +86,45 @@ let kernel_thunks () =
                      Lp.Model.Linexpr.term cost.(i).(b) x.(i).(b))))));
     m
   in
+  (* Planning-service throughput: one batch of eight distinct line-estate
+     scenarios (the E3 sweep's shape) through the worker pool.  The w1/w2/w4
+     kernels build a fresh pool per run, so every solve is a cache miss and
+     the scaling is pure parallelism (including domain spawn/join costs) —
+     meaningful only on multi-core hosts: a single-core container
+     serializes the domains and oversubscription can only add overhead.
+     The warm kernel reuses a pre-warmed pool, so every job is a cache
+     hit. *)
+  let service_jobs =
+    List.concat_map
+      (fun p ->
+        List.map
+          (fun frac ->
+            Service.Job.v
+              ~milp:
+                { Service.Job.no_overrides with
+                  Service.Job.node_limit = Some 2;
+                  time_limit = Some 20.0 }
+              (Harness.Line_jobs.estate ~penalty:p
+                 { Harness.Line_estate.default with
+                   Harness.Line_estate.n_groups = 24;
+                   frac_at_0 = frac }))
+          [ 0.25; 0.75 ])
+      [ 0.0; 40.0; 80.0; 120.0 ]
+  in
+  let service_batch workers () =
+    Service.Pool.with_pool ~workers ~cache_capacity:64 (fun pool ->
+        ignore (Service.Pool.run_batch pool service_jobs))
+  in
+  (* Lazy and worker-less: forcing it earlier would leave idle domains
+     alive through every other kernel's measurement window, and on OCaml 5
+     each extra domain taxes the stop-the-world minor collections that the
+     allocation-heavy solver kernels trigger constantly. *)
+  let warm_pool =
+    lazy
+      (let pool = Service.Pool.create ~workers:0 ~cache_capacity:64 () in
+       ignore (Service.Pool.run_batch pool service_jobs);
+       pool)
+  in
   let milp_opts ?(warm_start = true) ?(workers = 1) () =
     { Lp.Milp.default_options with
       Lp.Milp.node_limit = 50; warm_start; workers }
@@ -138,6 +177,12 @@ let kernel_thunks () =
     );
     ( "e6_dataset_synthesis",
       fun () -> ignore (Datasets.Synth.generate Datasets.Synth.default) );
+    ("service_batch_line_w1", service_batch 1);
+    ("service_batch_line_w2", service_batch 2);
+    ("service_batch_line_w4", service_batch 4);
+    ( "service_batch_line_warm",
+      fun () ->
+        ignore (Service.Pool.run_batch (Lazy.force warm_pool) service_jobs) );
   ]
 
 let kernel_tests () =

@@ -131,6 +131,36 @@ let datasets_cmd_run verbose =
   setup_logs verbose;
   Harness.Studies.e0_datasets ()
 
+(* batch: the planning service's NDJSON front-end.  One job spec per input
+   line, one result line per job on stdout, in input order. *)
+let batch_cmd_run verbose input workers queue cache_size trace_file =
+  setup_logs verbose;
+  let trace, close_trace =
+    match trace_file with
+    | None -> (Service.Trace.null, fun () -> ())
+    | Some path ->
+        let oc = open_out path in
+        (Service.Trace.to_channel oc, fun () -> close_out oc)
+  in
+  let ic, close_in_ =
+    if input = "-" then (stdin, fun () -> ())
+    else
+      let ic = open_in input in
+      (ic, fun () -> close_in ic)
+  in
+  let _ok, _degraded, failed =
+    Fun.protect
+      ~finally:(fun () ->
+        close_in_ ();
+        close_trace ())
+      (fun () ->
+        Service.Pool.with_pool ~workers ~queue_capacity:queue
+          ~cache_capacity:cache_size ~trace (fun pool ->
+            Service.Batch.run ~resolve:Harness.Line_jobs.resolve pool ic
+              stdout))
+  in
+  if failed > 0 then exit 1
+
 (* Shared arguments. *)
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Chatty logs.")
 
@@ -173,6 +203,28 @@ let workdir =
 let which_exp =
   Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT")
 
+let batch_input =
+  Arg.(value & pos 0 string "-"
+       & info [] ~docv:"JOBS.ndjson"
+           ~doc:"Newline-delimited job specs; - reads stdin.")
+
+let batch_workers =
+  Arg.(value & opt int 2
+       & info [ "workers" ] ~doc:"Worker domains (0 = solve inline).")
+
+let batch_queue =
+  Arg.(value & opt int 64
+       & info [ "queue" ] ~doc:"Bounded job-queue capacity.")
+
+let batch_cache =
+  Arg.(value & opt int 256
+       & info [ "cache" ] ~doc:"Plan-cache capacity (0 disables).")
+
+let batch_trace =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write JSONL per-job trace spans here.")
+
 let plan_cmd =
   Cmd.v
     (Cmd.info "plan" ~doc:"compute a consolidation (and optionally DR) plan")
@@ -195,10 +247,17 @@ let datasets_cmd =
     (Cmd.info "datasets" ~doc:"summarize the bundled case-study datasets")
     Term.(const datasets_cmd_run $ verbose)
 
+let batch_cmd =
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"serve a stream of NDJSON planning jobs through the worker pool")
+    Term.(const batch_cmd_run $ verbose $ batch_input $ batch_workers
+          $ batch_queue $ batch_cache $ batch_trace)
+
 let () =
   let doc = "enterprise data-center transformation and consolidation planner" in
   exit
     (Cmd.eval
        (Cmd.group
           (Cmd.info "etransform" ~doc ~version:"1.0.0")
-          [ plan_cmd; compare_cmd; experiment_cmd; datasets_cmd ]))
+          [ plan_cmd; compare_cmd; experiment_cmd; datasets_cmd; batch_cmd ]))

@@ -2,13 +2,27 @@
    a solution file — the role CPLEX plays in the paper's Fig. 5.
 
    Usage: lp_solve_cli FILE.lp [-o FILE.sol] [--relax] [--nodes N]
-          [--time S] [--mps FILE.mps] *)
+          [--time S] [--mps FILE.mps]
+
+   The model path - reads the .lp from stdin, so trace replays and shell
+   pipelines (e.g. the planning service's artifacts) need no temp files. *)
 
 open Cmdliner
 
+let read_stdin () =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf stdin 4096
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
 let solve_file path output relax nodes time mps =
   let model =
-    try Lp.Lp_parse.read_model_file path
+    try
+      if path = "-" then Lp.Lp_parse.model_of_string ~name:"stdin" (read_stdin ())
+      else Lp.Lp_parse.read_model_file path
     with
     | Lp.Lp_parse.Parse_error msg ->
         Printf.eprintf "parse error: %s\n" msg;
@@ -54,7 +68,8 @@ let solve_file path output relax nodes time mps =
       if not (Lp.Status.is_ok status) then exit 3
 
 let path_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.lp")
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"FILE.lp" ~doc:"Model file; - reads stdin.")
 
 let output_arg =
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE.sol"

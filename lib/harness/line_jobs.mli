@@ -1,0 +1,29 @@
+(** Line-estate integration with the planning service.
+
+    The service's job type names estates either as bundled datasets or as
+    inline builders with a caller-supplied canonical key; this module
+    supplies both directions for {!Line_estate}: building
+    {!Service.Job.estate} values for the parameter studies, and resolving
+    ["line"] estate objects in NDJSON job specs.
+
+    The latency penalty of a line job is always the paper's banded penalty
+    {!Line_estate.banded_penalty}[ p] (with [p = 0] meaning none), so a
+    single scalar [penalty] captures it canonically. *)
+
+(** [canonical_key ~penalty cfg] serializes every numeric/boolean field of
+    [cfg] (ignoring [cfg.latency_penalty]; [penalty] stands in for it) in a
+    fixed order — permuted job specs that denote the same estate produce
+    the same key, and therefore the same job fingerprint. *)
+val canonical_key : penalty:float -> Line_estate.config -> string
+
+(** [estate ~penalty cfg] is the inline service estate for
+    [Line_estate.make { cfg with latency_penalty = banded_penalty penalty }]. *)
+val estate : penalty:float -> Line_estate.config -> Service.Job.estate
+
+(** NDJSON resolver for [{"kind":"line", ...}] estate objects.  Recognized
+    fields (all optional, defaulting to {!Line_estate.default} and
+    [penalty = 0]): [n_dcs], [n_groups], [servers_per_group], [capacity],
+    [base_space], [space_step], [base_latency_ms], [ms_per_hop],
+    [latency_exponent], [users_per_group], [frac_at_0], [penalty],
+    [data_mb_month], [use_vpn], [vpn_base], [vpn_per_ms]. *)
+val resolve : Service.Batch.resolver

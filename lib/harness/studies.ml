@@ -132,10 +132,62 @@ let e2_dr ?federal_scale () =
   section "E2: integrated consolidation + DR (paper Fig. 6 + Tables 6d/6e)";
   List.map (run_case ~dr:true) (datasets ?federal_scale ())
 
-(* ------------------------------------------------------------------ E3 *)
+(* --------------------------------------------- service-routed sweeps *)
 
-let line_milp =
-  { Solver.default_milp_options with Lp.Milp.node_limit = 2; time_limit = 20.0 }
+(* Every parameter study (E3-E6) solves swept line-estate scenarios, and
+   all of them go through this one path: build service jobs, run them
+   through a worker pool fronted by the plan cache, and hand each study
+   its outcomes back in submission order.  Per-job solves are
+   deterministic, so the printed tables are identical to the historical
+   sequential runs for any worker count. *)
+
+let pool_workers () =
+  match Sys.getenv_opt "ETRANSFORM_POOL_WORKERS" with
+  | Some s -> ( try max 0 (int_of_string s) with _ -> 2)
+  | None -> 2
+
+(* The studies' historical line-estate MILP budget. *)
+let line_milp_overrides =
+  {
+    Service.Job.no_overrides with
+    Service.Job.node_limit = Some 2;
+    time_limit = Some 20.0;
+  }
+
+(* Jobs run with [degrade = false]: the sweeps must see solver failures
+   (E4 probes infeasible corners and skips them), not greedy stand-ins. *)
+let line_job ?dr ?omega ?reserve ?dr_server_cost ~penalty cfg =
+  Service.Job.v ?dr ?omega ?reserve ?dr_server_cost
+    ~milp:line_milp_overrides ~degrade:false
+    (Line_jobs.estate ~penalty cfg)
+
+(* [sweep_line_jobs jobs] returns one [Solver.outcome option] per job, in
+   order; [None] marks a failed solve. *)
+let sweep_line_jobs jobs =
+  Service.Pool.with_pool ~workers:(pool_workers ())
+    ~queue_capacity:(max 1 (List.length jobs))
+    (fun pool ->
+      Service.Pool.run_batch pool jobs
+      |> List.map (fun r ->
+             match r.Service.Pool.code with
+             | Service.Pool.Solved | Service.Pool.Degraded ->
+                 r.Service.Pool.outcome
+             | Service.Pool.Failed -> None))
+
+let require_outcome study = function
+  | Some o -> o
+  | None -> failwith (study ^ ": line-estate solve failed")
+
+let chunk n xs =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+        if k = n then go (List.rev cur :: acc) [ x ] 1 rest
+        else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 xs
+
+(* ------------------------------------------------------------------ E3 *)
 
 let e3_latency_penalty () =
   section "E3: influence of the latency penalty (paper Fig. 7)";
@@ -144,28 +196,39 @@ let e3_latency_penalty () =
     [ (0.0, "all@9"); (0.25, "25%@0"); (0.5, "50/50"); (0.75, "75%@0");
       (1.0, "all@0") ]
   in
-  let cells =
-    List.map
-      (fun p ->
-        List.map
-          (fun (frac, _) ->
-            let cfg =
-              {
-                Line_estate.default with
-                Line_estate.frac_at_0 = frac;
-                latency_penalty = Line_estate.banded_penalty p;
-              }
-            in
-            let asis = Line_estate.make cfg in
-            let o = Solver.consolidate ~milp:line_milp asis in
-            let s = o.Solver.summary in
-            ( p,
-              frac,
-              Evaluate.total s.Evaluate.cost,
-              s.Evaluate.cost.Evaluate.space,
-              Line_estate.mean_user_latency asis o.Solver.placement ))
-          distributions)
+  let specs =
+    List.concat_map
+      (fun p -> List.map (fun (frac, _) -> (p, frac)) distributions)
       penalties
+  in
+  let jobs =
+    List.map
+      (fun (p, frac) ->
+        line_job ~penalty:p
+          { Line_estate.default with Line_estate.frac_at_0 = frac })
+      specs
+  in
+  let cells =
+    List.map2
+      (fun (p, frac) outcome ->
+        let o = require_outcome "e3" outcome in
+        let cfg =
+          {
+            Line_estate.default with
+            Line_estate.frac_at_0 = frac;
+            latency_penalty = Line_estate.banded_penalty p;
+          }
+        in
+        let asis = Line_estate.make cfg in
+        let s = o.Solver.summary in
+        ( p,
+          frac,
+          Evaluate.total s.Evaluate.cost,
+          s.Evaluate.cost.Evaluate.space,
+          Line_estate.mean_user_latency asis o.Solver.placement ))
+      specs
+      (sweep_line_jobs jobs)
+    |> chunk (List.length distributions)
   in
   let header = "penalty" :: List.map snd distributions in
   let table_of f =
@@ -194,53 +257,56 @@ let e3_latency_penalty () =
 
 (* The two-stage DR planner does not see the primary-spread/pool-size
    coupling, so sweep the business-impact knob and keep the cheapest plan —
-   exactly the lever the paper's joint LP optimizes implicitly. *)
-let dr_with_spread_search asis ~milp =
-  let omegas = [ 1.0; 0.51; 0.35; 0.26; 0.15; 0.11 ] in
+   exactly the lever the paper's joint LP optimizes implicitly.  Spread
+   points that come back infeasible are simply skipped; ties keep the
+   earliest (widest) spread. *)
+let spread_omegas = [ 1.0; 0.51; 0.35; 0.26; 0.15; 0.11 ]
+
+let best_by_spread study outcomes =
   let best = ref None in
   List.iter
-    (fun w ->
-      match
-        Dr_planner.plan
-          ~options:
-            {
-              Dr_planner.default_options with
-              Dr_planner.milp;
-              omega = (if w >= 1.0 then None else Some w);
-              reserve = 0.3;
-            }
-          asis
-      with
-      | o -> (
+    (function
+      | None -> ()
+      | Some o -> (
           let c = Evaluate.total o.Solver.summary.Evaluate.cost in
           match !best with
           | Some (c0, _) when c0 <= c -> ()
-          | _ -> best := Some (c, o))
-      | exception _ -> ())
-    omegas;
+          | _ -> best := Some (c, o)))
+    outcomes;
   match !best with
   | Some (_, o) -> o
-  | None -> failwith "dr_with_spread_search: no feasible plan"
+  | None -> failwith (study ^ ": no feasible plan")
 
 let e4_dr_server_cost () =
   section "E4: influence of the DR server cost (paper Fig. 8)";
   let zetas = [ 1.0; 10.0; 100.0; 1000.0; 10000.0 ] in
-  let results =
-    List.map
+  (* Steep space costs make consolidation clearly best when backup
+     servers are nearly free; expensive backups then reward spreading
+     primaries so pools can shrink and be shared. *)
+  let cfg =
+    { Line_estate.default with Line_estate.capacity = 400; space_step = 120.0 }
+  in
+  let jobs =
+    List.concat_map
       (fun zeta ->
-        (* Steep space costs make consolidation clearly best when backup
-           servers are nearly free; expensive backups then reward spreading
-           primaries so pools can shrink and be shared. *)
-        let cfg =
-          { Line_estate.default with
-            Line_estate.capacity = 400; space_step = 120.0 }
-        in
+        List.map
+          (fun w ->
+            line_job ~dr:true
+              ?omega:(if w >= 1.0 then None else Some w)
+              ~reserve:0.3 ~dr_server_cost:zeta ~penalty:0.0 cfg)
+          spread_omegas)
+      zetas
+  in
+  let per_zeta = chunk (List.length spread_omegas) (sweep_line_jobs jobs) in
+  let results =
+    List.map2
+      (fun zeta outcomes ->
         let asis = Line_estate.make cfg in
         let asis =
           { asis with
             Asis.params = { asis.Asis.params with Asis.dr_server_cost = zeta } }
         in
-        let o = dr_with_spread_search asis ~milp:line_milp in
+        let o = best_by_spread "e4" outcomes in
         let primary_sites =
           Array.to_list o.Solver.placement.Placement.primary
           |> List.sort_uniq compare |> List.length
@@ -250,7 +316,7 @@ let e4_dr_server_cost () =
             (Placement.backup_servers asis o.Solver.placement)
         in
         (zeta, primary_sites, pools))
-      zetas
+      zetas per_zeta
   in
   print_string
     (Report.table
@@ -281,6 +347,9 @@ let e5_space_wan_tradeoff () =
   in
   let asis = Line_estate.make cfg in
   let m = Asis.num_groups asis in
+  (* The engine run goes through the service pool; the per-location rows
+     are plain evaluations and stay inline. *)
+  let consolidated = sweep_line_jobs [ line_job ~penalty:0.0 cfg ] in
   let rows =
     List.init (Asis.num_targets asis) (fun j ->
         let p = Placement.non_dr (Array.make m j) in
@@ -304,7 +373,7 @@ let e5_space_wan_tradeoff () =
       (fun ((_, _, _, bt) as b) ((_, _, _, t) as r) -> if t < bt then r else b)
       (List.hd rows) rows
   in
-  let o = Solver.consolidate ~milp:line_milp asis in
+  let o = require_outcome "e5" (List.hd consolidated) in
   let chosen =
     Array.to_list o.Solver.placement.Placement.primary
     |> List.sort_uniq compare
@@ -322,24 +391,28 @@ let e5_space_wan_tradeoff () =
 let e6_placement_growth () =
   section "E6: placement as the estate grows (paper Fig. 10)";
   let points = [ 10; 20; 30; 40; 50; 60; 70 ] in
+  (* Per-DC capacity of 100 with 4-server groups: 25 groups per site,
+     mirroring the paper's fill-up-then-overflow staircase. *)
+  let cfg_of n_groups =
+    {
+      Line_estate.default with
+      Line_estate.n_groups;
+      capacity = 100;
+      frac_at_0 = 0.0;
+      use_vpn = true;
+      space_step = 60.0;
+      data_mb_month = 2_000_000.0;
+    }
+  in
+  let outcomes =
+    sweep_line_jobs
+      (List.map (fun n -> line_job ~penalty:0.0 (cfg_of n)) points)
+  in
   let results =
-    List.map
-      (fun n_groups ->
-        (* Per-DC capacity of 100 with 4-server groups: 25 groups per
-           site, mirroring the paper's fill-up-then-overflow staircase. *)
-        let cfg =
-          {
-            Line_estate.default with
-            Line_estate.n_groups;
-            capacity = 100;
-            frac_at_0 = 0.0;
-            use_vpn = true;
-            space_step = 60.0;
-            data_mb_month = 2_000_000.0;
-          }
-        in
-        let asis = Line_estate.make cfg in
-        let o = Solver.consolidate ~milp:line_milp asis in
+    List.map2
+      (fun n_groups outcome ->
+        let asis = Line_estate.make (cfg_of n_groups) in
+        let o = require_outcome "e6" outcome in
         let counts = Array.make (Asis.num_targets asis) 0 in
         Array.iter
           (fun j -> counts.(j) <- counts.(j) + 1)
@@ -349,7 +422,7 @@ let e6_placement_growth () =
           |> List.filter (fun j -> counts.(j) > 0)
         in
         (n_groups, List.length used, used))
-      points
+      points outcomes
   in
   print_string
     (Report.table ~header:[ "app groups"; "DCs used"; "locations" ]

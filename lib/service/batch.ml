@@ -1,0 +1,226 @@
+open Etransform
+
+type resolver = Json.t -> (string * (unit -> Asis.t)) option
+
+let ( let* ) = Result.bind
+
+let field_float j key default =
+  match Json.member key j with
+  | None -> Ok default
+  | Some v -> (
+      match Json.to_float v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "field %S must be a number" key))
+
+let field_int j key default =
+  match Json.member key j with
+  | None -> Ok default
+  | Some v -> (
+      match Json.to_int v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "field %S must be an integer" key))
+
+let field_bool j key default =
+  match Json.member key j with
+  | None -> Ok default
+  | Some v -> (
+      match Json.to_bool v with
+      | Some b -> Ok b
+      | None -> Error (Printf.sprintf "field %S must be a boolean" key))
+
+let field_str j key default =
+  match Json.member key j with
+  | None -> Ok default
+  | Some v -> (
+      match Json.to_str v with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "field %S must be a string" key))
+
+let opt_field f j key =
+  match Json.member key j with
+  | None | Some Json.Null -> Ok None
+  | Some _ -> Result.map Option.some (f j key 0.0)
+
+let estate_of_json ?resolve j =
+  match Json.member "estate" j with
+  | None -> Error "missing \"estate\""
+  | Some ej -> (
+      match Option.bind (Json.member "kind" ej) Json.to_str with
+      | Some "dataset" ->
+          let* name = field_str ej "name" "" in
+          if name = "" then Error "dataset estate needs a \"name\""
+          else
+            let* scale = field_float ej "scale" 1.0 in
+            let* seed = field_int ej "seed" 42 in
+            let* groups = field_int ej "groups" 50 in
+            let* targets = field_int ej "targets" 6 in
+            Ok (Job.Dataset { name; scale; seed; groups; targets })
+      | Some kind -> (
+          match resolve with
+          | None ->
+              Error (Printf.sprintf "no resolver for estate kind %S" kind)
+          | Some resolve -> (
+              match resolve ej with
+              | Some (key, build) -> Ok (Job.Inline { key; build })
+              | None ->
+                  Error (Printf.sprintf "unresolved estate kind %S" kind)))
+      | None -> Error "estate needs a string \"kind\"")
+
+let milp_of_json j =
+  match Json.member "milp" j with
+  | None -> Ok Job.no_overrides
+  | Some mj ->
+      let int_opt key =
+        match Json.member key mj with
+        | None | Some Json.Null -> Ok None
+        | Some v -> (
+            match Json.to_int v with
+            | Some i -> Ok (Some i)
+            | None -> Error (Printf.sprintf "milp field %S must be an integer" key))
+      in
+      let float_opt key =
+        match Json.member key mj with
+        | None | Some Json.Null -> Ok None
+        | Some v -> (
+            match Json.to_float v with
+            | Some f -> Ok (Some f)
+            | None -> Error (Printf.sprintf "milp field %S must be a number" key))
+      in
+      let* node_limit = int_opt "nodes" in
+      let* time_limit = float_opt "time" in
+      let* gap_tol = float_opt "gap" in
+      let* workers = int_opt "workers" in
+      Ok { Job.node_limit; time_limit; gap_tol; workers }
+
+let job_of_json ?resolve j =
+  match j with
+  | Json.Obj _ ->
+      let* estate = estate_of_json ?resolve j in
+      let* id = field_str j "id" "" in
+      let* dr = field_bool j "dr" false in
+      let* economies_of_scale = field_bool j "eos" false in
+      let* fixed_charges = field_bool j "fixed_charges" false in
+      let* omega = opt_field field_float j "omega" in
+      let* reserve = opt_field field_float j "reserve" in
+      let* dr_server_cost = opt_field field_float j "dr_server_cost" in
+      let* milp = milp_of_json j in
+      let* deadline_s = opt_field field_float j "deadline_s" in
+      let* degrade = field_bool j "degrade" true in
+      Ok
+        {
+          Job.id;
+          estate;
+          dr;
+          economies_of_scale;
+          fixed_charges;
+          omega;
+          reserve;
+          dr_server_cost;
+          milp;
+          deadline_s;
+          degrade;
+        }
+  | _ -> Error "job spec must be a JSON object"
+
+let job_of_line ?resolve line =
+  match Json.parse line with
+  | Error msg -> Error msg
+  | Ok j -> job_of_json ?resolve j
+
+let result_to_json (r : Pool.result) =
+  let code =
+    match r.Pool.code with
+    | Pool.Solved -> "ok"
+    | Pool.Degraded -> "degraded"
+    | Pool.Failed -> "failed"
+  in
+  let base =
+    [
+      ("id", Json.Str r.Pool.job.Job.id);
+      ("fp", Json.Str r.Pool.fingerprint);
+      ("code", Json.Str code);
+      ("cache", Json.Str (if r.Pool.cache_hit then "hit" else "miss"));
+      ("queue_s", Json.Num r.Pool.queue_s);
+      ("solve_s", Json.Num r.Pool.solve_s);
+    ]
+  in
+  let details =
+    match r.Pool.outcome with
+    | None -> []
+    | Some o ->
+        let s = o.Solver.summary in
+        [
+          ("total", Json.Num (Evaluate.total s.Evaluate.cost));
+          ("operational", Json.Num (Evaluate.operational s.Evaluate.cost));
+          ("dcs_used", Json.Num (float_of_int s.Evaluate.dcs_used));
+          ("violations", Json.Num (float_of_int s.Evaluate.violations));
+          ("status", Json.Str (Lp.Status.to_string o.Solver.milp_status));
+          ("gap", Json.Num o.Solver.milp_gap);
+          ("nodes", Json.Num (float_of_int o.Solver.nodes));
+          ( "placement",
+            Json.List
+              (Array.to_list
+                 (Array.map
+                    (fun j -> Json.Num (float_of_int j))
+                    o.Solver.placement.Placement.primary)) );
+        ]
+  in
+  let reason =
+    match r.Pool.reason with
+    | None -> []
+    | Some m -> [ ("reason", Json.Str m) ]
+  in
+  Json.Obj (base @ details @ reason)
+
+let skippable line =
+  let line = String.trim line in
+  line = "" || line.[0] = '#'
+
+let read_lines ic =
+  let rec go acc =
+    match input_line ic with
+    | line -> go (if skippable line then acc else line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+(* Parse failures must not shift the one-line-in/one-line-out alignment:
+   every kept input line yields exactly one output line.  Valid jobs are
+   all submitted up front (workers start draining immediately); results
+   are then streamed back in input order as each completes. *)
+let run ?resolve pool ic oc =
+  let lines = read_lines ic in
+  let items =
+    List.map
+      (fun line ->
+        match job_of_line ?resolve line with
+        | Error msg -> Error msg
+        | Ok job -> Ok (Pool.submit pool job))
+      lines
+  in
+  let ok = ref 0 and degraded = ref 0 and failed = ref 0 in
+  List.iter
+    (fun item ->
+      let j =
+        match item with
+        | Error msg ->
+            incr failed;
+            Json.Obj
+              [
+                ("id", Json.Str "");
+                ("code", Json.Str "invalid");
+                ("reason", Json.Str msg);
+              ]
+        | Ok ticket ->
+            let r = Pool.await ticket in
+            (match r.Pool.code with
+            | Pool.Solved -> incr ok
+            | Pool.Degraded -> incr degraded
+            | Pool.Failed -> incr failed);
+            result_to_json r
+      in
+      output_string oc (Json.to_string j);
+      output_char oc '\n';
+      flush oc)
+    items;
+  (!ok, !degraded, !failed)

@@ -1,0 +1,41 @@
+(** NDJSON front-end: one job spec per input line, one result per output
+    line, in input order.
+
+    Job spec schema (all fields except ["estate"] optional):
+    {v
+    {"id":"j1",
+     "estate":{"kind":"dataset","name":"enterprise1","scale":1.0},
+     "dr":false, "eos":false, "fixed_charges":false,
+     "omega":0.5, "reserve":0.3, "dr_server_cost":100.0,
+     "milp":{"nodes":24,"time":60.0,"gap":0.005,"workers":1},
+     "deadline_s":10.0, "degrade":true}
+    v}
+
+    Estate kinds ["dataset"] (fields [name], [scale], and for
+    [name = "synthetic"] also [seed], [groups], [targets]) are resolved
+    here; any other kind is offered to the [resolve] hook, which maps the
+    estate object to a canonical key plus a builder — this is how the
+    harness plugs line estates in without the service depending on it.
+
+    Blank lines and lines starting with [#] are skipped. *)
+
+type resolver = Json.t -> (string * (unit -> Etransform.Asis.t)) option
+
+(** [job_of_json ?resolve j] decodes one job spec.  Unknown estate kinds
+    without a resolver (or resolver miss) are errors, as are missing or
+    ill-typed fields. *)
+val job_of_json : ?resolve:resolver -> Json.t -> (Job.t, string) result
+
+(** [job_of_line ?resolve line] parses then decodes. *)
+val job_of_line : ?resolve:resolver -> string -> (Job.t, string) result
+
+(** One NDJSON result line: id, fingerprint, code, cache hit/miss, spans,
+    cost summary, solver status, and the placement vector. *)
+val result_to_json : Pool.result -> Json.t
+
+(** [run pool ic oc] streams: reads every job line from [ic], submits the
+    batch, and writes one result line per job to [oc] in input order.
+    Lines that fail to parse produce an ["invalid"] result line (the batch
+    keeps going).  Returns [(ok, degraded, failed)] counts, where [failed]
+    includes invalid lines. *)
+val run : ?resolve:resolver -> Pool.t -> in_channel -> out_channel -> int * int * int

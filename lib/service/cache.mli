@@ -1,0 +1,30 @@
+(** Content-addressed LRU plan cache.
+
+    Keys are job fingerprints ({!Job.fingerprint}); values are whatever the
+    pool stores — in practice {!Etransform.Solver.outcome}s of successful,
+    non-degraded solves.  The cache is bounded: inserting beyond [capacity]
+    evicts the least-recently-used entry.  All operations are thread-safe
+    (the pool's worker domains share one cache). *)
+
+type 'a t
+
+(** [create ~capacity ()] — [capacity <= 0] disables caching (every lookup
+    misses, every insert is dropped). *)
+val create : capacity:int -> unit -> 'a t
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+(** [find t key] returns the cached value and marks it most recently
+    used. *)
+val find : 'a t -> string -> 'a option
+
+(** [add t key v] inserts or refreshes [key], evicting the LRU entry when
+    over capacity. *)
+val add : 'a t -> string -> 'a -> unit
+
+(** Monotonic counters since [create]. *)
+val hits : 'a t -> int
+
+val misses : 'a t -> int
+val evictions : 'a t -> int

@@ -1,0 +1,124 @@
+type estate =
+  | Dataset of {
+      name : string;
+      scale : float;
+      seed : int;
+      groups : int;
+      targets : int;
+    }
+  | Inline of { key : string; build : unit -> Etransform.Asis.t }
+
+type milp_overrides = {
+  node_limit : int option;
+  time_limit : float option;
+  gap_tol : float option;
+  workers : int option;
+}
+
+let no_overrides =
+  { node_limit = None; time_limit = None; gap_tol = None; workers = None }
+
+type t = {
+  id : string;
+  estate : estate;
+  dr : bool;
+  economies_of_scale : bool;
+  fixed_charges : bool;
+  omega : float option;
+  reserve : float option;
+  dr_server_cost : float option;
+  milp : milp_overrides;
+  deadline_s : float option;
+  degrade : bool;
+}
+
+let v ?(id = "") ?(dr = false) ?(economies_of_scale = false)
+    ?(fixed_charges = false) ?omega ?reserve ?dr_server_cost
+    ?(milp = no_overrides) ?deadline_s ?(degrade = true) estate =
+  {
+    id;
+    estate;
+    dr;
+    economies_of_scale;
+    fixed_charges;
+    omega;
+    reserve;
+    dr_server_cost;
+    milp;
+    deadline_s;
+    degrade;
+  }
+
+(* Hex floats round-trip exactly, so two jobs fingerprint equal iff their
+   numeric fields are bit-identical. *)
+let fl f = Printf.sprintf "%h" f
+
+let opt f = function None -> "~" | Some v -> f v
+
+let estate_key = function
+  | Dataset { name; scale; seed; groups; targets } ->
+      Printf.sprintf "dataset:%s:%s:%d:%d:%d" name (fl scale) seed groups
+        targets
+  | Inline { key; _ } -> "inline:" ^ key
+
+(* One fixed field order; delivery-only fields (id, deadline_s, degrade)
+   are deliberately absent so retries and tighter deadlines still hit. *)
+let canonical job =
+  String.concat "|"
+    [
+      "v1";
+      estate_key job.estate;
+      (if job.dr then "dr" else "nodr");
+      (if job.economies_of_scale then "eos" else "noeos");
+      (if job.fixed_charges then "fixed" else "nofixed");
+      "omega=" ^ opt fl job.omega;
+      "reserve=" ^ opt fl job.reserve;
+      "zeta=" ^ opt fl job.dr_server_cost;
+      "nodes=" ^ opt string_of_int job.milp.node_limit;
+      "time=" ^ opt fl job.milp.time_limit;
+      "gap=" ^ opt fl job.milp.gap_tol;
+      "workers=" ^ opt string_of_int job.milp.workers;
+    ]
+
+let fingerprint job = Digest.to_hex (Digest.string (canonical job))
+
+let build_estate job =
+  let asis =
+    match job.estate with
+    | Inline { build; _ } -> build ()
+    | Dataset { name; scale; seed; groups; targets } -> (
+        match name with
+        | "enterprise1" -> Datasets.Enterprise1.asis ~scale ()
+        | "florida" -> Datasets.Florida.asis ~scale ()
+        | "federal" -> Datasets.Federal.asis ~scale ()
+        | "synthetic" ->
+            Datasets.Synth.generate
+              {
+                Datasets.Synth.default with
+                Datasets.Synth.seed;
+                n_groups = groups;
+                n_targets = targets;
+                total_servers = groups * 8;
+              }
+        | other -> invalid_arg (Printf.sprintf "unknown dataset %S" other))
+  in
+  match job.dr_server_cost with
+  | None -> asis
+  | Some zeta ->
+      {
+        asis with
+        Etransform.Asis.params =
+          { asis.Etransform.Asis.params with Etransform.Asis.dr_server_cost = zeta };
+      }
+
+let milp_options job =
+  let base = Etransform.Solver.default_milp_options in
+  {
+    base with
+    Lp.Milp.node_limit =
+      Option.value job.milp.node_limit ~default:base.Lp.Milp.node_limit;
+    time_limit =
+      Option.value job.milp.time_limit ~default:base.Lp.Milp.time_limit;
+    gap_tol = Option.value job.milp.gap_tol ~default:base.Lp.Milp.gap_tol;
+    workers = Option.value job.milp.workers ~default:base.Lp.Milp.workers;
+  }

@@ -1,0 +1,339 @@
+open Etransform
+
+type code = Solved | Degraded | Failed
+
+type result = {
+  job : Job.t;
+  fingerprint : string;
+  outcome : Solver.outcome option;
+  code : code;
+  reason : string option;
+  cache_hit : bool;
+  queue_s : float;
+  build_s : float;
+  solve_s : float;
+}
+
+type ticket = {
+  tm : Mutex.t;
+  tc : Condition.t;
+  mutable res : result option;
+}
+
+type task = { tjob : Job.t; submitted : float; ticket : ticket }
+
+type t = {
+  workers : int;
+  queue : task Queue.t;
+  queue_capacity : int;
+  m : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  mutable closed : bool;
+  mutable domains : unit Domain.t array;
+  cache : Solver.outcome Cache.t;
+  trace : Trace.t;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------- job execution *)
+
+let solve job asis ~time_remaining =
+  let milp = Job.milp_options job in
+  let milp =
+    (* The MILP budget is CPU seconds; capping it at the wall-clock time
+       remaining keeps a queued-late job from blowing its deadline by the
+       full configured budget. *)
+    match time_remaining with
+    | None -> milp
+    | Some r -> { milp with Lp.Milp.time_limit = Float.min milp.Lp.Milp.time_limit r }
+  in
+  if job.Job.dr then
+    let options =
+      {
+        Dr_planner.default_options with
+        Dr_planner.milp;
+        omega = job.Job.omega;
+        economies_of_scale = job.Job.economies_of_scale;
+        reserve =
+          Option.value job.Job.reserve
+            ~default:Dr_planner.default_options.Dr_planner.reserve;
+      }
+    in
+    Dr_planner.plan ~options asis
+  else
+    let builder =
+      {
+        Lp_builder.default_options with
+        Lp_builder.economies_of_scale = job.Job.economies_of_scale;
+        fixed_charges = job.Job.fixed_charges;
+        omega = job.Job.omega;
+      }
+    in
+    Solver.consolidate ~builder ~milp asis
+
+(* The degradation path: the greedy planner is the same stage-2 fallback
+   the DR planner leans on when the MILP surrenders; it is fast and always
+   feasible on well-formed estates. *)
+let greedy_outcome job asis =
+  let placement =
+    if job.Job.dr then Greedy.plan_dr asis else Greedy.plan asis
+  in
+  {
+    Solver.placement;
+    summary = Evaluate.plan asis placement;
+    milp_status = Lp.Status.Time_limit;
+    milp_gap = 1.0;
+    nodes = 0;
+    lp_iterations = 0;
+    local_moves = 0;
+  }
+
+let code_string = function
+  | Solved -> "solved"
+  | Degraded -> "degraded"
+  | Failed -> "failed"
+
+let trace_job trace r =
+  let base =
+    [
+      ("event", Json.Str "job");
+      ("id", Json.Str r.job.Job.id);
+      ("fp", Json.Str r.fingerprint);
+      ("code", Json.Str (code_string r.code));
+      ("cache", Json.Str (if r.cache_hit then "hit" else "miss"));
+      ("queue_s", Json.Num r.queue_s);
+      ("build_s", Json.Num r.build_s);
+      ("solve_s", Json.Num r.solve_s);
+    ]
+  in
+  let solver =
+    match r.outcome with
+    | None -> []
+    | Some o ->
+        [
+          ("status", Json.Str (Lp.Status.to_string o.Solver.milp_status));
+          ("gap", Json.Num o.Solver.milp_gap);
+          ("nodes", Json.Num (float_of_int o.Solver.nodes));
+          ("lp_iterations", Json.Num (float_of_int o.Solver.lp_iterations));
+        ]
+  in
+  let reason =
+    match r.reason with None -> [] | Some m -> [ ("reason", Json.Str m) ]
+  in
+  Trace.emit trace (base @ solver @ reason)
+
+let run_task ~cache ~trace task =
+  let job = task.tjob in
+  let started = now () in
+  let queue_s = started -. task.submitted in
+  let fingerprint = Job.fingerprint job in
+  let finish ?outcome ?reason ~code ~cache_hit ~build_s ~solve_s () =
+    let r =
+      {
+        job;
+        fingerprint;
+        outcome;
+        code;
+        reason;
+        cache_hit;
+        queue_s;
+        build_s;
+        solve_s;
+      }
+    in
+    trace_job trace r;
+    r
+  in
+  let failed reason =
+    finish ~reason ~code:Failed ~cache_hit:false ~build_s:0.0 ~solve_s:0.0 ()
+  in
+  let degrade_or_fail reason =
+    if not job.Job.degrade then failed reason
+    else
+      match
+        let tb = now () in
+        let asis = Job.build_estate job in
+        let build_s = now () -. tb in
+        (greedy_outcome job asis, build_s)
+      with
+      | outcome, build_s ->
+          finish ~outcome ~reason ~code:Degraded ~cache_hit:false ~build_s
+            ~solve_s:0.0 ()
+      | exception exn ->
+          failed
+            (Printf.sprintf "%s; greedy fallback also failed: %s" reason
+               (Printexc.to_string exn))
+  in
+  match Cache.find cache fingerprint with
+  | Some outcome ->
+      finish ~outcome ~code:Solved ~cache_hit:true ~build_s:0.0 ~solve_s:0.0 ()
+  | None -> (
+      let time_remaining =
+        Option.map (fun d -> d -. (now () -. task.submitted)) job.Job.deadline_s
+      in
+      match time_remaining with
+      | Some r when r <= 0.0 -> degrade_or_fail "deadline expired before solve"
+      | _ -> (
+          match
+            let tb = now () in
+            let asis = Job.build_estate job in
+            let build_s = now () -. tb in
+            let ts = now () in
+            let outcome = solve job asis ~time_remaining in
+            let solve_s = now () -. ts in
+            (outcome, build_s, solve_s)
+          with
+          | outcome, build_s, solve_s ->
+              Cache.add cache fingerprint outcome;
+              finish ~outcome ~code:Solved ~cache_hit:false ~build_s ~solve_s
+                ()
+          | exception exn ->
+              degrade_or_fail
+                (Printf.sprintf "solver failed: %s" (Printexc.to_string exn))))
+
+(* ---------------------------------------------------------------- pool *)
+
+let resolve ticket r =
+  Mutex.lock ticket.tm;
+  ticket.res <- Some r;
+  Condition.broadcast ticket.tc;
+  Mutex.unlock ticket.tm
+
+let worker_loop t () =
+  let rec loop () =
+    Mutex.lock t.m;
+    while Queue.is_empty t.queue && not t.closed do
+      Condition.wait t.not_empty t.m
+    done;
+    if Queue.is_empty t.queue then begin
+      Mutex.unlock t.m;
+      ()
+    end
+    else begin
+      let task = Queue.pop t.queue in
+      Condition.signal t.not_full;
+      Mutex.unlock t.m;
+      let r =
+        try run_task ~cache:t.cache ~trace:t.trace task
+        with exn ->
+          (* Last-resort guard: a worker must always fill its ticket. *)
+          {
+            job = task.tjob;
+            fingerprint = Job.fingerprint task.tjob;
+            outcome = None;
+            code = Failed;
+            reason = Some (Printexc.to_string exn);
+            cache_hit = false;
+            queue_s = 0.0;
+            build_s = 0.0;
+            solve_s = 0.0;
+          }
+      in
+      resolve task.ticket r;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(workers = 2) ?(queue_capacity = 64) ?(cache_capacity = 256)
+    ?(trace = Trace.null) () =
+  let t =
+    {
+      workers = max 0 workers;
+      queue = Queue.create ();
+      queue_capacity = max 1 queue_capacity;
+      m = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      closed = false;
+      domains = [||];
+      cache = Cache.create ~capacity:(max 0 cache_capacity) ();
+      trace;
+    }
+  in
+  if t.workers > 0 then
+    t.domains <- Array.init t.workers (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let workers t = t.workers
+let cache t = t.cache
+
+let submit t job =
+  let ticket = { tm = Mutex.create (); tc = Condition.create (); res = None } in
+  let task = { tjob = job; submitted = now (); ticket } in
+  if t.workers = 0 then begin
+    if t.closed then invalid_arg "Pool.submit: pool is shut down";
+    resolve ticket (run_task ~cache:t.cache ~trace:t.trace task)
+  end
+  else begin
+    Mutex.lock t.m;
+    while Queue.length t.queue >= t.queue_capacity && not t.closed do
+      Condition.wait t.not_full t.m
+    done;
+    if t.closed then begin
+      Mutex.unlock t.m;
+      invalid_arg "Pool.submit: pool is shut down"
+    end;
+    Queue.push task t.queue;
+    Condition.signal t.not_empty;
+    Mutex.unlock t.m
+  end;
+  ticket
+
+let await ticket =
+  Mutex.lock ticket.tm;
+  while ticket.res = None do
+    Condition.wait ticket.tc ticket.tm
+  done;
+  let r = Option.get ticket.res in
+  Mutex.unlock ticket.tm;
+  r
+
+let stream_batch t jobs ~f =
+  let t0 = now () in
+  let tickets = List.map (submit t) jobs in
+  let solved = ref 0 and degraded = ref 0 and failed = ref 0 in
+  let cache_hits = ref 0 in
+  List.iter
+    (fun ticket ->
+      let r = await ticket in
+      (match r.code with
+      | Solved -> incr solved
+      | Degraded -> incr degraded
+      | Failed -> incr failed);
+      if r.cache_hit then incr cache_hits;
+      f r)
+    tickets;
+  Trace.emit t.trace
+    [
+      ("event", Json.Str "batch");
+      ("jobs", Json.Num (float_of_int (List.length jobs)));
+      ("solved", Json.Num (float_of_int !solved));
+      ("degraded", Json.Num (float_of_int !degraded));
+      ("failed", Json.Num (float_of_int !failed));
+      ("cache_hits", Json.Num (float_of_int !cache_hits));
+      ("wall_s", Json.Num (now () -. t0));
+    ]
+
+let run_batch t jobs =
+  let acc = ref [] in
+  stream_batch t jobs ~f:(fun r -> acc := r :: !acc);
+  List.rev !acc
+
+let shutdown t =
+  Mutex.lock t.m;
+  let was_closed = t.closed in
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.m;
+  if not was_closed then begin
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+  end
+
+let with_pool ?workers ?queue_capacity ?cache_capacity ?trace f =
+  let t = create ?workers ?queue_capacity ?cache_capacity ?trace () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

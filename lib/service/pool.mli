@@ -1,0 +1,85 @@
+(** Concurrent planning pool: a bounded job queue drained by OCaml 5
+    domains, fronted by the content-addressed {!Cache} and instrumented
+    through {!Trace}.
+
+    Submitting a {!Job.t} yields a ticket; {!await} blocks until the job
+    ran.  Each job is checked against the cache first (hits skip the MILP
+    entirely), then solved with {!Etransform.Solver.consolidate} or
+    {!Etransform.Dr_planner.plan}.  Per-job deadlines bound the wall clock
+    spent from submission: an expired deadline skips the MILP, and a
+    deadline that arrives mid-queue caps the solver's time budget to the
+    time remaining.
+
+    Degradation: with [job.degrade] (the default), an expired deadline or a
+    solver exception falls back to the greedy planner
+    ({!Etransform.Greedy.plan} / [plan_dr], the same stage-2 path
+    {!Etransform.Dr_planner} uses when the MILP finds no incumbent) and the
+    result is tagged [Degraded] rather than failing the batch.  Only clean
+    [Solved] outcomes enter the cache, so a degraded plan is never served
+    to a later identical job.
+
+    Every job is deterministic given its spec, so a pool with any worker
+    count returns results identical to a sequential run; only completion
+    order (and hence trace interleaving) differs. *)
+
+type code =
+  | Solved           (** full engine result (fresh or cached) *)
+  | Degraded         (** greedy fallback after deadline/solver failure *)
+  | Failed           (** no plan: [degrade] off, or the fallback failed too *)
+
+type result = {
+  job : Job.t;
+  fingerprint : string;
+  outcome : Etransform.Solver.outcome option;  (** [None] iff [Failed] *)
+  code : code;
+  reason : string option;  (** why the job degraded or failed *)
+  cache_hit : bool;
+  queue_s : float;         (** submission → start of execution *)
+  build_s : float;         (** estate + model construction *)
+  solve_s : float;         (** engine time (0 on cache hits) *)
+}
+
+type t
+
+type ticket
+
+(** [create ()] spawns [workers] domains ([0] = run jobs inline in the
+    submitting thread — fully sequential and deterministic in submission
+    order).  [queue_capacity] bounds the backlog; submission blocks when
+    full.  [cache_capacity] sizes the shared plan cache. *)
+val create :
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?cache_capacity:int ->
+  ?trace:Trace.t ->
+  unit -> t
+
+val workers : t -> int
+val cache : t -> Etransform.Solver.outcome Cache.t
+
+(** [submit t job] enqueues the job (blocking while the queue is full).
+    Raises [Invalid_argument] after {!shutdown}. *)
+val submit : t -> Job.t -> ticket
+
+(** [await ticket] blocks until the job completed. *)
+val await : ticket -> result
+
+(** [run_batch t jobs] submits every job and returns results in submission
+    order; also emits a ["batch"] trace summary. *)
+val run_batch : t -> Job.t list -> result list
+
+(** [stream_batch t jobs ~f] is {!run_batch} but delivers each result to
+    [f] as soon as it (and all its predecessors) completed, preserving
+    submission order. *)
+val stream_batch : t -> Job.t list -> f:(result -> unit) -> unit
+
+(** Drain the queue and join the worker domains.  Idempotent. *)
+val shutdown : t -> unit
+
+(** [with_pool f] runs [f] over a fresh pool and always shuts it down. *)
+val with_pool :
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?cache_capacity:int ->
+  ?trace:Trace.t ->
+  (t -> 'a) -> 'a

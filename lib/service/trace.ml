@@ -1,0 +1,40 @@
+type sink = Null | Channel of out_channel | Memory of Buffer.t
+
+type t = { sink : sink; lock : Mutex.t; mutable seq : int }
+
+let make sink = { sink; lock = Mutex.create (); seq = 0 }
+let null = make Null
+let to_channel oc = make (Channel oc)
+let memory () = make (Memory (Buffer.create 256))
+
+let contents t =
+  match t.sink with
+  | Memory buf ->
+      Mutex.lock t.lock;
+      let s = Buffer.contents buf in
+      Mutex.unlock t.lock;
+      s
+  | Null | Channel _ -> ""
+
+let emit t fields =
+  match t.sink with
+  | Null -> ()
+  | _ ->
+      Mutex.lock t.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.lock)
+        (fun () ->
+          let line =
+            Json.to_string
+              (Json.Obj (("seq", Json.Num (float_of_int t.seq)) :: fields))
+          in
+          t.seq <- t.seq + 1;
+          match t.sink with
+          | Null -> ()
+          | Channel oc ->
+              output_string oc line;
+              output_char oc '\n';
+              flush oc
+          | Memory buf ->
+              Buffer.add_string buf line;
+              Buffer.add_char buf '\n')

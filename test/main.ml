@@ -20,4 +20,5 @@ let () =
       ("report", Test_report.suite);
       ("harness", Test_harness.suite);
       ("migration", Test_migration.suite);
+      ("service", Test_service.suite);
     ]

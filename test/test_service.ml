@@ -1,0 +1,334 @@
+(* The concurrent planning service: JSON plumbing, canonical fingerprints,
+   the LRU plan cache, the domain worker pool, and degradation policy. *)
+
+open Etransform
+
+let contains_substring ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+let line_milp =
+  {
+    Service.Job.no_overrides with
+    Service.Job.node_limit = Some 2;
+    time_limit = Some 20.0;
+  }
+
+let small_cfg penalty frac =
+  {
+    Harness.Line_estate.default with
+    Harness.Line_estate.n_groups = 12;
+    frac_at_0 = frac;
+    latency_penalty = Harness.Line_estate.banded_penalty penalty;
+  }
+
+let small_job ?deadline_s ?(degrade = true) penalty frac =
+  Service.Job.v ~milp:line_milp ?deadline_s ~degrade
+    (Harness.Line_jobs.estate ~penalty (small_cfg penalty frac))
+
+(* ----------------------------------------------------------------- JSON *)
+
+let test_json_roundtrip () =
+  let text =
+    {|{"a":1,"b":[true,null,"x\n\"y\""],"c":{"d":-2.5e3},"e":""}|}
+  in
+  let j =
+    match Service.Json.parse text with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "parse: %s" m
+  in
+  Alcotest.(check (option (float 0.0))) "a" (Some 1.0)
+    (Option.bind (Service.Json.member "a" j) Service.Json.to_float);
+  (match Service.Json.member "b" j with
+  | Some (Service.Json.List [ Service.Json.Bool true; Service.Json.Null; Service.Json.Str s ])
+    ->
+      Alcotest.(check string) "escapes" "x\n\"y\"" s
+  | _ -> Alcotest.fail "array shape");
+  let reparsed =
+    match Service.Json.parse (Service.Json.to_string j) with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "reparse: %s" m
+  in
+  Alcotest.(check bool) "print/parse fixpoint" true (j = reparsed);
+  (match Service.Json.parse "{\"a\":1} trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted")
+
+(* ---------------------------------------------------------- fingerprints *)
+
+let parse_job line =
+  match
+    Service.Batch.job_of_line ~resolve:Harness.Line_jobs.resolve line
+  with
+  | Ok job -> job
+  | Error m -> Alcotest.failf "job_of_line: %s" m
+
+let test_fingerprint_permutation () =
+  (* The same scenario with every key order permuted, top-level and
+     nested, must hash to the same content address. *)
+  let a =
+    parse_job
+      {|{"id":"a","estate":{"kind":"line","n_groups":12,"penalty":40,"frac_at_0":0.25},"milp":{"nodes":2,"time":20},"dr":false}|}
+  in
+  let b =
+    parse_job
+      {|{"dr":false,"milp":{"time":20,"nodes":2},"estate":{"frac_at_0":0.25,"penalty":40,"kind":"line","n_groups":12},"id":"b"}|}
+  in
+  Alcotest.(check string) "permuted spec, same fingerprint"
+    (Service.Job.fingerprint a) (Service.Job.fingerprint b);
+  let c =
+    parse_job
+      {|{"id":"c","estate":{"kind":"line","n_groups":12,"penalty":41,"frac_at_0":0.25},"milp":{"nodes":2,"time":20}}|}
+  in
+  Alcotest.(check bool) "changed penalty, new fingerprint" true
+    (Service.Job.fingerprint a <> Service.Job.fingerprint c)
+
+let test_fingerprint_ignores_delivery () =
+  let base = small_job 20.0 0.5 in
+  let with_deadline = { base with Service.Job.id = "x"; deadline_s = Some 9.0 } in
+  let no_degrade = { base with Service.Job.degrade = false } in
+  Alcotest.(check string) "deadline/id excluded"
+    (Service.Job.fingerprint base)
+    (Service.Job.fingerprint with_deadline);
+  Alcotest.(check string) "degrade excluded"
+    (Service.Job.fingerprint base)
+    (Service.Job.fingerprint no_degrade);
+  let dr = { base with Service.Job.dr = true } in
+  Alcotest.(check bool) "dr included" true
+    (Service.Job.fingerprint base <> Service.Job.fingerprint dr)
+
+(* ----------------------------------------------------------------- cache *)
+
+let test_cache_eviction () =
+  let c = Service.Cache.create ~capacity:2 () in
+  Service.Cache.add c "a" 1;
+  Service.Cache.add c "b" 2;
+  Alcotest.(check (option int)) "a cached" (Some 1) (Service.Cache.find c "a");
+  (* a is now most recent, so inserting c evicts b. *)
+  Service.Cache.add c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Service.Cache.find c "b");
+  Alcotest.(check (option int)) "a survives" (Some 1) (Service.Cache.find c "a");
+  Alcotest.(check (option int)) "c cached" (Some 3) (Service.Cache.find c "c");
+  Alcotest.(check int) "one eviction" 1 (Service.Cache.evictions c);
+  Alcotest.(check int) "size bounded" 2 (Service.Cache.length c);
+  Service.Cache.add c "a" 10;
+  Alcotest.(check (option int)) "refresh replaces" (Some 10)
+    (Service.Cache.find c "a");
+  Alcotest.(check int) "refresh does not evict" 1 (Service.Cache.evictions c)
+
+let test_cache_disabled () =
+  let c = Service.Cache.create ~capacity:0 () in
+  Service.Cache.add c "a" 1;
+  Alcotest.(check (option int)) "nothing stored" None (Service.Cache.find c "a")
+
+(* ------------------------------------------------------------------ pool *)
+
+let check_same_results msg seq par =
+  Alcotest.(check int) (msg ^ ": count") (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Service.Pool.result) (b : Service.Pool.result) ->
+      Alcotest.(check bool) (msg ^ ": both solved") true
+        (a.Service.Pool.code = Service.Pool.Solved
+        && b.Service.Pool.code = Service.Pool.Solved);
+      match (a.Service.Pool.outcome, b.Service.Pool.outcome) with
+      | Some oa, Some ob ->
+          Alcotest.(check (array int)) (msg ^ ": same placement")
+            oa.Solver.placement.Placement.primary
+            ob.Solver.placement.Placement.primary;
+          Alcotest.(check (float 0.0)) (msg ^ ": same cost")
+            (Evaluate.total oa.Solver.summary.Evaluate.cost)
+            (Evaluate.total ob.Solver.summary.Evaluate.cost)
+      | _ -> Alcotest.fail (msg ^ ": missing outcome"))
+    seq par
+
+let sweep_jobs () =
+  List.concat_map
+    (fun p -> List.map (fun f -> small_job p f) [ 0.0; 0.5; 1.0 ])
+    [ 0.0; 80.0 ]
+
+let test_pool_parallel_equals_sequential () =
+  let jobs = sweep_jobs () in
+  let seq =
+    Service.Pool.with_pool ~workers:0 (fun pool ->
+        Service.Pool.run_batch pool jobs)
+  in
+  let par =
+    Service.Pool.with_pool ~workers:3 (fun pool ->
+        Service.Pool.run_batch pool jobs)
+  in
+  check_same_results "pool" seq par;
+  (* And the sequential pool path equals a direct engine call. *)
+  let direct =
+    let milp =
+      { Solver.default_milp_options with Lp.Milp.node_limit = 2;
+        time_limit = 20.0 }
+    in
+    Solver.consolidate ~milp
+      (Harness.Line_estate.make (small_cfg 0.0 0.0))
+  in
+  match (List.hd seq).Service.Pool.outcome with
+  | Some o ->
+      Alcotest.(check (array int)) "pool equals direct solve"
+        direct.Solver.placement.Placement.primary
+        o.Solver.placement.Placement.primary
+  | None -> Alcotest.fail "first job has no outcome"
+
+let test_cache_hit_on_repeat () =
+  let trace = Service.Trace.memory () in
+  let job = small_job 40.0 0.5 in
+  Service.Pool.with_pool ~workers:0 ~trace (fun pool ->
+      let first = List.hd (Service.Pool.run_batch pool [ job ]) in
+      let second = List.hd (Service.Pool.run_batch pool [ job ]) in
+      Alcotest.(check bool) "first misses" false first.Service.Pool.cache_hit;
+      Alcotest.(check bool) "second hits" true second.Service.Pool.cache_hit;
+      Alcotest.(check bool) "hit is solved" true
+        (second.Service.Pool.code = Service.Pool.Solved);
+      match (first.Service.Pool.outcome, second.Service.Pool.outcome) with
+      | Some a, Some b ->
+          Alcotest.(check (array int)) "hit returns the cached plan"
+            a.Solver.placement.Placement.primary
+            b.Solver.placement.Placement.primary
+      | _ -> Alcotest.fail "missing outcomes");
+  let lines =
+    String.split_on_char '\n' (Service.Trace.contents trace)
+    |> List.filter (fun l -> l <> "")
+  in
+  (* 2 job events + 2 batch summaries, all parseable JSONL. *)
+  Alcotest.(check int) "trace lines" 4 (List.length lines);
+  List.iter
+    (fun line ->
+      match Service.Json.parse line with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "unparseable trace line %S: %s" line m)
+    lines;
+  Alcotest.(check bool) "trace records the hit" true
+    (List.exists
+       (fun l -> contains_substring ~affix:{|"cache":"hit"|} l)
+       lines)
+
+let test_degraded_deadline () =
+  (* A deadline of zero expires before the MILP starts: the job must come
+     back tagged degraded with the greedy plan, not fail the batch. *)
+  let job = small_job ~deadline_s:0.0 20.0 0.5 in
+  let greedy =
+    Greedy.plan (Harness.Line_estate.make (small_cfg 20.0 0.5))
+  in
+  Service.Pool.with_pool ~workers:0 (fun pool ->
+      let r = List.hd (Service.Pool.run_batch pool [ job ]) in
+      Alcotest.(check bool) "degraded" true
+        (r.Service.Pool.code = Service.Pool.Degraded);
+      Alcotest.(check bool) "reason given" true (r.Service.Pool.reason <> None);
+      (match r.Service.Pool.outcome with
+      | Some o ->
+          Alcotest.(check (array int)) "greedy fallback plan" greedy.Placement.primary
+            o.Solver.placement.Placement.primary;
+          Alcotest.(check bool) "status marks the timeout" true
+            (o.Solver.milp_status = Lp.Status.Time_limit)
+      | None -> Alcotest.fail "degraded job still carries a plan");
+      (* Degraded plans must not poison the cache: the same scenario
+         without a deadline gets a real solve, not the greedy stand-in. *)
+      let clean = { job with Service.Job.deadline_s = None } in
+      let r2 = List.hd (Service.Pool.run_batch pool [ clean ]) in
+      Alcotest.(check string) "same content address"
+        r.Service.Pool.fingerprint r2.Service.Pool.fingerprint;
+      Alcotest.(check bool) "clean rerun misses the cache" false
+        r2.Service.Pool.cache_hit;
+      Alcotest.(check bool) "clean rerun is a full solve" true
+        (r2.Service.Pool.code = Service.Pool.Solved))
+
+let test_failed_without_degradation () =
+  let job = small_job ~deadline_s:0.0 ~degrade:false 20.0 0.5 in
+  Service.Pool.with_pool ~workers:0 (fun pool ->
+      let r = List.hd (Service.Pool.run_batch pool [ job ]) in
+      Alcotest.(check bool) "failed" true
+        (r.Service.Pool.code = Service.Pool.Failed);
+      Alcotest.(check bool) "no outcome" true (r.Service.Pool.outcome = None))
+
+(* ----------------------------------------------------------------- batch *)
+
+let test_batch_stream_alignment () =
+  let input =
+    String.concat "\n"
+      [
+        {|{"id":"j1","estate":{"kind":"line","n_groups":12},"milp":{"nodes":2,"time":20}}|};
+        "# a comment between jobs";
+        "this is not json";
+        {|{"id":"j2","estate":{"n_groups":12,"kind":"line"},"milp":{"time":20,"nodes":2}}|};
+        "";
+      ]
+  in
+  let in_file = Filename.temp_file "etransform_batch" ".ndjson" in
+  let out_file = Filename.temp_file "etransform_batch" ".out" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove in_file;
+      Sys.remove out_file)
+    (fun () ->
+      let oc = open_out in_file in
+      output_string oc input;
+      close_out oc;
+      let ic = open_in in_file and oc = open_out out_file in
+      let ok, degraded, failed =
+        Service.Pool.with_pool ~workers:2 (fun pool ->
+            Service.Batch.run ~resolve:Harness.Line_jobs.resolve pool ic oc)
+      in
+      close_in ic;
+      close_out oc;
+      Alcotest.(check (list int)) "counts" [ 2; 0; 1 ] [ ok; degraded; failed ];
+      let ic = open_in out_file in
+      let rec read acc =
+        match input_line ic with
+        | l -> read (l :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      let lines = read [] in
+      close_in ic;
+      (* Comment and blank skipped; bad line kept in place as invalid. *)
+      Alcotest.(check int) "three output lines" 3 (List.length lines);
+      let codes =
+        List.map
+          (fun l ->
+            match Service.Json.parse l with
+            | Ok j ->
+                Option.value ~default:"?"
+                  (Option.bind (Service.Json.member "code" j)
+                     Service.Json.to_str)
+            | Error m -> Alcotest.failf "bad output line: %s" m)
+          lines
+      in
+      Alcotest.(check (list string)) "codes in input order"
+        [ "ok"; "invalid"; "ok" ] codes;
+      (* j1 and j2 are the same scenario with permuted keys: same content
+         address, same cost, whichever worker got there first. *)
+      let fp_of l =
+        match Service.Json.parse l with
+        | Ok j ->
+            Option.value ~default:""
+              (Option.bind (Service.Json.member "fp" j) Service.Json.to_str)
+        | Error _ -> ""
+      in
+      Alcotest.(check string) "permuted jobs share a fingerprint"
+        (fp_of (List.nth lines 0))
+        (fp_of (List.nth lines 2)))
+
+let suite =
+  [
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "fingerprint: permutation-insensitive" `Quick
+      test_fingerprint_permutation;
+    Alcotest.test_case "fingerprint: delivery fields excluded" `Quick
+      test_fingerprint_ignores_delivery;
+    Alcotest.test_case "cache: LRU eviction" `Quick test_cache_eviction;
+    Alcotest.test_case "cache: zero capacity" `Quick test_cache_disabled;
+    Alcotest.test_case "pool: parallel equals sequential" `Slow
+      test_pool_parallel_equals_sequential;
+    Alcotest.test_case "pool: cache hit on repeat" `Quick
+      test_cache_hit_on_repeat;
+    Alcotest.test_case "pool: zero deadline degrades" `Quick
+      test_degraded_deadline;
+    Alcotest.test_case "pool: no degradation means failure" `Quick
+      test_failed_without_degradation;
+    Alcotest.test_case "batch: NDJSON stream alignment" `Slow
+      test_batch_stream_alignment;
+  ]
