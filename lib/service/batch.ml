@@ -176,51 +176,68 @@ let skippable line =
   let line = String.trim line in
   line = "" || line.[0] = '#'
 
-let read_lines ic =
-  let rec go acc =
-    match input_line ic with
-    | line -> go (if skippable line then acc else line :: acc)
-    | exception End_of_file -> List.rev acc
-  in
-  go []
-
 (* Parse failures must not shift the one-line-in/one-line-out alignment:
-   every kept input line yields exactly one output line.  Valid jobs are
-   all submitted up front (workers start draining immediately); results
-   are then streamed back in input order as each completes. *)
+   every kept input line yields exactly one output line.  Input is read
+   and submitted incrementally: a sliding window of at most the pool's
+   queue capacity keeps the workers fed while results stream back in
+   input order as each completes, so long-lived pipes see output before
+   EOF and memory stays bounded by the window, not the input size. *)
 let run ?resolve pool ic oc =
-  let lines = read_lines ic in
-  let items =
-    List.map
-      (fun line ->
-        match job_of_line ?resolve line with
-        | Error msg -> Error msg
-        | Ok job -> Ok (Pool.submit pool job))
-      lines
-  in
   let ok = ref 0 and degraded = ref 0 and failed = ref 0 in
-  List.iter
-    (fun item ->
-      let j =
-        match item with
-        | Error msg ->
-            incr failed;
-            Json.Obj
-              [
-                ("id", Json.Str "");
-                ("code", Json.Str "invalid");
-                ("reason", Json.Str msg);
-              ]
-        | Ok ticket ->
-            let r = Pool.await ticket in
-            (match r.Pool.code with
-            | Pool.Solved -> incr ok
-            | Pool.Degraded -> incr degraded
-            | Pool.Failed -> incr failed);
-            result_to_json r
-      in
-      output_string oc (Json.to_string j);
-      output_char oc '\n';
-      flush oc)
-    items;
+  let emit item =
+    let j =
+      match item with
+      | Error msg ->
+          incr failed;
+          Json.Obj
+            [
+              ("id", Json.Str "");
+              ("code", Json.Str "invalid");
+              ("reason", Json.Str msg);
+            ]
+      | Ok ticket ->
+          let r = Pool.await ticket in
+          (match r.Pool.code with
+          | Pool.Solved -> incr ok
+          | Pool.Degraded -> incr degraded
+          | Pool.Failed -> incr failed);
+          result_to_json r
+    in
+    output_string oc (Json.to_string j);
+    output_char oc '\n';
+    flush oc
+  in
+  let window = max 1 (Pool.queue_capacity pool) in
+  let pending = Queue.create () in
+  (* Emit (in order) every leading item whose result is already in, so a
+     trickling producer sees results as soon as they complete rather than
+     only when the window fills or the input ends. *)
+  let rec drain_ready () =
+    match Queue.peek_opt pending with
+    | Some (Error _) ->
+        emit (Queue.pop pending);
+        drain_ready ()
+    | Some (Ok ticket) when Pool.poll ticket <> None ->
+        emit (Queue.pop pending);
+        drain_ready ()
+    | _ -> ()
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       if not (skippable line) then begin
+         let item =
+           match job_of_line ?resolve line with
+           | Error msg -> Error msg
+           | Ok job -> Ok (Pool.submit pool job)
+         in
+         Queue.push item pending;
+         drain_ready ();
+         if Queue.length pending >= window then emit (Queue.pop pending)
+       end
+     done
+   with End_of_file -> ());
+  while not (Queue.is_empty pending) do
+    emit (Queue.pop pending)
+  done;
   (!ok, !degraded, !failed)

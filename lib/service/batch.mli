@@ -33,9 +33,12 @@ val job_of_line : ?resolve:resolver -> string -> (Job.t, string) result
     cost summary, solver status, and the placement vector. *)
 val result_to_json : Pool.result -> Json.t
 
-(** [run pool ic oc] streams: reads every job line from [ic], submits the
-    batch, and writes one result line per job to [oc] in input order.
-    Lines that fail to parse produce an ["invalid"] result line (the batch
-    keeps going).  Returns [(ok, degraded, failed)] counts, where [failed]
+(** [run pool ic oc] streams: job lines are read from [ic] and submitted
+    incrementally (at most the pool's queue capacity outstanding at once),
+    and one result line per job is written to [oc] in input order as each
+    completes — long-lived pipes see output before [ic] reaches EOF and
+    memory stays bounded by the window, not the input size.  Lines that
+    fail to parse produce an ["invalid"] result line (the batch keeps
+    going).  Returns [(ok, degraded, failed)] counts, where [failed]
     includes invalid lines. *)
 val run : ?resolve:resolver -> Pool.t -> in_channel -> out_channel -> int * int * int

@@ -198,7 +198,8 @@ let escape buf s =
   Buffer.add_char buf '"'
 
 let number_to_string f =
-  if Float.is_nan f then "null"
+  (* JSON has no NaN/Infinity; emit null for any non-finite value. *)
+  if not (Float.is_finite f) then "null"
   else if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.0f" f
   else

@@ -39,16 +39,7 @@ let now () = Unix.gettimeofday ()
 
 (* ------------------------------------------------------- job execution *)
 
-let solve job asis ~time_remaining =
-  let milp = Job.milp_options job in
-  let milp =
-    (* The MILP budget is CPU seconds; capping it at the wall-clock time
-       remaining keeps a queued-late job from blowing its deadline by the
-       full configured budget. *)
-    match time_remaining with
-    | None -> milp
-    | Some r -> { milp with Lp.Milp.time_limit = Float.min milp.Lp.Milp.time_limit r }
-  in
+let solve job asis ~milp =
   if job.Job.dr then
     let options =
       {
@@ -176,17 +167,32 @@ let run_task ~cache ~trace task =
       match time_remaining with
       | Some r when r <= 0.0 -> degrade_or_fail "deadline expired before solve"
       | _ -> (
+          let milp = Job.milp_options job in
+          (* The MILP budget is CPU seconds; capping it at the wall-clock
+             time remaining keeps a queued-late job from blowing its
+             deadline by the full configured budget. *)
+          let budget_capped, milp =
+            match time_remaining with
+            | Some r when r < milp.Lp.Milp.time_limit ->
+                (true, { milp with Lp.Milp.time_limit = r })
+            | _ -> (false, milp)
+          in
           match
             let tb = now () in
             let asis = Job.build_estate job in
             let build_s = now () -. tb in
             let ts = now () in
-            let outcome = solve job asis ~time_remaining in
+            let outcome = solve job asis ~milp in
             let solve_s = now () -. ts in
             (outcome, build_s, solve_s)
           with
           | outcome, build_s, solve_s ->
-              Cache.add cache fingerprint outcome;
+              (* A deadline-starved budget can return a greedy/LP-rounded
+                 plan tagged Time_limit; caching it under a fingerprint that
+                 excludes deadline_s would serve that degraded plan to later
+                 full-budget jobs.  Only full-budget solves are cacheable:
+                 they alone are deterministic given the job spec. *)
+              if not budget_capped then Cache.add cache fingerprint outcome;
               finish ~outcome ~code:Solved ~cache_hit:false ~build_s ~solve_s
                 ()
           | exception exn ->
@@ -258,6 +264,7 @@ let create ?(workers = 2) ?(queue_capacity = 64) ?(cache_capacity = 256)
   t
 
 let workers t = t.workers
+let queue_capacity t = t.queue_capacity
 let cache t = t.cache
 
 let submit t job =
@@ -288,6 +295,12 @@ let await ticket =
     Condition.wait ticket.tc ticket.tm
   done;
   let r = Option.get ticket.res in
+  Mutex.unlock ticket.tm;
+  r
+
+let poll ticket =
+  Mutex.lock ticket.tm;
+  let r = ticket.res in
   Mutex.unlock ticket.tm;
   r
 

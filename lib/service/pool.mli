@@ -15,8 +15,9 @@
     ({!Etransform.Greedy.plan} / [plan_dr], the same stage-2 path
     {!Etransform.Dr_planner} uses when the MILP finds no incumbent) and the
     result is tagged [Degraded] rather than failing the batch.  Only clean
-    [Solved] outcomes enter the cache, so a degraded plan is never served
-    to a later identical job.
+    [Solved] outcomes from a full (deadline-uncapped) solver budget enter
+    the cache, so a degraded or budget-starved plan is never served to a
+    later identical job.
 
     Every job is deterministic given its spec, so a pool with any worker
     count returns results identical to a sequential run; only completion
@@ -55,6 +56,7 @@ val create :
   unit -> t
 
 val workers : t -> int
+val queue_capacity : t -> int
 val cache : t -> Etransform.Solver.outcome Cache.t
 
 (** [submit t job] enqueues the job (blocking while the queue is full).
@@ -63,6 +65,10 @@ val submit : t -> Job.t -> ticket
 
 (** [await ticket] blocks until the job completed. *)
 val await : ticket -> result
+
+(** [poll ticket] is [Some result] iff the job already completed; never
+    blocks. *)
+val poll : ticket -> result option
 
 (** [run_batch t jobs] submits every job and returns results in submission
     order; also emits a ["batch"] trace summary. *)

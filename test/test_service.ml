@@ -55,6 +55,24 @@ let test_json_roundtrip () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "trailing garbage accepted")
 
+let test_json_non_finite () =
+  (* JSON has no NaN/Infinity: all non-finite numbers print as null so
+     result and trace lines stay parseable. *)
+  let printed =
+    Service.Json.to_string
+      (Service.Json.List
+         [
+           Service.Json.Num Float.nan;
+           Service.Json.Num Float.infinity;
+           Service.Json.Num Float.neg_infinity;
+           Service.Json.Num 1.5;
+         ])
+  in
+  Alcotest.(check string) "non-finite as null" "[null,null,null,1.5]" printed;
+  match Service.Json.parse printed with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "emitted invalid JSON: %s" m
+
 (* ---------------------------------------------------------- fingerprints *)
 
 let parse_job line =
@@ -237,6 +255,28 @@ let test_degraded_deadline () =
       Alcotest.(check bool) "clean rerun is a full solve" true
         (r2.Service.Pool.code = Service.Pool.Solved))
 
+let test_capped_budget_not_cached () =
+  (* A deadline that arrives mid-queue caps the MILP budget to the time
+     remaining.  Such a solve can be cut short (Time_limit) yet still be
+     coded Solved, and the fingerprint deliberately excludes deadline_s —
+     so it must never enter the cache, or a later full-budget job would be
+     served the potentially degraded plan as a Solved hit. *)
+  let capped = small_job ~deadline_s:5.0 40.0 0.25 in
+  Service.Pool.with_pool ~workers:0 (fun pool ->
+      let r1 = List.hd (Service.Pool.run_batch pool [ capped ]) in
+      Alcotest.(check bool) "capped job solves" true
+        (r1.Service.Pool.code = Service.Pool.Solved);
+      let clean = { capped with Service.Job.deadline_s = None } in
+      let r2 = List.hd (Service.Pool.run_batch pool [ clean ]) in
+      Alcotest.(check string) "same content address"
+        r1.Service.Pool.fingerprint r2.Service.Pool.fingerprint;
+      Alcotest.(check bool) "full-budget rerun misses the cache" false
+        r2.Service.Pool.cache_hit;
+      (* The full-budget solve is the one that populates the cache. *)
+      let r3 = List.hd (Service.Pool.run_batch pool [ clean ]) in
+      Alcotest.(check bool) "second full-budget run hits" true
+        r3.Service.Pool.cache_hit)
+
 let test_failed_without_degradation () =
   let job = small_job ~deadline_s:0.0 ~degrade:false 20.0 0.5 in
   Service.Pool.with_pool ~workers:0 (fun pool ->
@@ -315,6 +355,7 @@ let test_batch_stream_alignment () =
 let suite =
   [
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json: non-finite numbers" `Quick test_json_non_finite;
     Alcotest.test_case "fingerprint: permutation-insensitive" `Quick
       test_fingerprint_permutation;
     Alcotest.test_case "fingerprint: delivery fields excluded" `Quick
@@ -327,6 +368,8 @@ let suite =
       test_cache_hit_on_repeat;
     Alcotest.test_case "pool: zero deadline degrades" `Quick
       test_degraded_deadline;
+    Alcotest.test_case "pool: capped budget not cached" `Quick
+      test_capped_budget_not_cached;
     Alcotest.test_case "pool: no degradation means failure" `Quick
       test_failed_without_degradation;
     Alcotest.test_case "batch: NDJSON stream alignment" `Slow
