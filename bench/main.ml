@@ -125,6 +125,52 @@ let kernel_thunks () =
        ignore (Service.Pool.run_batch pool service_jobs);
        pool)
   in
+  (* Whole-stack HTTP latency: a fresh loopback connection, one POST
+     /solve, response read to EOF.  The cold server runs without a plan
+     cache (every request pays a full solve); the warm server answers
+     from a pre-populated cache, so the kernel isolates the HTTP + pool
+     overhead.  Worker-less pools keep extra domains out of the other
+     kernels' measurement windows (connection threads solve inline), and
+     the lazy servers only start when their kernel first runs. *)
+  let http_job_line =
+    {|{"id":"bench","estate":{"kind":"line","n_groups":12},"milp":{"nodes":2,"time":20}}|}
+  in
+  let start_server ~cache_capacity () =
+    let pool = Service.Pool.create ~workers:0 ~cache_capacity () in
+    let server =
+      Server.Daemon.create ~port:0 ~resolve:Harness.Line_jobs.resolve ~pool ()
+    in
+    ignore (Thread.create Server.Daemon.run server);
+    Server.Daemon.port server
+  in
+  let http_roundtrip port =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with _ -> ())
+      (fun () ->
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        let req =
+          Printf.sprintf
+            "POST /solve HTTP/1.1\r\nHost: bench\r\nConnection: close\r\nContent-Length: %d\r\n\r\n%s"
+            (String.length http_job_line) http_job_line
+        in
+        let b = Bytes.of_string req in
+        let n = Bytes.length b in
+        let rec send off =
+          if off < n then send (off + Unix.write fd b off (n - off))
+        in
+        send 0;
+        let buf = Bytes.create 4096 in
+        let rec drain () = if Unix.read fd buf 0 4096 > 0 then drain () in
+        drain ())
+  in
+  let cold_server = lazy (start_server ~cache_capacity:0 ()) in
+  let warm_server =
+    lazy
+      (let port = start_server ~cache_capacity:64 () in
+       http_roundtrip port;
+       port)
+  in
   let milp_opts ?(warm_start = true) ?(workers = 1) () =
     { Lp.Milp.default_options with
       Lp.Milp.node_limit = 50; warm_start; workers }
@@ -183,6 +229,10 @@ let kernel_thunks () =
     ( "service_batch_line_warm",
       fun () ->
         ignore (Service.Pool.run_batch (Lazy.force warm_pool) service_jobs) );
+    ( "service_http_roundtrip_cold",
+      fun () -> http_roundtrip (Lazy.force cold_server) );
+    ( "service_http_roundtrip_warm",
+      fun () -> http_roundtrip (Lazy.force warm_server) );
   ]
 
 let kernel_tests () =

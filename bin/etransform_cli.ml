@@ -135,6 +135,21 @@ let datasets_cmd_run verbose =
    line, one result line per job on stdout, in input order. *)
 let batch_cmd_run verbose input workers queue cache_size trace_file =
   setup_logs verbose;
+  (* `etransform batch ... | head` must end the stream cleanly when the
+     consumer hangs up: ignore SIGPIPE so the write fails with EPIPE
+     (surfaced as Sys_error "Broken pipe"), which Batch.run re-raises
+     after winding the stream down — treated below as a normal end. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let contains ~affix s =
+    let n = String.length affix and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+    go 0
+  in
+  let broken_pipe = function
+    | Sys_error msg -> contains ~affix:"roken pipe" msg
+    | Unix.Unix_error (Unix.EPIPE, _, _) -> true
+    | _ -> false
+  in
   let trace, close_trace =
     match trace_file with
     | None -> (Service.Trace.null, fun () -> ())
@@ -154,10 +169,15 @@ let batch_cmd_run verbose input workers queue cache_size trace_file =
         close_in_ ();
         close_trace ())
       (fun () ->
-        Service.Pool.with_pool ~workers ~queue_capacity:queue
-          ~cache_capacity:cache_size ~trace (fun pool ->
-            Service.Batch.run ~resolve:Harness.Line_jobs.resolve pool ic
-              stdout))
+        try
+          Service.Pool.with_pool ~workers ~queue_capacity:queue
+            ~cache_capacity:cache_size ~trace (fun pool ->
+              Service.Batch.run ~resolve:Harness.Line_jobs.resolve pool ic
+                stdout)
+        with exn when broken_pipe exn ->
+          (* Downstream closed the pipe (e.g. `| head`): the stream ended
+             where the consumer stopped listening — that is success. *)
+          (0, 0, 0))
   in
   if failed > 0 then exit 1
 

@@ -1,0 +1,95 @@
+(* The eTransform planning server: a long-lived HTTP/1.1 front-end over
+   the concurrent worker pool.
+
+   Try:
+     etransform_server --port 8080 --workers 4
+     curl -s localhost:8080/healthz
+     curl -s -XPOST localhost:8080/solve -d \
+       '{"id":"j1","estate":{"kind":"dataset","name":"enterprise1"}}'
+     curl -sN -XPOST localhost:8080/batch --data-binary @examples/batch_jobs.ndjson
+     curl -s localhost:8080/metrics
+
+   SIGINT/SIGTERM drain gracefully: the listener closes immediately,
+   in-flight jobs get up to --drain-timeout seconds to finish, then the
+   process exits. *)
+
+open Cmdliner
+
+let serve port addr workers queue cache_size trace_file drain_timeout =
+  (* A client hanging up mid-stream must end that connection quietly
+     (EPIPE on its socket), not kill the whole server with SIGPIPE. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let trace_out, close_trace =
+    match trace_file with
+    | None -> (Service.Trace.null, fun () -> ())
+    | Some "-" -> (Service.Trace.to_channel stderr, fun () -> ())
+    | Some path ->
+        let oc = open_out path in
+        (Service.Trace.to_channel oc, fun () -> close_out oc)
+  in
+  let metrics = Service.Metrics.create () in
+  (* Tee the pool's trace into the metrics registry: every job span both
+     reaches the JSONL sink and updates the counters/histograms that
+     /metrics exposes. *)
+  let trace =
+    Service.Trace.tee trace_out
+      (Service.Trace.observer (Service.Metrics.observe_trace metrics))
+  in
+  Service.Pool.with_pool ~workers ~queue_capacity:queue
+    ~cache_capacity:cache_size ~trace (fun pool ->
+      let server =
+        Server.Daemon.create ~addr ~port ~drain_timeout
+          ~resolve:Harness.Line_jobs.resolve ~metrics ~pool ()
+      in
+      let stop _ = Server.Daemon.request_stop server in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+      Printf.eprintf
+        "etransform_server: listening on %s:%d (%d workers, queue %d)\n%!"
+        addr
+        (Server.Daemon.port server)
+        workers queue;
+      Server.Daemon.run server;
+      Printf.eprintf "etransform_server: drained, shutting down\n%!");
+  close_trace ()
+
+let port =
+  Arg.(value & opt int 8080
+       & info [ "port" ] ~doc:"Listen port (0 picks an ephemeral port).")
+
+let addr =
+  Arg.(value & opt string "127.0.0.1"
+       & info [ "addr" ] ~doc:"Listen address.")
+
+let workers =
+  Arg.(value & opt int 2
+       & info [ "workers" ] ~doc:"Worker domains (0 = solve inline).")
+
+let queue =
+  Arg.(value & opt int 64
+       & info [ "queue" ]
+           ~doc:"Bounded job-queue capacity; a full queue answers 503.")
+
+let cache_size =
+  Arg.(value & opt int 256
+       & info [ "cache" ] ~doc:"Plan-cache capacity (0 disables).")
+
+let trace_file =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write JSONL per-job trace spans here (- for stderr).")
+
+let drain_timeout =
+  Arg.(value & opt float 10.0
+       & info [ "drain-timeout" ]
+           ~doc:"Seconds to let in-flight requests finish on shutdown.")
+
+let () =
+  let cmd =
+    Cmd.v
+      (Cmd.info "etransform_server" ~version:"1.0.0"
+         ~doc:"serve planning jobs over HTTP (POST /solve, POST /batch)")
+      Term.(const serve $ port $ addr $ workers $ queue $ cache_size
+            $ trace_file $ drain_timeout)
+  in
+  exit (Cmd.eval cmd)

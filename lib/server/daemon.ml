@@ -1,0 +1,355 @@
+open Service
+
+type t = {
+  lfd : Unix.file_descr;
+  port : int;
+  pool : Pool.t;
+  resolve : Batch.resolver option;
+  metrics : Metrics.t;
+  limits : Http.limits;
+  drain_timeout : float;
+  stop : bool Atomic.t;
+  m : Mutex.t;
+  mutable busy : int;  (* requests currently being processed *)
+  mutable conns : (int * Unix.file_descr) list;  (* live connections *)
+  mutable next_conn : int;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------- metrics *)
+
+let requests_total = "etransform_http_requests_total"
+let request_seconds = "etransform_http_request_seconds"
+
+let count_request t ~route ~status =
+  Metrics.incr t.metrics requests_total
+    ~help:"HTTP requests served, by route and status"
+    ~labels:[ ("route", route); ("status", string_of_int status) ]
+
+let register_gauges t =
+  let one name help f =
+    Metrics.gauge t.metrics name ~help (fun () -> [ ([], f ()) ])
+  in
+  one "etransform_pool_queue_depth" "Jobs waiting in the pool queue"
+    (fun () -> float_of_int (Pool.queue_depth t.pool));
+  one "etransform_pool_workers" "Worker domains draining the queue"
+    (fun () -> float_of_int (Pool.workers t.pool));
+  let cache = Pool.cache t.pool in
+  one "etransform_cache_hits_total" "Plan-cache hits since pool start"
+    (fun () -> float_of_int (Cache.hits cache));
+  one "etransform_cache_misses_total" "Plan-cache misses since pool start"
+    (fun () -> float_of_int (Cache.misses cache));
+  one "etransform_cache_evictions_total" "Plan-cache LRU evictions"
+    (fun () -> float_of_int (Cache.evictions cache));
+  one "etransform_cache_entries" "Plans currently cached"
+    (fun () -> float_of_int (Cache.length cache));
+  one "etransform_http_connections" "Open client connections"
+    (fun () ->
+      Mutex.lock t.m;
+      let n = List.length t.conns in
+      Mutex.unlock t.m;
+      float_of_int n)
+
+(* -------------------------------------------------------------- routes *)
+
+let json_headers = [ ("Content-Type", "application/json") ]
+let ndjson_headers = [ ("Content-Type", "application/x-ndjson") ]
+
+let error_body code reason =
+  Json.to_string
+    (Json.Obj [ ("code", Json.Str code); ("reason", Json.Str reason) ])
+  ^ "\n"
+
+(* POST /solve: one job spec in, one result line out — byte-compatible
+   with the line `etransform batch` prints for the same job. *)
+let handle_solve t fd body ~keep =
+  let text = Http.read_all body in
+  match Json.parse text with
+  | Error msg ->
+      Http.write_response fd ~status:400 ~headers:json_headers
+        ~keep_alive:keep
+        (error_body "invalid" ("body is not JSON: " ^ msg));
+      400
+  | Ok j -> (
+      match Batch.job_of_json ?resolve:t.resolve j with
+      | Error msg ->
+          Http.write_response fd ~status:400 ~headers:json_headers
+            ~keep_alive:keep (error_body "invalid" msg);
+          400
+      | Ok job -> (
+          match Pool.try_submit t.pool job with
+          | None ->
+              (* Queue full: shed load instead of stalling the connection
+                 (and transitively the client) on a blocking submit. *)
+              Http.write_response fd ~status:503
+                ~headers:(("Retry-After", "1") :: json_headers)
+                ~keep_alive:keep
+                (error_body "busy" "job queue is full; retry shortly");
+              503
+          | Some ticket ->
+              let r = Pool.await ticket in
+              Http.write_response fd ~status:200 ~headers:json_headers
+                ~keep_alive:keep
+                (Json.to_string (Batch.result_to_json r) ^ "\n");
+              200))
+
+(* POST /batch: NDJSON request body -> chunked NDJSON response, one line
+   per job in input order.  Batch.run_lines is full-duplex, so result
+   chunks go out while the request body is still arriving. *)
+let handle_batch t fd body ~keep =
+  let ch =
+    Http.start_chunked fd ~status:200 ~headers:ndjson_headers ~keep_alive:keep
+      ()
+  in
+  let (_ : int * int * int) =
+    Batch.run_lines ?resolve:t.resolve t.pool
+      ~read_line:(fun () -> Http.read_line body)
+      ~write:(fun line -> Http.write_chunk ch (line ^ "\n"))
+  in
+  Http.finish_chunked ch;
+  200
+
+let handle_healthz t fd ~keep =
+  let body =
+    Json.to_string
+      (Json.Obj
+         [
+           ( "status",
+             Json.Str (if Atomic.get t.stop then "draining" else "ok") );
+           ("workers", Json.Num (float_of_int (Pool.workers t.pool)));
+           ( "queue_depth",
+             Json.Num (float_of_int (Pool.queue_depth t.pool)) );
+           ( "queue_capacity",
+             Json.Num (float_of_int (Pool.queue_capacity t.pool)) );
+         ])
+    ^ "\n"
+  in
+  Http.write_response fd ~status:200 ~headers:json_headers ~keep_alive:keep
+    body;
+  200
+
+let handle_metrics t fd ~keep =
+  Http.write_response fd ~status:200
+    ~headers:[ ("Content-Type", "text/plain; version=0.0.4") ]
+    ~keep_alive:keep
+    (Metrics.render t.metrics);
+  200
+
+(* Dispatch one parsed request.  Returns [true] to keep the connection
+   open for the next request. *)
+let handle_request t fd conn req =
+  let body = Http.body_of_request conn req in
+  let keep = Http.keep_alive req && not (Atomic.get t.stop) in
+  let route, handler =
+    match (req.Http.meth, req.Http.path) with
+    | Http.POST, "/solve" -> ("/solve", fun () -> handle_solve t fd body ~keep)
+    | Http.POST, "/batch" -> ("/batch", fun () -> handle_batch t fd body ~keep)
+    | Http.GET, "/healthz" -> ("/healthz", fun () -> handle_healthz t fd ~keep)
+    | Http.GET, "/metrics" -> ("/metrics", fun () -> handle_metrics t fd ~keep)
+    | _, ("/solve" | "/batch" | "/healthz" | "/metrics") ->
+        ( req.Http.path,
+          fun () ->
+            Http.write_response fd ~status:405 ~headers:json_headers
+              ~keep_alive:keep
+              (error_body "method_not_allowed" "unsupported method");
+            405 )
+    | _ ->
+        ( "other",
+          fun () ->
+            Http.write_response fd ~status:404 ~headers:json_headers
+              ~keep_alive:keep
+              (error_body "not_found" "unknown route");
+            404 )
+  in
+  let t0 = now () in
+  let status, keep =
+    try
+      let status = handler () in
+      (* Leftover body bytes would be parsed as the next request line;
+         consume them so keep-alive stays aligned. *)
+      Http.drain body;
+      (status, keep)
+    with
+    | Http.Payload_too_large ->
+        (try
+           Http.write_response fd ~status:413 ~headers:json_headers
+             ~keep_alive:false
+             (error_body "too_large" "request body exceeds the limit")
+         with _ -> ());
+        (413, false)
+    | Http.Bad_request msg ->
+        (try
+           Http.write_response fd ~status:400 ~headers:json_headers
+             ~keep_alive:false (error_body "bad_request" msg)
+         with _ -> ());
+        (400, false)
+  in
+  count_request t ~route ~status;
+  Metrics.observe t.metrics request_seconds
+    ~help:"HTTP request wall time by route" ~labels:[ ("route", route) ]
+    (now () -. t0);
+  keep
+
+(* --------------------------------------------------------- connections *)
+
+let enter_request t =
+  Mutex.lock t.m;
+  t.busy <- t.busy + 1;
+  Mutex.unlock t.m
+
+let leave_request t =
+  Mutex.lock t.m;
+  t.busy <- t.busy - 1;
+  Mutex.unlock t.m
+
+let handle_connection t fd =
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+  let conn = Http.conn_of_fd ~limits:t.limits fd in
+  let rec loop () =
+    match Http.read_request conn with
+    | None -> ()
+    | Some req ->
+        enter_request t;
+        let keep =
+          Fun.protect
+            ~finally:(fun () -> leave_request t)
+            (fun () -> handle_request t fd conn req)
+        in
+        if keep && not (Atomic.get t.stop) then loop ()
+  in
+  try loop () with
+  | Http.Bad_request msg ->
+      (* Unparseable request head: best-effort 400, then hang up. *)
+      (try
+         Http.write_response fd ~status:400 ~headers:json_headers
+           ~keep_alive:false (error_body "bad_request" msg)
+       with _ -> ())
+  | Http.Payload_too_large -> ()
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) -> ()
+  | Sys_error _ -> ()
+
+(* ---------------------------------------------------------- lifecycle *)
+
+let create ?(addr = "127.0.0.1") ?(port = 0) ?(backlog = 64)
+    ?(limits = Http.default_limits) ?(drain_timeout = 10.0) ?resolve
+    ?(metrics = Metrics.create ()) ~pool () =
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  let inet =
+    try Unix.inet_addr_of_string addr
+    with _ -> invalid_arg (Printf.sprintf "Server.create: bad address %S" addr)
+  in
+  (try Unix.bind lfd (Unix.ADDR_INET (inet, port))
+   with exn ->
+     Unix.close lfd;
+     raise exn);
+  Unix.listen lfd backlog;
+  let port =
+    match Unix.getsockname lfd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t =
+    {
+      lfd;
+      port;
+      pool;
+      resolve;
+      metrics;
+      limits;
+      drain_timeout;
+      stop = Atomic.make false;
+      m = Mutex.create ();
+      busy = 0;
+      conns = [];
+      next_conn = 0;
+    }
+  in
+  register_gauges t;
+  t
+
+let port t = t.port
+let metrics t = t.metrics
+let request_stop t = Atomic.set t.stop true
+let draining t = Atomic.get t.stop
+
+let register_conn t fd =
+  Mutex.lock t.m;
+  let id = t.next_conn in
+  t.next_conn <- id + 1;
+  t.conns <- (id, fd) :: t.conns;
+  Mutex.unlock t.m;
+  id
+
+let unregister_conn t id =
+  Mutex.lock t.m;
+  t.conns <- List.filter (fun (i, _) -> i <> id) t.conns;
+  Mutex.unlock t.m
+
+let spawn_connection t fd =
+  let id = register_conn t fd in
+  ignore
+    (Thread.create
+       (fun () ->
+         Fun.protect
+           ~finally:(fun () ->
+             unregister_conn t id;
+             try Unix.close fd with _ -> ())
+           (fun () -> handle_connection t fd))
+       ())
+
+let snapshot t =
+  Mutex.lock t.m;
+  let busy = t.busy and conns = t.conns in
+  Mutex.unlock t.m;
+  (busy, conns)
+
+(* Stop accepting, then give in-flight requests up to the drain deadline
+   before force-closing what remains.  Connection threads close their
+   own sockets on the way out, so the force step only [shutdown]s to
+   unblock reads. *)
+let drain t =
+  let deadline = now () +. t.drain_timeout in
+  let rec wait_busy () =
+    let busy, _ = snapshot t in
+    if busy > 0 && now () < deadline then begin
+      Thread.delay 0.02;
+      wait_busy ()
+    end
+  in
+  wait_busy ();
+  let _, conns = snapshot t in
+  List.iter
+    (fun (_, fd) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
+    conns;
+  (* Grace period for the connection threads to observe the shutdown and
+     unwind; they own the close. *)
+  let grace = now () +. 2.0 in
+  let rec wait_conns () =
+    let _, conns = snapshot t in
+    if conns <> [] && now () < grace then begin
+      Thread.delay 0.02;
+      wait_conns ()
+    end
+  in
+  wait_conns ()
+
+let run t =
+  let rec accept_loop () =
+    if not (Atomic.get t.stop) then begin
+      (match Unix.select [ t.lfd ] [] [] 0.2 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+          match Unix.accept t.lfd with
+          | exception
+              Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+              ()
+          | fd, _addr -> spawn_connection t fd));
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (try Unix.close t.lfd with _ -> ());
+  drain t

@@ -1,0 +1,65 @@
+(** The HTTP planning server: a long-lived front-end over
+    {!Service.Pool}, turning the NDJSON batch engine into a network
+    service.  Dependency-free — Unix sockets and threads only.
+
+    Routes:
+    - [POST /solve] — one {!Service.Job} JSON spec in the body; answers
+      the same result line [etransform batch] would print (plus a
+      trailing newline).  Replies [400] on a malformed spec, and [503]
+      with [Retry-After] when the pool queue is full ({!Service.Pool.try_submit}
+      backpressure — the accept loop never blocks on a full queue).
+    - [POST /batch] — an NDJSON body streamed through
+      {!Service.Batch.run_lines}; the response is chunked, one result
+      line per job in input order, and lines start flowing while the
+      request body is still being received.
+    - [GET /healthz] — liveness plus pool shape as a JSON object.
+    - [GET /metrics] — the {!Service.Metrics} registry in Prometheus
+      text format: HTTP requests by route/status, job outcomes, solve
+      and queue latency histograms, live queue depth, cache
+      hits/misses, connection counts.
+
+    One thread per connection (solves run on the pool's domains, so
+    connection threads only block on I/O and ticket waits); HTTP/1.1
+    keep-alive between requests.
+
+    Shutdown is graceful: {!request_stop} (signal-safe) makes {!run}
+    stop accepting, close the listener, wait up to [drain_timeout] for
+    in-flight requests to finish, then force-close stragglers. *)
+
+type t
+
+(** [create ~pool ()] binds and listens ([port = 0] picks an ephemeral
+    port — read it back with {!port}).  [resolve] maps NDJSON estate
+    kinds beyond the bundled datasets (the binary passes
+    [Harness.Line_jobs.resolve]).  [metrics] defaults to a fresh
+    registry; pass your own to share it with other subsystems.  The
+    pool's queue depth and cache counters are registered as gauges on
+    the metrics registry here. *)
+val create :
+  ?addr:string ->
+  ?port:int ->
+  ?backlog:int ->
+  ?limits:Http.limits ->
+  ?drain_timeout:float ->
+  ?resolve:Service.Batch.resolver ->
+  ?metrics:Service.Metrics.t ->
+  pool:Service.Pool.t ->
+  unit ->
+  t
+
+val port : t -> int
+val metrics : t -> Service.Metrics.t
+
+(** Serve until {!request_stop}.  Returns only after the drain
+    completed: listener closed, in-flight requests finished (or the
+    drain deadline cut them off), every connection closed.  The pool is
+    NOT shut down — it belongs to the caller. *)
+val run : t -> unit
+
+(** Ask {!run} to stop accepting and drain.  Async-signal-safe (sets a
+    flag; the accept loop polls it), so it can be called from a
+    [SIGINT]/[SIGTERM] handler or another thread.  Idempotent. *)
+val request_stop : t -> unit
+
+(** [true] once {!request_stop} was called. *)
+val draining : t -> bool

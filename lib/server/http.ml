@@ -1,0 +1,338 @@
+type meth = GET | POST | HEAD | Other of string
+
+type request = {
+  meth : meth;
+  path : string;
+  query : string;
+  version : string;
+  headers : (string * string) list;
+}
+
+type limits = { max_request_line : int; max_headers : int; max_body : int }
+
+let default_limits =
+  { max_request_line = 8192; max_headers = 128; max_body = 8 * 1024 * 1024 }
+
+exception Bad_request of string
+exception Payload_too_large
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad_request m)) fmt
+
+(* ------------------------------------------------------ buffered reads *)
+
+type conn = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable pos : int;  (* next unread byte in [buf] *)
+  mutable len : int;  (* valid bytes in [buf] *)
+  limits : limits;
+}
+
+let conn_of_fd ?(limits = default_limits) fd =
+  { fd; buf = Bytes.create 16384; pos = 0; len = 0; limits }
+
+(* Refill returns false at EOF. *)
+let refill c =
+  if c.pos < c.len then true
+  else begin
+    c.pos <- 0;
+    c.len <- 0;
+    let n = Unix.read c.fd c.buf 0 (Bytes.length c.buf) in
+    if n = 0 then false
+    else begin
+      c.len <- n;
+      true
+    end
+  end
+
+let read_byte c =
+  if refill c then begin
+    let b = Bytes.get c.buf c.pos in
+    c.pos <- c.pos + 1;
+    Some b
+  end
+  else None
+
+(* One CRLF- (or bare-LF-) terminated protocol line, terminator dropped.
+   [None] only when EOF arrives before any byte. *)
+let read_crlf_line c =
+  let buf = Buffer.create 64 in
+  let rec go () =
+    match read_byte c with
+    | None -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+    | Some '\n' ->
+        let s = Buffer.contents buf in
+        let n = String.length s in
+        Some (if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s)
+    | Some ch ->
+        if Buffer.length buf >= c.limits.max_request_line then
+          bad "header line exceeds %d bytes" c.limits.max_request_line;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ()
+
+(* ------------------------------------------------------ request parsing *)
+
+let split_on_first ch s =
+  match String.index_opt s ch with
+  | None -> (s, "")
+  | Some i ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let meth_of_string = function
+  | "GET" -> GET
+  | "POST" -> POST
+  | "HEAD" -> HEAD
+  | m -> Other m
+
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | [ m; target; version ] ->
+      if version <> "HTTP/1.1" && version <> "HTTP/1.0" then
+        bad "unsupported version %S" version;
+      let path, query = split_on_first '?' target in
+      if path = "" || path.[0] <> '/' then bad "bad request target %S" target;
+      (meth_of_string m, path, query, version)
+  | _ -> bad "malformed request line %S" line
+
+let parse_header line =
+  let name, value = split_on_first ':' line in
+  if name = "" || String.exists (fun ch -> ch = ' ' || ch = '\t') name then
+    bad "malformed header %S" line;
+  (String.lowercase_ascii name, String.trim value)
+
+let read_request c =
+  (* Tolerate one leading empty line (robustness the RFC recommends). *)
+  let rec first_line tries =
+    match read_crlf_line c with
+    | None -> None
+    | Some "" when tries > 0 -> first_line (tries - 1)
+    | Some "" -> bad "empty request line"
+    | Some line -> Some line
+  in
+  match first_line 1 with
+  | None -> None
+  | Some line ->
+      let meth, path, query, version = parse_request_line line in
+      let rec headers acc n =
+        if n > c.limits.max_headers then bad "too many headers";
+        match read_crlf_line c with
+        | None -> bad "connection closed inside headers"
+        | Some "" -> List.rev acc
+        | Some line -> headers (parse_header line :: acc) (n + 1)
+      in
+      Some { meth; path; query; version; headers = headers [] 0 }
+
+let header r name = List.assoc_opt (String.lowercase_ascii name) r.headers
+
+let keep_alive r =
+  let conn_tokens =
+    match header r "connection" with
+    | None -> []
+    | Some v ->
+        String.split_on_char ',' v
+        |> List.map (fun t -> String.lowercase_ascii (String.trim t))
+  in
+  if List.mem "close" conn_tokens then false
+  else if r.version = "HTTP/1.1" then true
+  else List.mem "keep-alive" conn_tokens
+
+(* --------------------------------------------------------------- bodies *)
+
+type body_mode =
+  | Fixed of int  (* bytes remaining *)
+  | Chunk_header  (* chunked: expect a size line next *)
+  | Chunk_data of int  (* chunked: bytes remaining in the current chunk *)
+  | Done
+
+type body = { bconn : conn; mutable mode : body_mode; mutable total : int }
+
+let body_of_request c r =
+  let te =
+    Option.map String.lowercase_ascii (header r "transfer-encoding")
+  in
+  match te with
+  | Some "chunked" -> { bconn = c; mode = Chunk_header; total = 0 }
+  | Some other -> bad "unsupported transfer-encoding %S" other
+  | None -> (
+      match header r "content-length" with
+      | None -> { bconn = c; mode = Done; total = 0 }
+      | Some v -> (
+          match int_of_string_opt (String.trim v) with
+          | Some n when n >= 0 ->
+              if n > c.limits.max_body then raise Payload_too_large;
+              { bconn = c; mode = (if n = 0 then Done else Fixed n); total = 0 }
+          | _ -> bad "bad content-length %S" v))
+
+let hex_digit ch =
+  match ch with
+  | '0' .. '9' -> Some (Char.code ch - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code ch - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code ch - Char.code 'A' + 10)
+  | _ -> None
+
+let parse_chunk_size line =
+  (* Chunk extensions (";...") are allowed and ignored. *)
+  let line, _ext = split_on_first ';' line in
+  let line = String.trim line in
+  if line = "" then bad "empty chunk size";
+  let n =
+    String.fold_left
+      (fun acc ch ->
+        match hex_digit ch with
+        | Some d when acc <= 0x0FFF_FFFF -> (acc lsl 4) lor d
+        | _ -> bad "bad chunk size %S" line)
+      0 line
+  in
+  n
+
+let rec body_byte b =
+  match b.mode with
+  | Done -> None
+  | Fixed n -> (
+      match read_byte b.bconn with
+      | None -> bad "connection closed inside body"
+      | Some ch ->
+          b.mode <- (if n = 1 then Done else Fixed (n - 1));
+          account b ch)
+  | Chunk_header -> (
+      match read_crlf_line b.bconn with
+      | None -> bad "connection closed inside chunked body"
+      | Some line ->
+          let n = parse_chunk_size line in
+          if n = 0 then begin
+            (* Trailer section: lines until the blank terminator. *)
+            let rec trailers () =
+              match read_crlf_line b.bconn with
+              | None -> bad "connection closed inside trailers"
+              | Some "" -> ()
+              | Some _ -> trailers ()
+            in
+            trailers ();
+            b.mode <- Done;
+            None
+          end
+          else begin
+            b.mode <- Chunk_data n;
+            body_byte b
+          end)
+  | Chunk_data n -> (
+      match read_byte b.bconn with
+      | None -> bad "connection closed inside chunk"
+      | Some ch ->
+          (if n = 1 then begin
+             (* Consume the CRLF that closes every chunk. *)
+             (match read_byte b.bconn with
+             | Some '\r' -> (
+                 match read_byte b.bconn with
+                 | Some '\n' -> ()
+                 | _ -> bad "missing LF after chunk")
+             | Some '\n' -> ()
+             | _ -> bad "missing CRLF after chunk");
+             b.mode <- Chunk_header
+           end
+           else b.mode <- Chunk_data (n - 1));
+          account b ch)
+
+and account b ch =
+  b.total <- b.total + 1;
+  if b.total > b.bconn.limits.max_body then raise Payload_too_large;
+  Some ch
+
+let read_line b =
+  let buf = Buffer.create 128 in
+  let rec go () =
+    match body_byte b with
+    | None -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+    | Some '\n' ->
+        let s = Buffer.contents buf in
+        let n = String.length s in
+        Some (if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s)
+    | Some ch ->
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ()
+
+let read_all b =
+  let buf = Buffer.create 1024 in
+  let rec go () =
+    match body_byte b with
+    | None -> Buffer.contents buf
+    | Some ch ->
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ()
+
+let drain b =
+  let rec go () = match body_byte b with None -> () | Some _ -> go () in
+  go ()
+
+(* -------------------------------------------------------------- writing *)
+
+let status_reason = function
+  | 200 -> "OK"
+  | 202 -> "Accepted"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Payload Too Large"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | n when n >= 200 && n < 300 -> "OK"
+  | n when n >= 400 && n < 500 -> "Client Error"
+  | _ -> "Error"
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let w = Unix.write fd b off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+let head ~status ~headers ~keep_alive extra =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_reason status));
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    (headers @ extra);
+  Buffer.add_string buf
+    (if keep_alive then "Connection: keep-alive\r\n" else "Connection: close\r\n");
+  Buffer.add_string buf "\r\n";
+  buf
+
+let write_response fd ~status ?(headers = []) ?(keep_alive = true) body =
+  let buf =
+    head ~status ~headers ~keep_alive
+      [ ("Content-Length", string_of_int (String.length body)) ]
+  in
+  Buffer.add_string buf body;
+  write_all fd (Buffer.contents buf)
+
+type chunked = { cfd : Unix.file_descr; mutable finished : bool }
+
+let start_chunked fd ~status ?(headers = []) ?(keep_alive = true) () =
+  let buf =
+    head ~status ~headers ~keep_alive [ ("Transfer-Encoding", "chunked") ]
+  in
+  write_all fd (Buffer.contents buf);
+  { cfd = fd; finished = false }
+
+let write_chunk c s =
+  if (not c.finished) && String.length s > 0 then
+    write_all c.cfd
+      (Printf.sprintf "%x\r\n%s\r\n" (String.length s) s)
+
+let finish_chunked c =
+  if not c.finished then begin
+    c.finished <- true;
+    write_all c.cfd "0\r\n\r\n"
+  end

@@ -1,0 +1,94 @@
+(** HTTP/1.1 wire protocol for the planning server: request parsing,
+    streaming body readers, and response writing.  Dependency-free (Unix
+    only) and deliberately small — request line + headers, fixed
+    ([Content-Length]) and [chunked] bodies in both directions,
+    keep-alive, and hard size limits.  No TLS, no compression, no
+    multipart.
+
+    Parsing errors raise {!Bad_request} (answer 400 and close);
+    over-limit bodies raise {!Payload_too_large} (answer 413). *)
+
+type meth = GET | POST | HEAD | Other of string
+
+type request = {
+  meth : meth;
+  path : string;    (** decoded path, query string stripped *)
+  query : string;   (** raw query string ([""] when absent) *)
+  version : string; (** ["HTTP/1.1"] or ["HTTP/1.0"] *)
+  headers : (string * string) list;  (** names lowercased, values trimmed *)
+}
+
+type limits = {
+  max_request_line : int;  (** request line and each header line *)
+  max_headers : int;       (** header count *)
+  max_body : int;          (** total request body bytes, fixed or chunked *)
+}
+
+(** 8 KiB lines, 128 headers, 8 MiB bodies. *)
+val default_limits : limits
+
+exception Bad_request of string
+exception Payload_too_large
+
+(** A buffered connection (one per accepted socket). *)
+type conn
+
+val conn_of_fd : ?limits:limits -> Unix.file_descr -> conn
+
+(** [read_request conn] parses the next request head.  [None] means the
+    peer closed the connection cleanly between requests. *)
+val read_request : conn -> request option
+
+val header : request -> string -> string option
+
+(** HTTP/1.1 defaults to persistent connections; [Connection: close] (or
+    HTTP/1.0 without [Connection: keep-alive]) turns them off. *)
+val keep_alive : request -> bool
+
+(** Streaming reader over the request body ([Content-Length] or
+    [Transfer-Encoding: chunked]; no body at all reads as empty). *)
+type body
+
+val body_of_request : conn -> request -> body
+
+(** [read_line body] returns the next LF-terminated line (CR stripped,
+    terminator dropped), or the final unterminated line, or [None] at end
+    of body — NDJSON-shaped, mirroring [input_line]. *)
+val read_line : body -> string option
+
+(** The whole remaining body as one string (bounded by [max_body]). *)
+val read_all : body -> string
+
+(** Consume and discard the rest of the body, so the connection can be
+    reused for the next request even when a handler answered early. *)
+val drain : body -> unit
+
+(** [write_response fd ~status body] writes a complete fixed-length
+    response.  [keep_alive] (default [true]) controls the [Connection]
+    header. *)
+val write_response :
+  Unix.file_descr ->
+  status:int ->
+  ?headers:(string * string) list ->
+  ?keep_alive:bool ->
+  string ->
+  unit
+
+(** Chunked responses, for streams whose length is unknown up front:
+    {!start_chunked} writes the head, each {!write_chunk} one chunk
+    (empty strings are skipped — an empty chunk would terminate the
+    stream), {!finish_chunked} the final zero chunk. *)
+type chunked
+
+val start_chunked :
+  Unix.file_descr ->
+  status:int ->
+  ?headers:(string * string) list ->
+  ?keep_alive:bool ->
+  unit ->
+  chunked
+
+val write_chunk : chunked -> string -> unit
+val finish_chunked : chunked -> unit
+
+val status_reason : int -> string

@@ -177,13 +177,61 @@ let skippable line =
   line = "" || line.[0] = '#'
 
 (* Parse failures must not shift the one-line-in/one-line-out alignment:
-   every kept input line yields exactly one output line.  Input is read
-   and submitted incrementally: a sliding window of at most the pool's
-   queue capacity keeps the workers fed while results stream back in
-   input order as each completes, so long-lived pipes see output before
-   EOF and memory stays bounded by the window, not the input size. *)
-let run ?resolve pool ic oc =
+   every kept input line yields exactly one output line.
+
+   The stream is full-duplex: a producer thread reads lines and submits
+   jobs while the calling thread awaits tickets in input order and writes
+   result lines.  Reading and writing never wait on each other, so a
+   client that pauses mid-input (an HTTP request trickling its chunked
+   body, an operator typing specs interactively) still sees every
+   completed predecessor's result immediately — and a sliding window of
+   at most the pool's queue capacity bounds memory by the window, not
+   the input size. *)
+let run_lines ?resolve pool ~read_line ~write =
   let ok = ref 0 and degraded = ref 0 and failed = ref 0 in
+  let window = max 1 (Pool.queue_capacity pool) in
+  let m = Mutex.create () in
+  let not_full = Condition.create () and not_empty = Condition.create () in
+  let pending : (Pool.ticket, string) result Queue.t = Queue.create () in
+  let done_reading = ref false in
+  (* Set when the writer dies (e.g. EPIPE on a closed pipe): the producer
+     stops reading and the consumer keeps draining tickets without
+     writing, so neither side can strand the other. *)
+  let aborted = ref false in
+  let push item =
+    Mutex.lock m;
+    while Queue.length pending >= window && not !aborted do
+      Condition.wait not_full m
+    done;
+    if not !aborted then begin
+      Queue.push item pending;
+      Condition.signal not_empty
+    end;
+    Mutex.unlock m
+  in
+  let producer () =
+    (try
+       let rec loop () =
+         if !aborted then ()
+         else
+           match read_line () with
+           | None -> ()
+           | Some line ->
+               if not (skippable line) then
+                 push
+                   (match job_of_line ?resolve line with
+                   | Error msg -> Error msg
+                   | Ok job -> Ok (Pool.submit pool job));
+               loop ()
+       in
+       loop ()
+     with exn ->
+       push (Error ("input error: " ^ Printexc.to_string exn)));
+    Mutex.lock m;
+    done_reading := true;
+    Condition.broadcast not_empty;
+    Mutex.unlock m
+  in
   let emit item =
     let j =
       match item with
@@ -203,41 +251,43 @@ let run ?resolve pool ic oc =
           | Pool.Failed -> incr failed);
           result_to_json r
     in
-    output_string oc (Json.to_string j);
-    output_char oc '\n';
-    flush oc
+    if not !aborted then write (Json.to_string j)
   in
-  let window = max 1 (Pool.queue_capacity pool) in
-  let pending = Queue.create () in
-  (* Emit (in order) every leading item whose result is already in, so a
-     trickling producer sees results as soon as they complete rather than
-     only when the window fills or the input ends. *)
-  let rec drain_ready () =
-    match Queue.peek_opt pending with
-    | Some (Error _) ->
-        emit (Queue.pop pending);
-        drain_ready ()
-    | Some (Ok ticket) when Pool.poll ticket <> None ->
-        emit (Queue.pop pending);
-        drain_ready ()
-    | _ -> ()
+  let producer_thread = Thread.create producer () in
+  let write_error = ref None in
+  let rec consume () =
+    Mutex.lock m;
+    while Queue.is_empty pending && not !done_reading do
+      Condition.wait not_empty m
+    done;
+    match Queue.take_opt pending with
+    | None -> Mutex.unlock m
+    | Some item ->
+        Condition.signal not_full;
+        Mutex.unlock m;
+        (try emit item
+         with exn ->
+           (* Remember the first writer failure; keep draining so the
+              producer's window pushes unblock and every ticket resolves. *)
+           if !write_error = None then write_error := Some exn;
+           Mutex.lock m;
+           aborted := true;
+           Condition.broadcast not_full;
+           Mutex.unlock m);
+        consume ()
   in
-  (try
-     while true do
-       let line = input_line ic in
-       if not (skippable line) then begin
-         let item =
-           match job_of_line ?resolve line with
-           | Error msg -> Error msg
-           | Ok job -> Ok (Pool.submit pool job)
-         in
-         Queue.push item pending;
-         drain_ready ();
-         if Queue.length pending >= window then emit (Queue.pop pending)
-       end
-     done
-   with End_of_file -> ());
-  while not (Queue.is_empty pending) do
-    emit (Queue.pop pending)
-  done;
+  consume ();
+  Thread.join producer_thread;
+  (match !write_error with Some exn -> raise exn | None -> ());
   (!ok, !degraded, !failed)
+
+let run ?resolve pool ic oc =
+  run_lines ?resolve pool
+    ~read_line:(fun () ->
+      match input_line ic with
+      | line -> Some line
+      | exception End_of_file -> None)
+    ~write:(fun line ->
+      output_string oc line;
+      output_char oc '\n';
+      flush oc)

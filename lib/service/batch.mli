@@ -33,12 +33,29 @@ val job_of_line : ?resolve:resolver -> string -> (Job.t, string) result
     cost summary, solver status, and the placement vector. *)
 val result_to_json : Pool.result -> Json.t
 
-(** [run pool ic oc] streams: job lines are read from [ic] and submitted
-    incrementally (at most the pool's queue capacity outstanding at once),
-    and one result line per job is written to [oc] in input order as each
-    completes — long-lived pipes see output before [ic] reaches EOF and
-    memory stays bounded by the window, not the input size.  Lines that
-    fail to parse produce an ["invalid"] result line (the batch keeps
-    going).  Returns [(ok, degraded, failed)] counts, where [failed]
-    includes invalid lines. *)
+(** [run_lines pool ~read_line ~write] streams a batch through the pool
+    in full duplex: a producer thread pulls lines from [read_line]
+    ([None] = end of input) and submits jobs, while the calling thread
+    awaits results in input order and hands each completed line (without
+    trailing newline) to [write].  At most the pool's queue capacity is
+    outstanding at once, so memory is bounded by the window, and results
+    for completed predecessors are written even while [read_line] blocks
+    — this is what lets the HTTP [/batch] route answer before the
+    request body is fully consumed.  Lines that fail to parse produce an
+    ["invalid"] result line (the batch keeps going).  If [write] raises
+    (e.g. [EPIPE] on a closed pipe) the stream shuts down cleanly — the
+    producer stops, every submitted ticket is drained — and the first
+    write exception is re-raised.  Returns [(ok, degraded, failed)]
+    counts, where [failed] includes invalid lines. *)
+val run_lines :
+  ?resolve:resolver ->
+  Pool.t ->
+  read_line:(unit -> string option) ->
+  write:(string -> unit) ->
+  int * int * int
+
+(** [run pool ic oc] is {!run_lines} over channels: one result line per
+    job is written (and flushed) to [oc] in input order as each
+    completes, so long-lived pipes see output before [ic] reaches
+    EOF. *)
 val run : ?resolve:resolver -> Pool.t -> in_channel -> out_channel -> int * int * int

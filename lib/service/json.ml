@@ -48,11 +48,40 @@ let add_utf8 buf u =
     Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
     Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
   end
-  else begin
+  else if u < 0x10000 then begin
     Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
     Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
     Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
   end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+(* Strict 4-hex-digit parse: [int_of_string_opt "0x..."] would also accept
+   underscores inside the digits, which JSON forbids. *)
+let parse_hex4 st =
+  if st.pos + 4 > String.length st.s then fail st "truncated \\u escape";
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail st "bad \\u escape"
+  in
+  let u =
+    (digit st.s.[st.pos] lsl 12)
+    lor (digit st.s.[st.pos + 1] lsl 8)
+    lor (digit st.s.[st.pos + 2] lsl 4)
+    lor digit st.s.[st.pos + 3]
+  in
+  st.pos <- st.pos + 4;
+  u
+
+let is_high_surrogate u = u >= 0xD800 && u <= 0xDBFF
+let is_low_surrogate u = u >= 0xDC00 && u <= 0xDFFF
 
 let parse_string st =
   expect st '"';
@@ -77,14 +106,28 @@ let parse_string st =
             | 'r' -> Buffer.add_char buf '\r'
             | 't' -> Buffer.add_char buf '\t'
             | 'u' ->
-                if st.pos + 4 > String.length st.s then
-                  fail st "truncated \\u escape";
-                let hex = String.sub st.s st.pos 4 in
-                (match int_of_string_opt ("0x" ^ hex) with
-                | None -> fail st "bad \\u escape"
-                | Some u ->
-                    st.pos <- st.pos + 4;
-                    add_utf8 buf u)
+                let u = parse_hex4 st in
+                if is_low_surrogate u then
+                  fail st "unpaired low surrogate in \\u escape"
+                else if is_high_surrogate u then begin
+                  (* A high surrogate is only half a scalar: it must be
+                     followed by \uDC00-\uDFFF, and the pair combines into
+                     one supplementary-plane code point. *)
+                  if
+                    st.pos + 2 > String.length st.s
+                    || st.s.[st.pos] <> '\\'
+                    || st.s.[st.pos + 1] <> 'u'
+                  then fail st "unpaired high surrogate in \\u escape";
+                  st.pos <- st.pos + 2;
+                  let lo = parse_hex4 st in
+                  if not (is_low_surrogate lo) then
+                    fail st "unpaired high surrogate in \\u escape";
+                  add_utf8 buf
+                    (0x10000
+                    + ((u - 0xD800) lsl 10)
+                    + (lo - 0xDC00))
+                end
+                else add_utf8 buf u
             | _ -> fail st "unknown escape");
             go ())
     | Some c ->

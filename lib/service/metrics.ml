@@ -1,0 +1,244 @@
+type hist = {
+  buckets : float array;  (* ascending upper bounds, +Inf implicit *)
+  counts : float array;   (* per-bucket, cumulated only at render time *)
+  mutable overflow : float;
+  mutable sum : float;
+  mutable count : float;
+}
+
+type cells =
+  | Scalar of (string, float ref) Hashtbl.t
+  | Hist of (string, hist) Hashtbl.t
+
+type metric = { kind : string; help : string; cells : cells }
+
+type t = {
+  lock : Mutex.t;
+  metrics : (string, metric) Hashtbl.t;
+  sampled : (string, string * (unit -> ((string * string) list * float) list))
+      Hashtbl.t;  (* callback gauges, sampled at render *)
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    metrics = Hashtbl.create 16;
+    sampled = Hashtbl.create 4;
+  }
+
+let default_buckets =
+  [|
+    1e-4; 2.5e-4; 5e-4; 1e-3; 2.5e-3; 5e-3; 0.01; 0.025; 0.05; 0.1; 0.25;
+    0.5; 1.0; 2.5; 5.0; 10.0; 30.0; 60.0;
+  |]
+
+(* Canonical label rendering: sorted by name so permuted label lists land
+   in the same cell, values escaped per the exposition format. *)
+let label_key labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      let labels = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+      let buf = Buffer.create 32 in
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          String.iter
+            (function
+              | '\\' -> Buffer.add_string buf "\\\\"
+              | '"' -> Buffer.add_string buf "\\\""
+              | '\n' -> Buffer.add_string buf "\\n"
+              | c -> Buffer.add_char buf c)
+            v;
+          Buffer.add_char buf '"')
+        labels;
+      Buffer.add_char buf '}';
+      Buffer.contents buf
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let get_metric t ~kind ~help ~hist name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some m -> m
+  | None ->
+      let cells =
+        if hist then Hist (Hashtbl.create 4) else Scalar (Hashtbl.create 4)
+      in
+      let m = { kind; help; cells } in
+      Hashtbl.replace t.metrics name m;
+      m
+
+let scalar_cell m key =
+  match m.cells with
+  | Scalar tbl -> (
+      match Hashtbl.find_opt tbl key with
+      | Some r -> r
+      | None ->
+          let r = ref 0.0 in
+          Hashtbl.replace tbl key r;
+          r)
+  | Hist _ -> invalid_arg "Metrics: scalar operation on a histogram"
+
+let incr t ?(help = "") ?(labels = []) ?(by = 1.0) name =
+  locked t (fun () ->
+      let m = get_metric t ~kind:"counter" ~help ~hist:false name in
+      let r = scalar_cell m (label_key labels) in
+      r := !r +. by)
+
+let set t ?(help = "") ?(labels = []) name v =
+  locked t (fun () ->
+      let m = get_metric t ~kind:"gauge" ~help ~hist:false name in
+      scalar_cell m (label_key labels) := v)
+
+let gauge t ?(help = "") name f =
+  locked t (fun () -> Hashtbl.replace t.sampled name (help, f))
+
+let observe t ?(help = "") ?(labels = []) ?(buckets = default_buckets) name v =
+  locked t (fun () ->
+      let m = get_metric t ~kind:"histogram" ~help ~hist:true name in
+      match m.cells with
+      | Scalar _ -> invalid_arg "Metrics: observe on a counter/gauge"
+      | Hist tbl ->
+          let key = label_key labels in
+          let h =
+            match Hashtbl.find_opt tbl key with
+            | Some h -> h
+            | None ->
+                let h =
+                  {
+                    buckets;
+                    counts = Array.make (Array.length buckets) 0.0;
+                    overflow = 0.0;
+                    sum = 0.0;
+                    count = 0.0;
+                  }
+                in
+                Hashtbl.replace tbl key h;
+                h
+          in
+          let rec place i =
+            if i >= Array.length h.buckets then h.overflow <- h.overflow +. 1.0
+            else if v <= h.buckets.(i) then h.counts.(i) <- h.counts.(i) +. 1.0
+            else place (i + 1)
+          in
+          place 0;
+          h.sum <- h.sum +. v;
+          h.count <- h.count +. 1.0)
+
+let value t ?(labels = []) name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.metrics name with
+      | None -> None
+      | Some m -> (
+          let key = label_key labels in
+          match m.cells with
+          | Scalar tbl -> Option.map ( ! ) (Hashtbl.find_opt tbl key)
+          | Hist tbl ->
+              Option.map (fun h -> h.count) (Hashtbl.find_opt tbl key)))
+
+(* ----------------------------------------------------------- rendering *)
+
+let float_text v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let preamble name help kind =
+    if help <> "" then
+      Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  (* Sample the callback gauges outside the registry lock: a callback that
+     queries the pool (which logs to a trace teed into this registry) must
+     not deadlock against our own mutex. *)
+  let sampled =
+    locked t (fun () -> sorted_bindings t.sampled)
+    |> List.map (fun (name, (help, f)) ->
+           (name, help, (try f () with _ -> [])))
+  in
+  let stored = locked t (fun () -> sorted_bindings t.metrics) in
+  List.iter
+    (fun (name, m) ->
+      preamble name m.help m.kind;
+      match m.cells with
+      | Scalar tbl ->
+          List.iter
+            (fun (key, r) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s %s\n" name key (float_text !r)))
+            (sorted_bindings tbl)
+      | Hist tbl ->
+          List.iter
+            (fun (key, h) ->
+              (* The bucket label joins any user labels inside one brace
+                 group. *)
+              let with_le le =
+                if key = "" then Printf.sprintf "{le=\"%s\"}" le
+                else
+                  Printf.sprintf "%s,le=\"%s\"}"
+                    (String.sub key 0 (String.length key - 1))
+                    le
+              in
+              let cum = ref 0.0 in
+              Array.iteri
+                (fun i b ->
+                  cum := !cum +. h.counts.(i);
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s_bucket%s %s\n" name (with_le (float_text b))
+                       (float_text !cum)))
+                h.buckets;
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %s\n" name (with_le "+Inf")
+                   (float_text (!cum +. h.overflow)));
+              Buffer.add_string buf
+                (Printf.sprintf "%s_sum%s %s\n" name key (float_text h.sum));
+              Buffer.add_string buf
+                (Printf.sprintf "%s_count%s %s\n" name key (float_text h.count)))
+            (sorted_bindings tbl))
+    stored;
+  List.iter
+    (fun (name, help, samples) ->
+      preamble name help "gauge";
+      List.iter
+        (fun (labels, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" name (label_key labels) (float_text v)))
+        samples)
+    sampled;
+  Buffer.contents buf
+
+(* ------------------------------------------------------ trace plumbing *)
+
+let observe_trace t fields =
+  let str k = Option.bind (List.assoc_opt k fields) Json.to_str in
+  let num k = Option.bind (List.assoc_opt k fields) Json.to_float in
+  match str "event" with
+  | Some "job" ->
+      let code = Option.value ~default:"unknown" (str "code") in
+      let cache = Option.value ~default:"miss" (str "cache") in
+      incr t "etransform_jobs_total"
+        ~help:"Planning jobs completed, by outcome and cache disposition"
+        ~labels:[ ("code", code); ("cache", cache) ];
+      Option.iter
+        (fun s ->
+          observe t "etransform_job_queue_seconds"
+            ~help:"Time from submission to start of execution" s)
+        (num "queue_s");
+      Option.iter
+        (fun s ->
+          observe t "etransform_job_solve_seconds"
+            ~help:"Engine wall time per job (0 on cache hits)" s)
+        (num "solve_s")
+  | Some "batch" ->
+      incr t "etransform_batches_total" ~help:"Batches completed"
+  | _ -> ()

@@ -1,0 +1,69 @@
+(** Thread-safe metrics registry for the planning service, rendered in
+    Prometheus text exposition format by the HTTP server's [/metrics]
+    route.
+
+    Three metric kinds, all label-aware:
+
+    - {b counters} ({!incr}): monotonically increasing totals — requests
+      by route/status, jobs by outcome, cache hits/misses;
+    - {b gauges} ({!set}, {!gauge}): point-in-time values — queue depth,
+      in-flight connections.  Callback gauges ({!gauge}) are sampled at
+      {!render} time, so live pool state needs no polling thread;
+    - {b histograms} ({!observe}): fixed cumulative buckets plus sum and
+      count — solve wall time, HTTP request latency.
+
+    Metric names are used as given (callers pick the [etransform_] prefix);
+    help text is attached on first registration and label sets may vary
+    per observation.  Every operation takes the registry lock, so worker
+    domains and connection threads share one registry safely. *)
+
+type t
+
+val create : unit -> t
+
+(** Latency buckets used when {!observe} is not given explicit ones:
+    100µs .. 60s in roughly 1-2.5-5 steps. *)
+val default_buckets : float array
+
+(** [incr t name ~labels ()] adds [by] (default [1.0]) to the counter
+    cell for this label set, creating it at zero first. *)
+val incr :
+  t -> ?help:string -> ?labels:(string * string) list -> ?by:float ->
+  string -> unit
+
+(** [set t name ~labels v] sets a gauge cell. *)
+val set :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> float ->
+  unit
+
+(** [gauge t name f] registers a callback gauge: [f ()] is sampled at
+    {!render} time and may return several label sets.  Re-registering a
+    name replaces the callback. *)
+val gauge :
+  t -> ?help:string -> string ->
+  (unit -> ((string * string) list * float) list) -> unit
+
+(** [observe t name v] records [v] into the histogram for this label set.
+    [buckets] (upper bounds, ascending; [+Inf] is implicit) is fixed on
+    first observation of the name; later values are ignored. *)
+val observe :
+  t -> ?help:string -> ?labels:(string * string) list ->
+  ?buckets:float array -> string -> float -> unit
+
+(** [value t name ~labels] is the current counter/gauge cell value, for
+    tests.  Histograms report their observation count. *)
+val value : t -> ?labels:(string * string) list -> string -> float option
+
+(** Prometheus text format: [# HELP] / [# TYPE] preamble per metric,
+    cells sorted by name then serialized labels, histograms as
+    [_bucket{le=...}] / [_sum] / [_count].  Callback gauges are sampled
+    here. *)
+val render : t -> string
+
+(** [observe_trace t fields] folds one {!Trace} event into the registry:
+    ["job"] events increment [etransform_jobs_total{code,cache}] and feed
+    the [etransform_job_queue_seconds] / [etransform_job_solve_seconds]
+    histograms; ["batch"] events increment [etransform_batches_total].
+    Install with [Trace.tee yours (Trace.observer (observe_trace t))] to
+    meter a pool without touching its trace stream. *)
+val observe_trace : t -> (string * Json.t) list -> unit

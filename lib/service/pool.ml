@@ -267,12 +267,21 @@ let workers t = t.workers
 let queue_capacity t = t.queue_capacity
 let cache t = t.cache
 
-let submit t job =
+let queue_depth t =
+  Mutex.lock t.m;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.m;
+  n
+
+let fresh_task job =
   let ticket = { tm = Mutex.create (); tc = Condition.create (); res = None } in
-  let task = { tjob = job; submitted = now (); ticket } in
+  { tjob = job; submitted = now (); ticket }
+
+let submit t job =
+  let task = fresh_task job in
   if t.workers = 0 then begin
     if t.closed then invalid_arg "Pool.submit: pool is shut down";
-    resolve ticket (run_task ~cache:t.cache ~trace:t.trace task)
+    resolve task.ticket (run_task ~cache:t.cache ~trace:t.trace task)
   end
   else begin
     Mutex.lock t.m;
@@ -287,7 +296,28 @@ let submit t job =
     Condition.signal t.not_empty;
     Mutex.unlock t.m
   end;
-  ticket
+  task.ticket
+
+let try_submit t job =
+  if t.workers = 0 then Some (submit t job)
+  else begin
+    let task = fresh_task job in
+    Mutex.lock t.m;
+    if t.closed then begin
+      Mutex.unlock t.m;
+      invalid_arg "Pool.try_submit: pool is shut down"
+    end;
+    if Queue.length t.queue >= t.queue_capacity then begin
+      Mutex.unlock t.m;
+      None
+    end
+    else begin
+      Queue.push task t.queue;
+      Condition.signal t.not_empty;
+      Mutex.unlock t.m;
+      Some task.ticket
+    end
+  end
 
 let await ticket =
   Mutex.lock ticket.tm;

@@ -59,9 +59,18 @@ val workers : t -> int
 val queue_capacity : t -> int
 val cache : t -> Etransform.Solver.outcome Cache.t
 
+(** Jobs currently waiting in the queue (excludes the ones workers are
+    executing).  Always [0] on inline ([workers = 0]) pools. *)
+val queue_depth : t -> int
+
 (** [submit t job] enqueues the job (blocking while the queue is full).
     Raises [Invalid_argument] after {!shutdown}. *)
 val submit : t -> Job.t -> ticket
+
+(** [try_submit t job] is [submit] without the blocking: [None] when the
+    queue is full right now — the HTTP front-end turns that into a [503]
+    instead of stalling its accept loop.  Inline pools always accept. *)
+val try_submit : t -> Job.t -> ticket option
 
 (** [await ticket] blocks until the job completed. *)
 val await : ticket -> result

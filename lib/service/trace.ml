@@ -1,11 +1,23 @@
-type sink = Null | Channel of out_channel | Memory of Buffer.t
+type sink =
+  | Null
+  | Channel of out_channel
+  | Memory of Buffer.t
+  | Observer of ((string * Json.t) list -> unit)
+  | Tee of t * t
 
-type t = { sink : sink; lock : Mutex.t; mutable seq : int }
+and t = { sink : sink; lock : Mutex.t; mutable seq : int }
 
 let make sink = { sink; lock = Mutex.create (); seq = 0 }
 let null = make Null
 let to_channel oc = make (Channel oc)
 let memory () = make (Memory (Buffer.create 256))
+let observer f = make (Observer f)
+
+let tee a b =
+  match (a.sink, b.sink) with
+  | Null, _ -> b
+  | _, Null -> a
+  | _ -> make (Tee (a, b))
 
 let contents t =
   match t.sink with
@@ -14,12 +26,16 @@ let contents t =
       let s = Buffer.contents buf in
       Mutex.unlock t.lock;
       s
-  | Null | Channel _ -> ""
+  | Null | Channel _ | Observer _ | Tee _ -> ""
 
-let emit t fields =
+let rec emit t fields =
   match t.sink with
   | Null -> ()
-  | _ ->
+  | Observer f -> f fields
+  | Tee (a, b) ->
+      emit a fields;
+      emit b fields
+  | Channel _ | Memory _ ->
       Mutex.lock t.lock;
       Fun.protect
         ~finally:(fun () -> Mutex.unlock t.lock)
@@ -30,11 +46,11 @@ let emit t fields =
           in
           t.seq <- t.seq + 1;
           match t.sink with
-          | Null -> ()
           | Channel oc ->
               output_string oc line;
               output_char oc '\n';
               flush oc
           | Memory buf ->
               Buffer.add_string buf line;
-              Buffer.add_char buf '\n')
+              Buffer.add_char buf '\n'
+          | Null | Observer _ | Tee _ -> ())

@@ -18,6 +18,16 @@ val to_channel : out_channel -> t
 (** Accumulates lines in memory, for tests. *)
 val memory : unit -> t
 
+(** [observer f] calls [f fields] synchronously on every event instead of
+    serializing it — the hook {!Metrics.observe_trace} plugs into.  [f]
+    runs on the emitting worker's domain and must be thread-safe. *)
+val observer : ((string * Json.t) list -> unit) -> t
+
+(** [tee a b] emits every event to both sinks ([null] operands collapse
+    away).  Lets a pool keep its JSONL trace while a metrics registry
+    listens in. *)
+val tee : t -> t -> t
+
 (** The accumulated JSONL text of a {!memory} sink ("" otherwise). *)
 val contents : t -> string
 

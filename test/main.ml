@@ -21,4 +21,5 @@ let () =
       ("harness", Test_harness.suite);
       ("migration", Test_migration.suite);
       ("service", Test_service.suite);
+      ("server", Test_server.suite);
     ]

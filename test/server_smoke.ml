@@ -1,0 +1,237 @@
+(* End-to-end smoke for the HTTP planning server, run by the
+   @server-smoke alias.  Boots an in-process daemon on an ephemeral port,
+   then exercises the full surface with a raw loopback client:
+
+   - POST /solve with the first fixture job; the result line must match
+     what Service.Batch produces for the same job (byte-identical after
+     dropping the wall-clock timing fields queue_s/solve_s, which cannot
+     repeat across runs).
+   - POST /batch with the whole 3-job fixture; 3 ok result lines, in order.
+   - GET /healthz and /metrics; the scrape must report the traffic above.
+   - request_stop: the drain must complete well within --drain-timeout and
+     leave the port closed. *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("server-smoke: " ^ m);
+      exit 1)
+    fmt
+
+let check cond fmt =
+  Printf.ksprintf (fun m -> if not cond then fail "%s" m) fmt
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write fd b off (n - off))
+  in
+  go 0
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 60.0;
+  fd
+
+let read_head ic =
+  let status_line = input_line ic in
+  let status =
+    match String.split_on_char ' ' (String.trim status_line) with
+    | _ :: code :: _ -> int_of_string code
+    | _ -> fail "bad status line %S" status_line
+  in
+  let rec headers acc =
+    match String.trim (input_line ic) with
+    | "" -> List.rev acc
+    | line -> (
+        match String.index_opt line ':' with
+        | None -> headers acc
+        | Some i ->
+            headers
+              ((String.lowercase_ascii (String.sub line 0 i),
+                String.trim
+                  (String.sub line (i + 1) (String.length line - i - 1)))
+              :: acc))
+  in
+  (status, headers [])
+
+let read_chunked ic =
+  let buf = Buffer.create 1024 in
+  let rec go () =
+    let n = int_of_string ("0x" ^ String.trim (input_line ic)) in
+    if n = 0 then (try ignore (input_line ic) with End_of_file -> ())
+    else begin
+      Buffer.add_string buf (really_input_string ic n);
+      ignore (input_line ic);
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let request port text =
+  let fd = connect port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      write_all fd text;
+      let ic = Unix.in_channel_of_descr fd in
+      let status, headers = read_head ic in
+      let body =
+        match List.assoc_opt "content-length" headers with
+        | Some n -> really_input_string ic (int_of_string n)
+        | None -> (
+            match List.assoc_opt "transfer-encoding" headers with
+            | Some "chunked" -> read_chunked ic
+            | _ -> "")
+      in
+      (status, body))
+
+let post port path body =
+  request port
+    (Printf.sprintf
+       "POST %s HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\nContent-Length: %d\r\n\r\n%s"
+       path (String.length body) body)
+
+let get port path =
+  request port
+    (Printf.sprintf
+       "GET %s HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n" path)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+(* The fields whose values depend on wall-clock time, not on the job. *)
+let timing_field = function "queue_s" | "solve_s" -> true | _ -> false
+
+let strip_timing line =
+  match Service.Json.parse (String.trim line) with
+  | Error m -> fail "unparseable result line %S: %s" line m
+  | Ok (Service.Json.Obj fields) ->
+      Service.Json.to_string
+        (Service.Json.Obj
+           (List.filter (fun (k, _) -> not (timing_field k)) fields))
+  | Ok _ -> fail "result line %S is not an object" line
+
+let () =
+  let fixture = Sys.argv.(1) in
+  let lines =
+    let ic = open_in fixture in
+    let rec go acc =
+      match input_line ic with
+      | l -> go (if String.trim l = "" || l.[0] = '#' then acc else l :: acc)
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+    in
+    go []
+  in
+  check (List.length lines = 3) "fixture must hold 3 jobs, got %d"
+    (List.length lines);
+  let first_job = List.hd lines in
+
+  (* Reference: the same job through Service.Batch on a private pool —
+     the CLI `batch` path without the process boundary. *)
+  let reference =
+    let out = Buffer.create 256 in
+    let fed = ref false in
+    Service.Pool.with_pool ~workers:1 ~queue_capacity:4 ~cache_capacity:16
+      (fun pool ->
+        ignore
+          (Service.Batch.run_lines ~resolve:Harness.Line_jobs.resolve pool
+             ~read_line:(fun () ->
+               if !fed then None
+               else begin
+                 fed := true;
+                 Some first_job
+               end)
+             ~write:(fun line -> Buffer.add_string out line)));
+    strip_timing (Buffer.contents out)
+  in
+
+  let metrics = Service.Metrics.create () in
+  let trace =
+    Service.Trace.observer (Service.Metrics.observe_trace metrics)
+  in
+  Service.Pool.with_pool ~workers:2 ~queue_capacity:8 ~cache_capacity:16
+    ~trace (fun pool ->
+      let server =
+        Server.Daemon.create ~port:0 ~drain_timeout:10.0
+          ~resolve:Harness.Line_jobs.resolve ~metrics ~pool ()
+      in
+      let th = Thread.create Server.Daemon.run server in
+      let port = Server.Daemon.port server in
+
+      (* /healthz *)
+      let status, body = get port "/healthz" in
+      check (status = 200) "/healthz status %d" status;
+      check (contains ~affix:{|"status":"ok"|} body) "/healthz body %S" body;
+
+      (* /solve — must agree with the batch reference byte-for-byte
+         (modulo wall-clock timings). *)
+      let status, body = post port "/solve" first_job in
+      check (status = 200) "/solve status %d" status;
+      let via_http = strip_timing body in
+      check (via_http = reference)
+        "/solve differs from batch: %s vs %s" via_http reference;
+
+      (* /batch — the whole fixture in one request. *)
+      let status, body = post port "/batch" (String.concat "\n" lines ^ "\n") in
+      check (status = 200) "/batch status %d" status;
+      let results =
+        List.filter (fun l -> String.trim l <> "")
+          (String.split_on_char '\n' body)
+      in
+      check (List.length results = 3) "/batch returned %d lines"
+        (List.length results);
+      List.iteri
+        (fun i line ->
+          let want = Printf.sprintf {|"id":"s%d"|} (i + 1) in
+          check (contains ~affix:want line) "line %d is not s%d: %s" i (i + 1)
+            line;
+          check (contains ~affix:{|"code":"ok"|} line) "line %d not ok: %s" i
+            line)
+        results;
+
+      (* /metrics — the scrape must reflect the traffic just generated. *)
+      let status, scrape = get port "/metrics" in
+      check (status = 200) "/metrics status %d" status;
+      List.iter
+        (fun affix ->
+          check (contains ~affix scrape) "/metrics missing %S" affix)
+        [
+          {|etransform_http_requests_total{route="/healthz",status="200"} 1|};
+          {|etransform_http_requests_total{route="/solve",status="200"} 1|};
+          {|etransform_http_requests_total{route="/batch",status="200"} 1|};
+          (* 4 jobs total: 1 via /solve, 3 via /batch.  s1 and s3 share
+             the /solve job's fingerprint (cache hits); s2 is distinct,
+             so 2 misses and 2 hits. *)
+          {|etransform_jobs_total{cache="miss",code="solved"} 2|};
+          {|etransform_jobs_total{cache="hit",code="solved"} 2|};
+          {|etransform_job_solve_seconds_count|};
+          {|etransform_http_request_seconds_bucket|};
+          "etransform_pool_queue_depth";
+          "etransform_cache_hits_total";
+          "etransform_cache_misses_total";
+        ];
+
+      (* Graceful drain: idle server must stop long before the timeout. *)
+      let t0 = Unix.gettimeofday () in
+      Server.Daemon.request_stop server;
+      Thread.join th;
+      let elapsed = Unix.gettimeofday () -. t0 in
+      check (elapsed < 5.0) "drain took %.1fs" elapsed;
+      (match connect port with
+      | fd ->
+          (* A TIME_WAIT-free OS may still accept briefly; a successful
+             connect with an immediate EOF also counts as closed. *)
+          Unix.close fd;
+          fail "listener still accepting after drain"
+      | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ()));
+
+  print_endline
+    "server-smoke: solve/batch/metrics ok, drain clean, listener closed"

@@ -73,6 +73,117 @@ let test_json_non_finite () =
   | Ok _ -> ()
   | Error m -> Alcotest.failf "emitted invalid JSON: %s" m
 
+let test_json_unicode_escapes () =
+  let parse_str text =
+    match Service.Json.parse text with
+    | Ok (Service.Json.Str s) -> s
+    | Ok _ -> Alcotest.failf "expected a string from %s" text
+    | Error m -> Alcotest.failf "parse %s: %s" text m
+  in
+  (* Basic multilingual plane scalars decode directly. *)
+  Alcotest.(check string) "BMP escape" "\xE2\x82\xAC"
+    (parse_str {|"\u20ac"|});
+  Alcotest.(check string) "ASCII escape" "A" (parse_str {|"\u0041"|});
+  (* A surrogate pair is ONE scalar: U+1F600 as 4-byte UTF-8, not two
+     raw-encoded UTF-16 halves. *)
+  Alcotest.(check string) "surrogate pair combines"
+    "\xF0\x9F\x98\x80"
+    (parse_str {|"\ud83d\ude00"|});
+  Alcotest.(check string) "pair inside text" "x\xF0\x9F\x98\x80y"
+    (parse_str {|"x\uD83D\uDE00y"|});
+  (* Print/parse round trip keeps the encoded scalar intact. *)
+  let j = Service.Json.Str (parse_str {|"\ud83d\ude00"|}) in
+  (match Service.Json.parse (Service.Json.to_string j) with
+  | Ok j' -> Alcotest.(check bool) "roundtrip" true (j = j')
+  | Error m -> Alcotest.failf "roundtrip: %s" m);
+  (* Unpaired or truncated surrogates are invalid JSON text. *)
+  let rejects text =
+    match Service.Json.parse text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %s" text
+  in
+  rejects {|"\ud83d"|};
+  rejects {|"\ud83dx"|};
+  rejects {|"\ud83dA"|};
+  rejects {|"\ude00"|};
+  rejects {|"\ud83d\ud83d"|};
+  (* int_of_string would take underscores and signs; strict hex must not. *)
+  rejects {|"\u00_1"|};
+  rejects {|"\u-041"|};
+  rejects {|"\u004"|};
+  rejects {|"\u004g"|}
+
+(* --------------------------------------------------------------- metrics *)
+
+let test_metrics_concurrent () =
+  (* Counter and histogram cells must stay exact under concurrent
+     increments from multiple domains sharing one registry. *)
+  let m = Service.Metrics.create () in
+  let per_domain = 2000 and domains = 3 in
+  let work () =
+    for i = 1 to per_domain do
+      Service.Metrics.incr m "test_total" ~labels:[ ("d", "x") ];
+      Service.Metrics.observe m "test_seconds"
+        ~buckets:[| 0.5; 1.5 |]
+        (if i mod 2 = 0 then 1.0 else 2.0)
+    done
+  in
+  let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn work) in
+  work ();
+  Array.iter Domain.join spawned;
+  Alcotest.(check (option (float 0.0))) "counter exact"
+    (Some (float_of_int (domains * per_domain)))
+    (Service.Metrics.value m "test_total" ~labels:[ ("d", "x") ]);
+  Alcotest.(check (option (float 0.0))) "histogram count exact"
+    (Some (float_of_int (domains * per_domain)))
+    (Service.Metrics.value m "test_seconds");
+  let rendered = Service.Metrics.render m in
+  let expect_line line =
+    Alcotest.(check bool) ("renders " ^ line) true
+      (contains_substring ~affix:line rendered)
+  in
+  expect_line (Printf.sprintf "test_total{d=\"x\"} %d" (domains * per_domain));
+  (* The 1.0 observations (half of them) fall under le=1.5; the 2.0
+     observations only under the implicit +Inf bucket. *)
+  expect_line
+    (Printf.sprintf "test_seconds_bucket{le=\"1.5\"} %d"
+       (domains * per_domain / 2));
+  expect_line
+    (Printf.sprintf "test_seconds_bucket{le=\"+Inf\"} %d"
+       (domains * per_domain));
+  expect_line
+    (Printf.sprintf "test_seconds_count %d" (domains * per_domain))
+
+let test_metrics_trace_feed () =
+  (* A pool whose trace is teed into a registry meters its jobs without
+     disturbing the primary JSONL sink. *)
+  let jsonl = Service.Trace.memory () in
+  let m = Service.Metrics.create () in
+  let trace =
+    Service.Trace.tee jsonl
+      (Service.Trace.observer (Service.Metrics.observe_trace m))
+  in
+  let job = small_job 40.0 0.5 in
+  Service.Pool.with_pool ~workers:0 ~trace (fun pool ->
+      ignore (Service.Pool.run_batch pool [ job ]);
+      ignore (Service.Pool.run_batch pool [ job ]));
+  Alcotest.(check (option (float 0.0))) "miss counted" (Some 1.0)
+    (Service.Metrics.value m "etransform_jobs_total"
+       ~labels:[ ("code", "solved"); ("cache", "miss") ]);
+  Alcotest.(check (option (float 0.0))) "hit counted" (Some 1.0)
+    (Service.Metrics.value m "etransform_jobs_total"
+       ~labels:[ ("code", "solved"); ("cache", "hit") ]);
+  Alcotest.(check (option (float 0.0))) "batches counted" (Some 2.0)
+    (Service.Metrics.value m "etransform_batches_total");
+  Alcotest.(check (option (float 0.0))) "solve time observed" (Some 2.0)
+    (Service.Metrics.value m "etransform_job_solve_seconds");
+  (* The JSONL sink still saw everything (2 jobs + 2 batch summaries). *)
+  let lines =
+    String.split_on_char '\n' (Service.Trace.contents jsonl)
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "jsonl intact" 4 (List.length lines)
+
 (* ---------------------------------------------------------- fingerprints *)
 
 let parse_job line =
@@ -356,6 +467,12 @@ let suite =
   [
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
     Alcotest.test_case "json: non-finite numbers" `Quick test_json_non_finite;
+    Alcotest.test_case "json: \\u escapes and surrogate pairs" `Quick
+      test_json_unicode_escapes;
+    Alcotest.test_case "metrics: concurrent domains" `Quick
+      test_metrics_concurrent;
+    Alcotest.test_case "metrics: fed from trace spans" `Quick
+      test_metrics_trace_feed;
     Alcotest.test_case "fingerprint: permutation-insensitive" `Quick
       test_fingerprint_permutation;
     Alcotest.test_case "fingerprint: delivery fields excluded" `Quick
