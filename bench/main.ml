@@ -2,7 +2,7 @@
    evaluation (experiments E0-E6, see DESIGN.md) and measures the solver
    kernels with Bechamel.
 
-   Usage: main.exe [--json] [--check BASELINE.json]
+   Usage: main.exe [--json] [--check BASELINE.json] [--tolerance PCT]
                    [e0|e1|e2|e3|e4|e5|e6|kernels|smoke|all]   (default: all)
 
    [smoke] runs every kernel thunk exactly once (no timing) so the test
@@ -296,10 +296,11 @@ let baseline_of_file path =
    with Sys_error _ -> ());
   tbl
 
-(* Compare fresh results against the committed baseline; >25% slower on
-   any kernel fails the run.  Missing or new kernels are reported but do
-   not fail, so the guard stays usable while kernels are added. *)
-let check_regressions ~path results =
+(* Compare fresh results against the committed baseline; more than
+   [tolerance] percent slower (default 25) on any kernel fails the run.
+   Missing or new kernels are reported but do not fail, so the guard
+   stays usable while kernels are added. *)
+let check_regressions ?(tolerance = 25.0) ~path results =
   let baseline = baseline_of_file path in
   if Hashtbl.length baseline = 0 then begin
     Printf.printf "check: no baseline entries in %s; skipping\n%!" path;
@@ -312,18 +313,19 @@ let check_regressions ~path results =
         match Hashtbl.find_opt baseline name with
         | None -> Printf.printf "check: %s has no baseline entry\n%!" name
         | Some b when b > 0.0 && not (Float.is_nan t) ->
-            if t > 1.25 *. b then begin
+            if t > (1.0 +. (tolerance /. 100.0)) *. b then begin
               ok := false;
               Printf.printf "check: REGRESSION %s: %.2f -> %.2f ns (%+.0f%%)\n%!"
                 name b t (100.0 *. ((t /. b) -. 1.0))
             end
         | Some _ -> ())
       results;
-    if !ok then Printf.printf "check: all kernels within 25%% of %s\n%!" path;
+    if !ok then
+      Printf.printf "check: all kernels within %g%% of %s\n%!" tolerance path;
     !ok
   end
 
-let run_kernels ?(json = false) ?check () =
+let run_kernels ?(json = false) ?check ?tolerance () =
   Printf.printf "\n===== Kernels (Bechamel, one Test.make per family) =====\n%!";
   let cfg = Benchmark.cfg ~limit:150 ~quota:(Time.second 0.6) () in
   let instance = Toolkit.Instance.monotonic_clock in
@@ -362,7 +364,9 @@ let run_kernels ?(json = false) ?check () =
   print_string (Etransform.Report.table ~header:[ "kernel"; "time/run" ] rows);
   (* The baseline must be read (and compared) before --json overwrites it. *)
   let passed =
-    match check with None -> true | Some path -> check_regressions ~path results
+    match check with
+    | None -> true
+    | Some path -> check_regressions ?tolerance ~path results
   in
   if json then begin
     (* Machine-readable mirror of the table, so the perf trajectory can be
@@ -384,18 +388,27 @@ let run_kernels ?(json = false) ?check () =
   passed
 
 let () =
-  let rec parse_args args (mode, json, check) =
+  let rec parse_args args (mode, json, check, tol) =
     match args with
-    | [] -> (mode, json, check)
-    | "--json" :: rest -> parse_args rest (mode, true, check)
-    | "--check" :: path :: rest -> parse_args rest (mode, json, Some path)
+    | [] -> (mode, json, check, tol)
+    | "--json" :: rest -> parse_args rest (mode, true, check, tol)
+    | "--check" :: path :: rest -> parse_args rest (mode, json, Some path, tol)
     | "--check" :: [] ->
         Printf.eprintf "--check needs a baseline path\n";
         exit 2
-    | m :: rest -> parse_args rest (Some m, json, check)
+    | "--tolerance" :: pct :: rest -> (
+        match float_of_string_opt pct with
+        | Some p when p > 0.0 -> parse_args rest (mode, json, check, Some p)
+        | _ ->
+            Printf.eprintf "--tolerance needs a positive percentage\n";
+            exit 2)
+    | "--tolerance" :: [] ->
+        Printf.eprintf "--tolerance needs a positive percentage\n";
+        exit 2
+    | m :: rest -> parse_args rest (Some m, json, check, tol)
   in
-  let mode, json, check =
-    parse_args (List.tl (Array.to_list Sys.argv)) (None, false, None)
+  let mode, json, check, tolerance =
+    parse_args (List.tl (Array.to_list Sys.argv)) (None, false, None, None)
   in
   let mode = Option.value mode ~default:"all" in
   let passed = ref true in
@@ -407,11 +420,11 @@ let () =
   | "e4" -> ignore (Harness.Studies.e4_dr_server_cost ())
   | "e5" -> ignore (Harness.Studies.e5_space_wan_tradeoff ())
   | "e6" -> ignore (Harness.Studies.e6_placement_growth ())
-  | "kernels" -> passed := run_kernels ~json ?check ()
+  | "kernels" -> passed := run_kernels ~json ?check ?tolerance ()
   | "smoke" -> run_smoke ()
   | "all" ->
       Harness.Studies.all ();
-      passed := run_kernels ~json ?check ()
+      passed := run_kernels ~json ?check ?tolerance ()
   | other ->
       Printf.eprintf "unknown experiment %S (want e0..e6, kernels, smoke, all)\n"
         other;

@@ -1,0 +1,471 @@
+(* IO fault injection over the HTTP stack.
+
+   Conn-level oracles drive [Server.Http] through the injectable byte
+   source ({!Server.Http.conn_of_source}), replaying recorded request
+   bytes under adversarial delivery: randomized read boundaries
+   (EAGAIN-style short reads), mid-stream EOF (torn writes /
+   truncation), and byte-level corruption.  The laws: slicing never
+   changes what is parsed; truncation yields a clean prefix plus a
+   clean stop (EOF, 400 or 413 — never a hang or a stray exception);
+   corruption never escapes the [Bad_request]/[Payload_too_large]
+   error surface.
+
+   The daemon-level oracle then replays mutated requests against a real
+   listening [Server.Daemon] and requires an HTTP error status or a
+   clean close — and that the server still answers a well-formed
+   request afterwards. *)
+
+open Check
+
+let failf fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+(* ------------------------------------------------- request corpus *)
+
+type body_spec =
+  | No_body
+  | Fixed of string
+  | Chunked of {
+      chunks : (string * string) list;  (* data, extension suffix *)
+      trailers : string list;
+    }
+
+type req_spec = {
+  meth : string;
+  target : string;
+  extra_headers : (string * string) list;
+  body : body_spec;
+}
+
+type io_case = {
+  reqs : req_spec list;  (* pipelined on one connection, keep-alive *)
+  slices : int list;     (* read sizes the fault source serves *)
+  cut : int;             (* 0..1000, scaled to the byte length *)
+}
+
+let render_req r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%s %s HTTP/1.1\r\n" r.meth r.target);
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    r.extra_headers;
+  (match r.body with
+  | No_body -> Buffer.add_string buf "\r\n"
+  | Fixed s ->
+      Buffer.add_string buf
+        (Printf.sprintf "Content-Length: %d\r\n\r\n%s" (String.length s) s)
+  | Chunked { chunks; trailers } ->
+      Buffer.add_string buf "Transfer-Encoding: chunked\r\n\r\n";
+      List.iter
+        (fun (data, ext) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%x%s\r\n%s\r\n" (String.length data) ext data))
+        chunks;
+      Buffer.add_string buf "0\r\n";
+      List.iter (fun t -> Buffer.add_string buf (t ^ "\r\n")) trailers;
+      Buffer.add_string buf "\r\n");
+  Buffer.contents buf
+
+let render_case c = String.concat "" (List.map render_req c.reqs)
+
+let pp_io_case ppf c =
+  Format.fprintf ppf "slices=[%s] cut=%d/1000 bytes=%S"
+    (String.concat ";" (List.map string_of_int c.slices))
+    c.cut (render_case c)
+
+let gen_body_text : string Gen.t =
+  Gen.string_of ~max:30
+    (Gen.frequency
+       [ (6, Gen.char_range ' ' '~'); (1, Gen.return '\n'); (1, Gen.return '{') ])
+
+let gen_body : body_spec Gen.t =
+  Gen.frequency
+    [
+      (1, Gen.return No_body);
+      (2, Gen.map (fun s -> Fixed s) gen_body_text);
+      ( 2,
+        fun rng ->
+          let chunks =
+            Gen.list ~max:3
+              (Gen.pair gen_body_text
+                 (Gen.choose [ ""; ";x=1"; ";charlie" ]))
+              rng
+          in
+          let trailers =
+            Gen.list ~max:2 (Gen.choose [ "X-Trailer: t"; "X-Sum: 0" ]) rng
+          in
+          Chunked { chunks; trailers } );
+    ]
+
+let gen_req : req_spec Gen.t =
+ fun rng ->
+  let meth = Gen.choose [ "GET"; "POST"; "HEAD"; "PUT" ] rng in
+  let target = Gen.choose [ "/"; "/solve"; "/batch?limit=2"; "/a/b%20c" ] rng in
+  let extra_headers =
+    Gen.list ~max:3
+      (Gen.choose
+         [ ("Host", "h"); ("Accept", "*/*"); ("X-Pad", String.make 20 'p') ])
+      rng
+  in
+  let body = gen_body rng in
+  { meth; target; extra_headers; body }
+
+let gen_io_case : io_case Gen.t =
+ fun rng ->
+  {
+    reqs = (fun rng -> gen_req rng :: Gen.list ~max:1 gen_req rng) rng;
+    slices = Gen.list ~max:40 (Gen.int_range 1 7) rng;
+    cut = Gen.int_range 0 1000 rng;
+  }
+
+let shrink_io_case c =
+  let cands = ref [] in
+  (match c.reqs with
+  | _ :: (_ :: _ as rest) -> cands := { c with reqs = rest } :: !cands
+  | [ r ] when r.body <> No_body ->
+      cands := { c with reqs = [ { r with body = No_body } ] } :: !cands
+  | _ -> ());
+  if c.slices <> [] then cands := { c with slices = [] } :: !cands;
+  if c.cut <> 1000 then cands := { c with cut = 1000 } :: !cands;
+  List.to_seq !cands
+
+let arb_io_case = Check.arb ~pp:pp_io_case ~shrink:shrink_io_case gen_io_case
+
+(* ------------------------------------------------ fault byte sources *)
+
+(* Serve [s] (up to [limit] bytes) in reads whose sizes walk [slices]
+   (default 4096 once the list runs dry).  Never returns more than
+   asked; 0 only at the end — exactly a slow or torn socket. *)
+let source_of_string ?(slices = []) ?limit s =
+  let limit = match limit with None -> String.length s | Some l -> l in
+  let pos = ref 0 and plan = ref slices in
+  fun buf off len ->
+    let want = match !plan with [] -> 4096 | w :: rest -> plan := rest; w in
+    let n = min (min want len) (limit - !pos) in
+    if n <= 0 then 0
+    else begin
+      Bytes.blit_string s !pos buf off n;
+      pos := !pos + n;
+      n
+    end
+
+(* ----------------------------------------------- reference parse loop *)
+
+type stop = Eof | Bad | Too_large
+
+type summary = {
+  s_meth : string;
+  s_path : string;
+  s_query : string;
+  s_headers : (string * string) list;
+  s_body : string;
+}
+
+exception Unexpected of string
+
+(* Parse requests until the stream stops; never raises (anything the
+   HTTP layer is allowed to throw is folded into [stop], anything else
+   is an oracle failure wrapped as [Unexpected]). *)
+let parse_all ?limits source =
+  let conn = Server.Http.conn_of_source ?limits source in
+  let acc = ref [] in
+  let rec go budget =
+    if budget = 0 then raise (Unexpected "parse loop did not terminate")
+    else
+      match Server.Http.read_request conn with
+      | None -> Eof
+      | Some req ->
+          let body = Server.Http.body_of_request conn req in
+          let data = Server.Http.read_all body in
+          let meth =
+            match req.Server.Http.meth with
+            | Server.Http.GET -> "GET"
+            | Server.Http.POST -> "POST"
+            | Server.Http.HEAD -> "HEAD"
+            | Server.Http.Other m -> m
+          in
+          acc :=
+            {
+              s_meth = meth;
+              s_path = req.Server.Http.path;
+              s_query = req.Server.Http.query;
+              s_headers = req.Server.Http.headers;
+              s_body = data;
+            }
+            :: !acc;
+          go (budget - 1)
+  in
+  let stop =
+    match go 64 with
+    | stop -> stop
+    | exception Server.Http.Bad_request _ -> Bad
+    | exception Server.Http.Payload_too_large -> Too_large
+    | exception (Unexpected _ as e) -> raise e
+    | exception e -> raise (Unexpected (Printexc.to_string e))
+  in
+  (List.rev !acc, stop)
+
+let pp_stop = function Eof -> "eof" | Bad -> "400" | Too_large -> "413"
+
+(* --------------------------------------------------- slice replay law *)
+
+let http_slice c =
+  let text = render_case c in
+  match
+    ( parse_all (source_of_string text),
+      parse_all (source_of_string ~slices:c.slices text) )
+  with
+  | exception Unexpected e -> failf "escaped the error surface: %s" e
+  | (ref_reqs, ref_stop), (sliced_reqs, sliced_stop) ->
+      if ref_stop <> sliced_stop then
+        failf "stop changed under slicing: whole=%s sliced=%s"
+          (pp_stop ref_stop) (pp_stop sliced_stop)
+      else if ref_reqs <> sliced_reqs then
+        failf "parsed %d requests whole, %d sliced (first divergence: %s)"
+          (List.length ref_reqs) (List.length sliced_reqs)
+          (match
+             List.find_opt
+               (fun (a, b) -> a <> b)
+               (List.combine ref_reqs sliced_reqs)
+           with
+          | Some (a, b) -> Printf.sprintf "%s vs %s" a.s_body b.s_body
+          | None -> "length mismatch")
+      else Ok ()
+
+(* ---------------------------------------------------- truncation law *)
+
+let rec is_prefix xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | x :: xs, y :: ys -> x = y && is_prefix xs ys
+  | _, [] -> false
+
+let http_truncation c =
+  let text = render_case c in
+  let len = String.length text in
+  let cut = c.cut * len / 1000 in
+  match
+    ( parse_all (source_of_string text),
+      parse_all (source_of_string ~slices:c.slices ~limit:cut text) )
+  with
+  | exception Unexpected e -> failf "escaped the error surface: %s" e
+  | (ref_reqs, ref_stop), (got_reqs, got_stop) ->
+      if cut >= len then
+        if got_reqs = ref_reqs && got_stop = ref_stop then Ok ()
+        else failf "uncut replay diverged from reference"
+      else if not (is_prefix got_reqs ref_reqs) then
+        failf "truncated stream parsed requests the full stream does not have"
+      else (
+        match got_stop with
+        | Eof | Bad | Too_large -> Ok ())
+
+(* ---------------------------------------------------- corruption law *)
+
+(* Random byte-level damage: overwrite a byte, insert garbage, or
+   prepend a rogue line.  The parser owes no particular answer, only
+   termination inside its declared error surface. *)
+type mutation = Flip of int * char | Insert of int * string | Prepend of string
+
+type corrupt_case = { base : io_case; mutation : mutation }
+
+let apply_mutation text = function
+  | Flip (pos, ch) ->
+      let b = Bytes.of_string text in
+      if Bytes.length b = 0 then text
+      else begin
+        Bytes.set b (pos mod Bytes.length b) ch;
+        Bytes.to_string b
+      end
+  | Insert (pos, s) ->
+      let n = String.length text in
+      let i = if n = 0 then 0 else pos mod n in
+      String.sub text 0 i ^ s ^ String.sub text i (n - i)
+  | Prepend s -> s ^ text
+
+let gen_mutation : mutation Gen.t =
+  Gen.oneof
+    [
+      (fun rng ->
+        Flip (Gen.int_range 0 9999 rng, Gen.char_range '\x00' '\xff' rng));
+      (fun rng ->
+        Insert
+          ( Gen.int_range 0 9999 rng,
+            Gen.choose
+              [ "\r\n"; "\x00\x00"; "999999999999"; "Transfer-Encoding: x\r\n" ]
+              rng ));
+      Gen.map
+        (fun s -> Prepend s)
+        (Gen.choose
+           [ "not http\r\n"; "GET\r\n"; String.make 300 'A' ^ "\r\n"; "\r\n" ]);
+    ]
+
+let gen_corrupt : corrupt_case Gen.t =
+  Gen.map2 (fun base mutation -> { base; mutation }) gen_io_case gen_mutation
+
+let pp_corrupt ppf c =
+  Format.fprintf ppf "bytes=%S"
+    (apply_mutation (render_case c.base) c.mutation)
+
+let arb_corrupt =
+  Check.arb ~pp:pp_corrupt
+    ~shrink:(fun c ->
+      Seq.map (fun base -> { c with base }) (shrink_io_case c.base))
+    gen_corrupt
+
+(* Small limits so generated damage can actually reach the limit
+   paths. *)
+let tight_limits =
+  { Server.Http.max_request_line = 256; max_headers = 16; max_body = 4096 }
+
+let http_corruption c =
+  let text = apply_mutation (render_case c.base) c.mutation in
+  match
+    parse_all ~limits:tight_limits
+      (source_of_string ~slices:c.base.slices text)
+  with
+  | exception Unexpected e -> failf "escaped the error surface: %s" e
+  | _reqs, (Eof | Bad | Too_large) -> Ok ()
+
+(* ------------------------------------------------- daemon-level oracle *)
+
+(* One live server per case; each case fires a handful of mutated
+   requests at it and finally proves a clean request still succeeds.
+   Low case counts — this is end-to-end. *)
+
+type daemon_case = { shots : (int * mutation) list }  (* base idx, damage *)
+
+let job_line =
+  {|{"id":"f","estate":{"kind":"line","n_groups":10,"penalty":0},"milp":{"nodes":2,"time":20}}|}
+
+let daemon_bases =
+  [|
+    "GET /healthz HTTP/1.1\r\nHost: h\r\n\r\n";
+    Printf.sprintf
+      "POST /solve HTTP/1.1\r\nHost: h\r\nContent-Length: %d\r\n\r\n%s"
+      (String.length job_line) job_line;
+    Printf.sprintf
+      "POST /batch HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: chunked\r\n\r\n%x\r\n%s\r\n0\r\n\r\n"
+      (String.length job_line) job_line;
+    "GET /metrics HTTP/1.1\r\nHost: h\r\n\r\n";
+  |]
+
+let gen_daemon_case : daemon_case Gen.t =
+  Gen.map
+    (fun shots -> { shots })
+    (Gen.list ~max:6
+       (Gen.pair (Gen.int_range 0 (Array.length daemon_bases - 1)) gen_mutation))
+
+let pp_daemon_case ppf c =
+  Format.fprintf ppf "%d shots:" (List.length c.shots);
+  List.iter
+    (fun (i, m) ->
+      Format.fprintf ppf "@ %S" (apply_mutation daemon_bases.(i) m))
+    c.shots
+
+let arb_daemon_case =
+  Check.arb ~pp:pp_daemon_case
+    ~shrink:(fun c -> Shrink.list c.shots |> Seq.map (fun shots -> { shots }))
+    gen_daemon_case
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
+  fd
+
+(* First response status on [fd], or [None] on a clean close before any
+   status line. *)
+let response_status fd =
+  let buf = Buffer.create 64 in
+  let b = Bytes.create 256 in
+  let rec line () =
+    match String.index_opt (Buffer.contents buf) '\n' with
+    | Some i -> Some (String.trim (String.sub (Buffer.contents buf) 0 i))
+    | None ->
+        let n = try Unix.read fd b 0 256 with Unix.Unix_error _ -> 0 in
+        if n = 0 then
+          if Buffer.length buf = 0 then None
+          else Some (String.trim (Buffer.contents buf))
+        else begin
+          Buffer.add_subbytes buf b 0 n;
+          line ()
+        end
+  in
+  match line () with
+  | None -> None
+  | Some l -> (
+      match String.split_on_char ' ' l with
+      | _ :: code :: _ -> int_of_string_opt code
+      | _ -> Some (-1))
+
+let acceptable = [ 200; 400; 404; 405; 408; 413; 500; 503 ]
+
+let fire port text =
+  let fd = connect port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      (* The server may slam the door mid-write on garbage — EPIPE and
+         ECONNRESET are clean closes, not failures. *)
+      (match write_all fd text with
+      | () -> ( try Unix.shutdown fd Unix.SHUTDOWN_SEND with _ -> ())
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+      response_status fd)
+
+let daemon_fault c =
+  let previous = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.signal Sys.sigpipe previous))
+    (fun () ->
+      Service.Pool.with_pool ~workers:0 ~queue_capacity:16 (fun pool ->
+          let server =
+            Server.Daemon.create ~port:0 ~drain_timeout:5.0
+              ~limits:tight_limits ~resolve:Harness.Line_jobs.resolve ~pool ()
+          in
+          let th = Thread.create Server.Daemon.run server in
+          Fun.protect
+            ~finally:(fun () ->
+              Server.Daemon.request_stop server;
+              Thread.join th)
+            (fun () ->
+              let port = Server.Daemon.port server in
+              let rec shoot i = function
+                | [] -> Ok ()
+                | (base, m) :: rest -> (
+                    let text = apply_mutation daemon_bases.(base) m in
+                    match fire port text with
+                    | None -> shoot (i + 1) rest  (* clean close *)
+                    | Some st when List.mem st acceptable ->
+                        shoot (i + 1) rest
+                    | Some st ->
+                        failf "shot %d (%S...) drew status %d" i
+                          (String.sub text 0 (min 40 (String.length text)))
+                          st)
+              in
+              match shoot 0 c.shots with
+              | Error _ as e -> e
+              | Ok () -> (
+                  (* The server must still answer a clean request. *)
+                  match fire port daemon_bases.(0) with
+                  | Some 200 -> Ok ()
+                  | Some st ->
+                      failf "healthz after the barrage answered %d" st
+                  | None ->
+                      failf "server closed a clean connection after the barrage"))))
+
+(* ---------------------------------------------------------- the suite *)
+
+let props =
+  [
+    prop ~count:120 ~smoke_count:24 "http_slice" arb_io_case http_slice;
+    prop ~count:120 ~smoke_count:24 "http_truncation" arb_io_case
+      http_truncation;
+    prop ~count:120 ~smoke_count:24 "http_corruption" arb_corrupt
+      http_corruption;
+    prop ~count:6 ~smoke_count:2 "daemon_fault" arb_daemon_case daemon_fault;
+  ]

@@ -21,23 +21,28 @@ let bad fmt = Printf.ksprintf (fun m -> raise (Bad_request m)) fmt
 (* ------------------------------------------------------ buffered reads *)
 
 type conn = {
-  fd : Unix.file_descr;
+  source : Bytes.t -> int -> int -> int;  (* read bytes; 0 = EOF *)
   buf : Bytes.t;
   mutable pos : int;  (* next unread byte in [buf] *)
   mutable len : int;  (* valid bytes in [buf] *)
   limits : limits;
 }
 
-let conn_of_fd ?(limits = default_limits) fd =
-  { fd; buf = Bytes.create 16384; pos = 0; len = 0; limits }
+let conn_of_source ?(limits = default_limits) source =
+  { source; buf = Bytes.create 16384; pos = 0; len = 0; limits }
 
-(* Refill returns false at EOF. *)
+let conn_of_fd ?limits fd =
+  conn_of_source ?limits (fun buf off len -> Unix.read fd buf off len)
+
+(* Refill returns false at EOF.  A source may legitimately return short
+   counts (partial TCP segments, fault-injected reads); only 0 ends the
+   stream. *)
 let refill c =
   if c.pos < c.len then true
   else begin
     c.pos <- 0;
     c.len <- 0;
-    let n = Unix.read c.fd c.buf 0 (Bytes.length c.buf) in
+    let n = c.source c.buf 0 (Bytes.length c.buf) in
     if n = 0 then false
     else begin
       c.len <- n;

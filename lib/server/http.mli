@@ -35,6 +35,15 @@ type conn
 
 val conn_of_fd : ?limits:limits -> Unix.file_descr -> conn
 
+(** [conn_of_source read] builds a connection whose bytes come from
+    [read buf off len] instead of a socket ([read] returns the byte
+    count delivered; [0] means EOF; short counts are fine and normal).
+    This is the seam the property-testing IO oracles use to replay
+    recorded requests under adversarial read boundaries — randomized
+    chunking, short reads, mid-body EOF — without a socket in the
+    loop. *)
+val conn_of_source : ?limits:limits -> (Bytes.t -> int -> int -> int) -> conn
+
 (** [read_request conn] parses the next request head.  [None] means the
     peer closed the connection cleanly between requests. *)
 val read_request : conn -> request option

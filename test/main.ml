@@ -22,4 +22,7 @@ let () =
       ("migration", Test_migration.suite);
       ("service", Test_service.suite);
       ("server", Test_server.suite);
+      ("check", Test_check.suite);
+      ("http-edge", Test_http_edge.suite);
+      ("metrics", Test_metrics.suite);
     ]

@@ -197,9 +197,30 @@ let () =
             line)
         results;
 
-      (* /metrics — the scrape must reflect the traffic just generated. *)
-      let status, scrape = get port "/metrics" in
-      check (status = 200) "/metrics status %d" status;
+      (* /metrics — the scrape must reflect the traffic just generated.
+         Request counters are incremented after the response bytes are
+         written, so a scrape racing the /batch handler's epilogue can
+         be one update behind: retry briefly before declaring a miss. *)
+      let scrape_until affixes =
+        let rec go tries =
+          let status, scrape = get port "/metrics" in
+          check (status = 200) "/metrics status %d" status;
+          if List.for_all (fun affix -> contains ~affix scrape) affixes then
+            scrape
+          else if tries > 0 then begin
+            Unix.sleepf 0.05;
+            go (tries - 1)
+          end
+          else scrape
+        in
+        go 40
+      in
+      let scrape = scrape_until
+        [
+          {|etransform_http_requests_total{route="/batch",status="200"} 1|};
+          {|etransform_jobs_total{cache="hit",code="solved"} 2|};
+        ]
+      in
       List.iter
         (fun affix ->
           check (contains ~affix scrape) "/metrics missing %S" affix)

@@ -1,0 +1,135 @@
+(* The property-testing library itself: stream determinism, failure
+   reporting, greedy shrink convergence, and seed selection via
+   CHECK_SEED. *)
+
+let int_list_arb =
+  Check.arb
+    ~shrink:(Check.Shrink.list ~elt:Check.Shrink.int)
+    ~pp:(fun ppf l ->
+      Format.fprintf ppf "[%s]"
+        (String.concat ";" (List.map string_of_int l)))
+    (Check.Gen.list ~max:20 (Check.Gen.int_range 0 9))
+
+let test_determinism () =
+  let prop =
+    Check.prop "p" int_list_arb (fun _ -> Ok ())
+  in
+  let a = Check.run_one ~seed:7 prop in
+  let b = Check.run_one ~seed:7 prop in
+  Alcotest.(check string) "same seed, same stream" a.Check.stream
+    b.Check.stream;
+  Alcotest.(check bool) "stream digest is real" true (a.Check.stream <> "-");
+  let c = Check.run_one ~seed:8 prop in
+  Alcotest.(check bool) "different seed, different stream" true
+    (a.Check.stream <> c.Check.stream)
+
+let test_case_rng_isolated_from_count () =
+  (* Case [i]'s instance depends only on (seed, name, i): growing the
+     count extends the stream without disturbing its prefix, so a
+     failure index printed by a big run replays in a small one. *)
+  let seen = ref [] in
+  let remember =
+    Check.prop "q"
+      (Check.arb (Check.Gen.int_range 0 1_000_000))
+      (fun x ->
+        seen := x :: !seen;
+        Ok ())
+  in
+  ignore (Check.run_one ~seed:3 ~count:5 remember);
+  let short = List.rev !seen in
+  seen := [];
+  ignore (Check.run_one ~seed:3 ~count:10 remember);
+  let long = List.rev !seen in
+  Alcotest.(check (list int)) "prefix stable under count growth" short
+    (List.filteri (fun i _ -> i < 5) long)
+
+let test_shrink_convergence () =
+  (* sum >= 10 fails; greedy descent over list/element shrinks must
+     reach a local minimum: few elements, small sum. *)
+  let prop =
+    Check.prop ~count:200 "sum" int_list_arb (fun l ->
+        if List.fold_left ( + ) 0 l >= 10 then Error "sum too big" else Ok ())
+  in
+  let o = Check.run_one ~seed:1 prop in
+  match o.Check.failure with
+  | None -> Alcotest.fail "property should have failed"
+  | Some f ->
+      Alcotest.(check bool) "shrinking happened" true (f.Check.shrink_steps > 0);
+      let ce =
+        match f.Check.counterexample with
+        | Some s -> s
+        | None -> Alcotest.fail "no counterexample printed"
+      in
+      (* Parse back the printed list and check minimality: removing any
+         element or decrementing any element must drop the sum below
+         10, i.e. sum in [10, 10 + max element). *)
+      let items =
+        match String.trim ce with
+        | "[]" -> []
+        | s ->
+            String.sub s 1 (String.length s - 2)
+            |> String.split_on_char ';'
+            |> List.map int_of_string
+      in
+      let sum = List.fold_left ( + ) 0 items in
+      Alcotest.(check bool) "still failing" true (sum >= 10);
+      List.iter
+        (fun x ->
+          Alcotest.(check bool)
+            (Printf.sprintf "element %d is load-bearing" x)
+            true
+            (sum - x < 10))
+        items
+
+let test_failure_carries_replay_data () =
+  let prop =
+    Check.prop "always"
+      (Check.arb ~pp:(fun ppf x -> Format.fprintf ppf "%d" x)
+         (Check.Gen.int_range 0 9))
+      (fun _ -> Error "no")
+  in
+  let o = Check.run_one ~seed:42 prop in
+  match o.Check.failure with
+  | None -> Alcotest.fail "must fail"
+  | Some f ->
+      Alcotest.(check int) "seed recorded" 42 f.Check.seed;
+      Alcotest.(check int) "first case fails" 0 f.Check.case;
+      Alcotest.(check string) "reason" "no" f.Check.reason
+
+let test_check_seed_env () =
+  let prev = Sys.getenv_opt "CHECK_SEED" in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "CHECK_SEED" (Option.value prev ~default:""))
+    (fun () ->
+      Unix.putenv "CHECK_SEED" "4242";
+      Alcotest.(check int) "env seed wins" 4242 (Check.default_seed ());
+      Unix.putenv "CHECK_SEED" "not-a-number";
+      Alcotest.(check int) "garbage falls back" 0xe7ca5e
+        (Check.default_seed ()))
+
+let test_exceptions_are_failures () =
+  let prop =
+    Check.prop "raises" (Check.arb (Check.Gen.return ())) (fun () ->
+        failwith "boom")
+  in
+  let o = Check.run_one ~seed:0 prop in
+  match o.Check.failure with
+  | None -> Alcotest.fail "raising body must fail the property"
+  | Some f ->
+      Alcotest.(check bool) "reason mentions the exception" true
+        (String.length f.Check.reason > 0)
+
+let suite =
+  [
+    Alcotest.test_case "stream determinism" `Quick test_determinism;
+    Alcotest.test_case "case rng isolated from count" `Quick
+      test_case_rng_isolated_from_count;
+    Alcotest.test_case "shrink converges to local minimum" `Quick
+      test_shrink_convergence;
+    Alcotest.test_case "failure carries replay data" `Quick
+      test_failure_carries_replay_data;
+    Alcotest.test_case "CHECK_SEED env override" `Quick test_check_seed_env;
+    Alcotest.test_case "exceptions are failures" `Quick
+      test_exceptions_are_failures;
+  ]

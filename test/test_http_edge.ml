@@ -1,0 +1,129 @@
+(* Chunked-encoding corner cases over the injectable byte source — the
+   same seam the fuzz IO oracles replay through, driven here with
+   hand-picked edge inputs: the bare zero-length-chunk terminator,
+   trailers after the last chunk, chunk-size lines carrying extensions,
+   and oversized / malformed chunk headers. *)
+
+let conn_of_string ?limits s =
+  let pos = ref 0 in
+  Server.Http.conn_of_source ?limits (fun buf off len ->
+      let n = min len (String.length s - !pos) in
+      if n <= 0 then 0
+      else begin
+        Bytes.blit_string s !pos buf off n;
+        pos := !pos + n;
+        n
+      end)
+
+let chunked_request body_text =
+  "POST /batch HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n" ^ body_text
+
+let read_body ?limits body_text =
+  let conn = conn_of_string ?limits (chunked_request body_text) in
+  match Server.Http.read_request conn with
+  | None -> Alcotest.fail "no request parsed"
+  | Some req ->
+      let body = Server.Http.body_of_request conn req in
+      (conn, Server.Http.read_all body)
+
+let test_zero_length_terminator () =
+  (* A body that is ONLY the terminating zero chunk: empty, and the
+     connection is immediately reusable. *)
+  let conn, data = read_body "0\r\n\r\n" in
+  Alcotest.(check string) "empty body" "" data;
+  Alcotest.(check bool) "clean eof after body" true
+    (Server.Http.read_request conn = None)
+
+let test_trailers_after_last_chunk () =
+  let conn, data =
+    read_body "4\r\nabcd\r\n0\r\nX-Checksum: 99\r\nX-Other: t\r\n\r\n"
+  in
+  Alcotest.(check string) "body" "abcd" data;
+  (* Trailers are consumed as part of the body; a pipelined request
+     after them still parses. *)
+  Alcotest.(check bool) "eof after trailers" true
+    (Server.Http.read_request conn = None)
+
+let test_trailers_then_next_request () =
+  let text =
+    chunked_request "2\r\nhi\r\n0\r\nX-T: 1\r\n\r\n"
+    ^ "GET /healthz HTTP/1.1\r\n\r\n"
+  in
+  let conn = conn_of_string text in
+  (match Server.Http.read_request conn with
+  | Some req ->
+      let body = Server.Http.body_of_request conn req in
+      Alcotest.(check string) "first body" "hi" (Server.Http.read_all body)
+  | None -> Alcotest.fail "first request missing");
+  match Server.Http.read_request conn with
+  | Some req ->
+      Alcotest.(check string) "second path survives trailers" "/healthz"
+        req.Server.Http.path
+  | None -> Alcotest.fail "keep-alive lost after trailers"
+
+let test_chunk_size_extensions () =
+  (* Extensions after the size are ignored, with or without a value, in
+     any chunk including the last. *)
+  let _, data =
+    read_body "3;name=value\r\nabc\r\n2;flag\r\nde\r\n0;last=1\r\n\r\n"
+  in
+  Alcotest.(check string) "extensions ignored" "abcde" data
+
+let test_uppercase_hex_size () =
+  let _, data = read_body ("A\r\n0123456789\r\n0\r\n\r\n") in
+  Alcotest.(check string) "hex size, uppercase" "0123456789" data
+
+let test_oversized_chunk_header () =
+  (* A chunk-size line longer than max_request_line must be a 400, not
+     an unbounded buffer. *)
+  let limits =
+    { Server.Http.default_limits with Server.Http.max_request_line = 64 }
+  in
+  let huge = "1;" ^ String.make 500 'x' ^ "\r\nA\r\n0\r\n\r\n" in
+  match read_body ~limits huge with
+  | exception Server.Http.Bad_request _ -> ()
+  | _ -> Alcotest.fail "oversized chunk header accepted"
+
+let test_huge_chunk_size_value () =
+  (* A size over the parser's hex cap is rejected rather than wrapped
+     into a small (or negative) count. *)
+  match read_body "FFFFFFFFFFFFFFFF\r\nzz\r\n0\r\n\r\n" with
+  | exception Server.Http.Bad_request _ -> ()
+  | _ -> Alcotest.fail "64-bit chunk size accepted"
+
+let test_malformed_chunk_sizes () =
+  List.iter
+    (fun body ->
+      match read_body body with
+      | exception Server.Http.Bad_request _ -> ()
+      | _ -> Alcotest.failf "malformed chunk size %S accepted" body)
+    [ "\r\nab\r\n0\r\n\r\n";       (* empty size line *)
+      "g1\r\nab\r\n0\r\n\r\n";     (* non-hex digit *)
+      ";ext\r\nab\r\n0\r\n\r\n" ]  (* extension without a size *)
+
+let test_eof_inside_chunk () =
+  (* Torn write: the peer dies mid-chunk.  Must be a 400-class error,
+     not a hang or a partial success. *)
+  match read_body "5\r\nab" with
+  | exception Server.Http.Bad_request _ -> ()
+  | _, data -> Alcotest.failf "truncated chunk read as %S" data
+
+let suite =
+  [
+    Alcotest.test_case "zero-length chunk terminator" `Quick
+      test_zero_length_terminator;
+    Alcotest.test_case "trailers after last chunk" `Quick
+      test_trailers_after_last_chunk;
+    Alcotest.test_case "trailers then next request" `Quick
+      test_trailers_then_next_request;
+    Alcotest.test_case "chunk-size extensions" `Quick
+      test_chunk_size_extensions;
+    Alcotest.test_case "uppercase hex size" `Quick test_uppercase_hex_size;
+    Alcotest.test_case "oversized chunk header is 400" `Quick
+      test_oversized_chunk_header;
+    Alcotest.test_case "huge chunk size value is 400" `Quick
+      test_huge_chunk_size_value;
+    Alcotest.test_case "malformed chunk sizes are 400" `Quick
+      test_malformed_chunk_sizes;
+    Alcotest.test_case "eof inside chunk is 400" `Quick test_eof_inside_chunk;
+  ]

@@ -1,0 +1,110 @@
+(* Service.Metrics unit tests: histogram bucket boundary semantics
+   (values exactly on a bucket edge, the implicit +Inf bucket) and
+   counter monotonicity under concurrent observers. *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let check_line rendered line =
+  Alcotest.(check bool)
+    (Printf.sprintf "render contains %S" line)
+    true
+    (contains rendered (line ^ "\n"))
+
+let test_bucket_edges () =
+  let t = Service.Metrics.create () in
+  let obs v =
+    Service.Metrics.observe t ~buckets:[| 1.0; 2.0; 5.0 |] "h_test" v
+  in
+  (* One value strictly inside each bucket, one exactly ON each edge
+     (edges are inclusive: v <= upper bound), one beyond the last
+     bucket (only +Inf catches it). *)
+  List.iter obs [ 0.5; 1.0; 2.0; 2.5; 5.0; 7.0 ];
+  let r = Service.Metrics.render t in
+  (* Cumulative counts: le=1 gets 0.5 and the edge value 1.0; le=2 adds
+     exactly-2.0; le=5 adds 2.5 and exactly-5.0; +Inf adds 7.0. *)
+  check_line r {|h_test_bucket{le="1"} 2|};
+  check_line r {|h_test_bucket{le="2"} 3|};
+  check_line r {|h_test_bucket{le="5"} 5|};
+  check_line r {|h_test_bucket{le="+Inf"} 6|};
+  check_line r "h_test_count 6";
+  check_line r "h_test_sum 18";
+  (* The count reported through [value] is the observation count. *)
+  Alcotest.(check (option (float 1e-9))) "value = count" (Some 6.0)
+    (Service.Metrics.value t "h_test")
+
+let test_inf_bucket_only () =
+  (* Every observation above the last finite bucket lands only in +Inf:
+     finite cumulative counts stay put. *)
+  let t = Service.Metrics.create () in
+  let obs v = Service.Metrics.observe t ~buckets:[| 1.0 |] "h_over" v in
+  List.iter obs [ 10.0; 100.0; 1000.0 ];
+  let r = Service.Metrics.render t in
+  check_line r {|h_over_bucket{le="1"} 0|};
+  check_line r {|h_over_bucket{le="+Inf"} 3|};
+  check_line r "h_over_count 3"
+
+let test_histogram_labels_partition () =
+  (* Label sets get independent histograms under one metric name. *)
+  let t = Service.Metrics.create () in
+  Service.Metrics.observe t ~labels:[ ("route", "a") ] ~buckets:[| 1.0 |]
+    "h_lab" 0.5;
+  Service.Metrics.observe t ~labels:[ ("route", "b") ] ~buckets:[| 1.0 |]
+    "h_lab" 2.0;
+  let r = Service.Metrics.render t in
+  check_line r {|h_lab_bucket{route="a",le="1"} 1|};
+  check_line r {|h_lab_bucket{route="b",le="1"} 0|};
+  check_line r {|h_lab_bucket{route="b",le="+Inf"} 1|}
+
+let test_concurrent_counter_monotonic () =
+  let t = Service.Metrics.create () in
+  let threads = 8 and per_thread = 2000 in
+  let stop = Atomic.make false in
+  let violations = Atomic.make 0 in
+  (* A reader polls the counter while writers increment: every sample
+     must be >= the previous one (monotonicity is the counter
+     contract), and the final total must be exact (no lost updates). *)
+  let reader =
+    Thread.create
+      (fun () ->
+        let last = ref 0.0 in
+        while not (Atomic.get stop) do
+          (match Service.Metrics.value t "c_conc" with
+          | Some v ->
+              if v < !last then Atomic.incr violations;
+              last := v
+          | None -> ());
+          Thread.yield ()
+        done)
+      ()
+  in
+  let writers =
+    List.init threads (fun _ ->
+        Thread.create
+          (fun () ->
+            for _ = 1 to per_thread do
+              Service.Metrics.incr t "c_conc"
+            done)
+          ())
+  in
+  List.iter Thread.join writers;
+  Atomic.set stop true;
+  Thread.join reader;
+  Alcotest.(check int) "no monotonicity violations" 0 (Atomic.get violations);
+  Alcotest.(check (option (float 1e-9)))
+    "all increments counted"
+    (Some (float_of_int (threads * per_thread)))
+    (Service.Metrics.value t "c_conc")
+
+let suite =
+  [
+    Alcotest.test_case "bucket edges are inclusive" `Quick test_bucket_edges;
+    Alcotest.test_case "+Inf catches overflow only" `Quick
+      test_inf_bucket_only;
+    Alcotest.test_case "labels partition histograms" `Quick
+      test_histogram_labels_partition;
+    Alcotest.test_case "concurrent counter monotonic and exact" `Quick
+      test_concurrent_counter_monotonic;
+  ]
