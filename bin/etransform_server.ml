@@ -15,7 +15,8 @@
 
 open Cmdliner
 
-let serve port addr workers queue cache_size trace_file drain_timeout =
+let serve port addr workers queue cache_size trace_file drain_timeout
+    max_conns idle_timeout shards =
   (* A client hanging up mid-stream must end that connection quietly
      (EPIPE on its socket), not kill the whole server with SIGPIPE. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -38,8 +39,9 @@ let serve port addr workers queue cache_size trace_file drain_timeout =
   Service.Pool.with_pool ~workers ~queue_capacity:queue
     ~cache_capacity:cache_size ~trace (fun pool ->
       let server =
-        Server.Daemon.create ~addr ~port ~drain_timeout
-          ~resolve:Harness.Line_jobs.resolve ~metrics ~pool ()
+        Server.Daemon.create ~addr ~port ~drain_timeout ~max_conns
+          ~idle_timeout ~shards ~resolve:Harness.Line_jobs.resolve ~metrics
+          ~pool ()
       in
       let stop _ = Server.Daemon.request_stop server in
       Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
@@ -84,12 +86,29 @@ let drain_timeout =
        & info [ "drain-timeout" ]
            ~doc:"Seconds to let in-flight requests finish on shutdown.")
 
+let max_conns =
+  Arg.(value & opt int 4096
+       & info [ "max-conns" ]
+           ~doc:"Live-connection cap; connections beyond it answer 503.")
+
+let idle_timeout =
+  Arg.(value & opt float 30.0
+       & info [ "idle-timeout" ]
+           ~doc:"Seconds before an idle/stalled connection is evicted \
+                 (408 if no response started; 0 disables).")
+
+let shards =
+  Arg.(value & opt int 1
+       & info [ "reactor-shards" ]
+           ~doc:"Reactor readiness loops; accepted connections are \
+                 spread round-robin across them.")
+
 let () =
   let cmd =
     Cmd.v
       (Cmd.info "etransform_server" ~version:"1.0.0"
          ~doc:"serve planning jobs over HTTP (POST /solve, POST /batch)")
       Term.(const serve $ port $ addr $ workers $ queue $ cache_size
-            $ trace_file $ drain_timeout)
+            $ trace_file $ drain_timeout $ max_conns $ idle_timeout $ shards)
   in
   exit (Cmd.eval cmd)

@@ -7,12 +7,8 @@ type t = {
   resolve : Batch.resolver option;
   metrics : Metrics.t;
   limits : Http.limits;
-  drain_timeout : float;
+  reactor : Reactor.t;
   stop : bool Atomic.t;
-  m : Mutex.t;
-  mutable busy : int;  (* requests currently being processed *)
-  mutable conns : (int * Unix.file_descr) list;  (* live connections *)
-  mutable next_conn : int;
 }
 
 let now () = Unix.gettimeofday ()
@@ -45,11 +41,24 @@ let register_gauges t =
   one "etransform_cache_entries" "Plans currently cached"
     (fun () -> float_of_int (Cache.length cache));
   one "etransform_http_connections" "Open client connections"
+    (fun () -> float_of_int (Reactor.live t.reactor));
+  Metrics.gauge t.metrics "etransform_http_conn_state"
+    ~help:"Open client connections by state"
     (fun () ->
-      Mutex.lock t.m;
-      let n = List.length t.conns in
-      Mutex.unlock t.m;
-      float_of_int n)
+      let busy = Reactor.busy t.reactor in
+      let idle = max 0 (Reactor.live t.reactor - busy) in
+      [
+        ([ ("state", "busy") ], float_of_int busy);
+        ([ ("state", "idle") ], float_of_int idle);
+      ]);
+  Metrics.gauge t.metrics "etransform_reactor_buffers"
+    ~help:"Reactor buffer pool: free-listed and total created"
+    (fun () ->
+      let free, created = Reactor.pool_stats t.reactor in
+      [
+        ([ ("kind", "free") ], float_of_int free);
+        ([ ("kind", "created") ], float_of_int created);
+      ])
 
 (* -------------------------------------------------------------- routes *)
 
@@ -62,55 +71,134 @@ let error_body code reason =
   ^ "\n"
 
 (* POST /solve: one job spec in, one result line out — byte-compatible
-   with the line `etransform batch` prints for the same job. *)
-let handle_solve t fd body ~keep =
+   with the line `etransform batch` prints for the same job.  The body
+   is fully read before submission; the fiber then parks on the pool
+   ticket's completion hook instead of blocking a thread in await. *)
+let handle_solve t rc out body ~keep =
   let text = Http.read_all body in
   match Json.parse text with
   | Error msg ->
-      Http.write_response fd ~status:400 ~headers:json_headers
-        ~keep_alive:keep
+      Http.respond out ~status:400 ~headers:json_headers ~keep_alive:keep
         (error_body "invalid" ("body is not JSON: " ^ msg));
       400
   | Ok j -> (
       match Batch.job_of_json ?resolve:t.resolve j with
       | Error msg ->
-          Http.write_response fd ~status:400 ~headers:json_headers
-            ~keep_alive:keep (error_body "invalid" msg);
+          Http.respond out ~status:400 ~headers:json_headers ~keep_alive:keep
+            (error_body "invalid" msg);
           400
       | Ok job -> (
           match Pool.try_submit t.pool job with
           | None ->
               (* Queue full: shed load instead of stalling the connection
-                 (and transitively the client) on a blocking submit. *)
-              Http.write_response fd ~status:503
+                 (and transitively the reactor) on a blocking submit. *)
+              Http.respond out ~status:503
                 ~headers:(("Retry-After", "1") :: json_headers)
                 ~keep_alive:keep
                 (error_body "busy" "job queue is full; retry shortly");
               503
           | Some ticket ->
-              let r = Pool.await ticket in
-              Http.write_response fd ~status:200 ~headers:json_headers
+              let r =
+                match Pool.poll ticket with
+                | Some r -> r  (* inline pool / cache hit: no parking *)
+                | None ->
+                    Pool.on_complete ticket (fun _ -> Reactor.notify rc);
+                    let rec wait () =
+                      match Pool.poll ticket with
+                      | Some r -> r
+                      | None ->
+                          Reactor.wait_signal rc;
+                          wait ()
+                    in
+                    wait ()
+              in
+              Http.respond out ~status:200 ~headers:json_headers
                 ~keep_alive:keep
-                (Json.to_string (Batch.result_to_json r) ^ "\n");
+                (Batch.result_to_line r ^ "\n");
               200))
 
 (* POST /batch: NDJSON request body -> chunked NDJSON response, one line
-   per job in input order.  Batch.run_lines is full-duplex, so result
-   chunks go out while the request body is still arriving. *)
-let handle_batch t fd body ~keep =
+   per job in input order.  Full-duplex on a single fiber: a sliding
+   window of submitted tickets (bounded by the pool queue capacity) is
+   flushed head-first whenever a completion notify arrives — including
+   while the fiber is parked reading the request body, via the
+   [on_signal] read hook — so result chunks go out while the request is
+   still arriving. *)
+let handle_batch t rc out body ~keep =
   let ch =
-    Http.start_chunked fd ~status:200 ~headers:ndjson_headers ~keep_alive:keep
-      ()
+    Http.start_chunked_out out ~status:200 ~headers:ndjson_headers
+      ~keep_alive:keep ()
   in
-  let (_ : int * int * int) =
-    Batch.run_lines ?resolve:t.resolve t.pool
-      ~read_line:(fun () -> Http.read_line body)
-      ~write:(fun line -> Http.write_chunk ch (line ^ "\n"))
+  let window = max 1 (Pool.queue_capacity t.pool) in
+  let pending : (Pool.ticket, string) result Queue.t = Queue.create () in
+  let emit line = Http.write_chunk ch (line ^ "\n") in
+  (* Flush everything emittable from the head of the window: invalid
+     lines immediately, tickets once resolved.  In-order by
+     construction — an unresolved head blocks everything behind it. *)
+  let rec emit_ready () =
+    match Queue.peek_opt pending with
+    | Some (Error msg) ->
+        ignore (Queue.pop pending);
+        emit (Json.to_string (Batch.invalid_line msg));
+        emit_ready ()
+    | Some (Ok ticket) -> (
+        match Pool.poll ticket with
+        | Some r ->
+            ignore (Queue.pop pending);
+            emit (Batch.result_to_line r);
+            emit_ready ()
+        | None -> ())
+    | None -> ()
   in
+  Fun.protect
+    ~finally:(fun () -> Reactor.set_on_signal rc None)
+    (fun () ->
+      Reactor.set_on_signal rc (Some emit_ready);
+      let rec submit job =
+        match Pool.try_submit t.pool job with
+        | Some ticket ->
+            Pool.on_complete ticket (fun _ -> Reactor.notify rc);
+            Queue.push (Ok ticket) pending
+        | None ->
+            (* Pool queue full.  With tickets of our own in flight their
+               completions will notify us; otherwise other connections
+               own the queue — back off briefly and retry. *)
+            if Queue.is_empty pending then Reactor.sleep rc 0.005
+            else Reactor.wait_signal rc;
+            emit_ready ();
+            submit job
+      in
+      let rec main () =
+        emit_ready ();
+        if Queue.length pending >= window then begin
+          (* Window full; after [emit_ready] the head is necessarily an
+             unresolved ticket, so a notify is guaranteed. *)
+          Reactor.wait_signal rc;
+          main ()
+        end
+        else
+          match Http.read_line body with
+          | None ->
+              let rec drain_window () =
+                emit_ready ();
+                if not (Queue.is_empty pending) then begin
+                  Reactor.wait_signal rc;
+                  drain_window ()
+                end
+              in
+              drain_window ()
+          | Some line ->
+              if not (Batch.skippable line) then
+                (match Batch.job_of_line ?resolve:t.resolve line with
+                | Error msg -> Queue.push (Error msg) pending
+                | Ok job -> submit job);
+              main ()
+      in
+      main ());
   Http.finish_chunked ch;
   200
 
-let handle_healthz t fd ~keep =
+let handle_healthz t out ~keep =
   let body =
     Json.to_string
       (Json.Obj
@@ -125,46 +213,48 @@ let handle_healthz t fd ~keep =
          ])
     ^ "\n"
   in
-  Http.write_response fd ~status:200 ~headers:json_headers ~keep_alive:keep
-    body;
+  Http.respond out ~status:200 ~headers:json_headers ~keep_alive:keep body;
   200
 
-let handle_metrics t fd ~keep =
-  Http.write_response fd ~status:200
+let handle_metrics t out ~keep =
+  Http.respond out ~status:200
     ~headers:[ ("Content-Type", "text/plain; version=0.0.4") ]
     ~keep_alive:keep
     (Metrics.render t.metrics);
   200
 
 (* Dispatch one parsed request.  Returns [true] to keep the connection
-   open for the next request. *)
-let handle_request t fd conn req =
+   open for the next request.  [started] records whether response bytes
+   already left, so late error paths (408/413/400) know not to splice a
+   second head into a stream. *)
+let handle_request t rc out conn req ~started =
   let body = Http.body_of_request conn req in
   let keep = Http.keep_alive req && not (Atomic.get t.stop) in
   let route, handler =
     match (req.Http.meth, req.Http.path) with
-    | Http.POST, "/solve" -> ("/solve", fun () -> handle_solve t fd body ~keep)
-    | Http.POST, "/batch" -> ("/batch", fun () -> handle_batch t fd body ~keep)
-    | Http.GET, "/healthz" -> ("/healthz", fun () -> handle_healthz t fd ~keep)
-    | Http.GET, "/metrics" -> ("/metrics", fun () -> handle_metrics t fd ~keep)
+    | Http.POST, "/solve" ->
+        ("/solve", fun () -> handle_solve t rc out body ~keep)
+    | Http.POST, "/batch" ->
+        ("/batch", fun () -> handle_batch t rc out body ~keep)
+    | Http.GET, "/healthz" -> ("/healthz", fun () -> handle_healthz t out ~keep)
+    | Http.GET, "/metrics" -> ("/metrics", fun () -> handle_metrics t out ~keep)
     | _, ("/solve" | "/batch" | "/healthz" | "/metrics") ->
         ( req.Http.path,
           fun () ->
-            Http.write_response fd ~status:405 ~headers:json_headers
-              ~keep_alive:keep
+            Http.respond out ~status:405 ~headers:json_headers ~keep_alive:keep
               (error_body "method_not_allowed" "unsupported method");
             405 )
     | _ ->
         ( "other",
           fun () ->
-            Http.write_response fd ~status:404 ~headers:json_headers
-              ~keep_alive:keep
+            Http.respond out ~status:404 ~headers:json_headers ~keep_alive:keep
               (error_body "not_found" "unknown route");
             404 )
   in
   let t0 = now () in
   let status, keep =
     try
+      started := true;
       let status = handler () in
       (* Leftover body bytes would be parsed as the next request line;
          consume them so keep-alive stays aligned. *)
@@ -173,14 +263,14 @@ let handle_request t fd conn req =
     with
     | Http.Payload_too_large ->
         (try
-           Http.write_response fd ~status:413 ~headers:json_headers
+           Http.respond out ~status:413 ~headers:json_headers
              ~keep_alive:false
              (error_body "too_large" "request body exceeds the limit")
          with _ -> ());
         (413, false)
     | Http.Bad_request msg ->
         (try
-           Http.write_response fd ~status:400 ~headers:json_headers
+           Http.respond out ~status:400 ~headers:json_headers
              ~keep_alive:false (error_body "bad_request" msg)
          with _ -> ());
         (400, false)
@@ -193,47 +283,74 @@ let handle_request t fd conn req =
 
 (* --------------------------------------------------------- connections *)
 
-let enter_request t =
-  Mutex.lock t.m;
-  t.busy <- t.busy + 1;
-  Mutex.unlock t.m
-
-let leave_request t =
-  Mutex.lock t.m;
-  t.busy <- t.busy - 1;
-  Mutex.unlock t.m
-
-let handle_connection t fd =
-  (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
-  let conn = Http.conn_of_fd ~limits:t.limits fd in
+(* The per-connection fiber: parse requests off the reactor's byte
+   source, answer through the batched writer, loop on keep-alive.  The
+   HTTP conn and writer live for the whole connection, reusing the
+   pooled buffers and scratch space across requests. *)
+let handle_connection t rc =
+  let conn =
+    Http.conn_of_source ~limits:t.limits ~buf:(Reactor.in_buf rc)
+      (fun b off len -> Reactor.read rc b off len)
+  in
+  let out =
+    Http.out_of_sink ~buf:(Reactor.out_buf rc)
+      (fun b off len -> Reactor.write_some rc b off len)
+  in
+  let started = ref false in
   let rec loop () =
     match Http.read_request conn with
     | None -> ()
     | Some req ->
-        enter_request t;
+        started := false;
+        Reactor.set_in_request rc true;
         let keep =
           Fun.protect
-            ~finally:(fun () -> leave_request t)
-            (fun () -> handle_request t fd conn req)
+            ~finally:(fun () -> Reactor.set_in_request rc false)
+            (fun () -> handle_request t rc out conn req ~started)
         in
         if keep && not (Atomic.get t.stop) then loop ()
   in
   try loop () with
   | Http.Bad_request msg ->
       (* Unparseable request head: best-effort 400, then hang up. *)
-      (try
-         Http.write_response fd ~status:400 ~headers:json_headers
-           ~keep_alive:false (error_body "bad_request" msg)
-       with _ -> ())
+      if not !started then
+        (try
+           Http.respond out ~status:400 ~headers:json_headers
+             ~keep_alive:false (error_body "bad_request" msg)
+         with _ -> ())
   | Http.Payload_too_large -> ()
-  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) -> ()
+  | Reactor.Idle_timeout ->
+      (* Slow-loris eviction: the peer stalled past the idle limit.  If
+         no response bytes are in flight, say why before closing. *)
+      if not !started then
+        (try
+           Http.respond out ~status:408 ~headers:json_headers
+             ~keep_alive:false
+             (error_body "timeout" "connection idle too long")
+         with _ -> ())
+  | Unix.Unix_error
+      ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF | Unix.ENOTCONN), _, _) ->
+      ()
   | Sys_error _ -> ()
+
+(* A connection arriving past max-conns: answer 503 and close without
+   entering the reactor's accounting. *)
+let reject_connection fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      try
+        Http.write_response fd ~status:503
+          ~headers:(("Retry-After", "1") :: json_headers) ~keep_alive:false
+          (error_body "overloaded" "connection limit reached; retry shortly")
+      with _ -> ())
 
 (* ---------------------------------------------------------- lifecycle *)
 
 let create ?(addr = "127.0.0.1") ?(port = 0) ?(backlog = 64)
     ?(limits = Http.default_limits) ?(drain_timeout = 10.0) ?resolve
-    ?(metrics = Metrics.create ()) ~pool () =
+    ?(metrics = Metrics.create ()) ?(max_conns = 4096) ?(idle_timeout = 30.0)
+    ?(shards = 1) ~pool () =
   let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt lfd Unix.SO_REUSEADDR true;
   let inet =
@@ -250,6 +367,9 @@ let create ?(addr = "127.0.0.1") ?(port = 0) ?(backlog = 64)
     | Unix.ADDR_INET (_, p) -> p
     | _ -> port
   in
+  let reactor =
+    Reactor.create ~shards ~max_conns ~idle_timeout ~drain_timeout ()
+  in
   let t =
     {
       lfd;
@@ -258,12 +378,8 @@ let create ?(addr = "127.0.0.1") ?(port = 0) ?(backlog = 64)
       resolve;
       metrics;
       limits;
-      drain_timeout;
+      reactor;
       stop = Atomic.make false;
-      m = Mutex.create ();
-      busy = 0;
-      conns = [];
-      next_conn = 0;
     }
   in
   register_gauges t;
@@ -271,85 +387,13 @@ let create ?(addr = "127.0.0.1") ?(port = 0) ?(backlog = 64)
 
 let port t = t.port
 let metrics t = t.metrics
-let request_stop t = Atomic.set t.stop true
+
+let request_stop t =
+  Atomic.set t.stop true;
+  Reactor.request_stop t.reactor
+
 let draining t = Atomic.get t.stop
 
-let register_conn t fd =
-  Mutex.lock t.m;
-  let id = t.next_conn in
-  t.next_conn <- id + 1;
-  t.conns <- (id, fd) :: t.conns;
-  Mutex.unlock t.m;
-  id
-
-let unregister_conn t id =
-  Mutex.lock t.m;
-  t.conns <- List.filter (fun (i, _) -> i <> id) t.conns;
-  Mutex.unlock t.m
-
-let spawn_connection t fd =
-  let id = register_conn t fd in
-  ignore
-    (Thread.create
-       (fun () ->
-         Fun.protect
-           ~finally:(fun () ->
-             unregister_conn t id;
-             try Unix.close fd with _ -> ())
-           (fun () -> handle_connection t fd))
-       ())
-
-let snapshot t =
-  Mutex.lock t.m;
-  let busy = t.busy and conns = t.conns in
-  Mutex.unlock t.m;
-  (busy, conns)
-
-(* Stop accepting, then give in-flight requests up to the drain deadline
-   before force-closing what remains.  Connection threads close their
-   own sockets on the way out, so the force step only [shutdown]s to
-   unblock reads. *)
-let drain t =
-  let deadline = now () +. t.drain_timeout in
-  let rec wait_busy () =
-    let busy, _ = snapshot t in
-    if busy > 0 && now () < deadline then begin
-      Thread.delay 0.02;
-      wait_busy ()
-    end
-  in
-  wait_busy ();
-  let _, conns = snapshot t in
-  List.iter
-    (fun (_, fd) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
-    conns;
-  (* Grace period for the connection threads to observe the shutdown and
-     unwind; they own the close. *)
-  let grace = now () +. 2.0 in
-  let rec wait_conns () =
-    let _, conns = snapshot t in
-    if conns <> [] && now () < grace then begin
-      Thread.delay 0.02;
-      wait_conns ()
-    end
-  in
-  wait_conns ()
-
 let run t =
-  let rec accept_loop () =
-    if not (Atomic.get t.stop) then begin
-      (match Unix.select [ t.lfd ] [] [] 0.2 with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      | [], _, _ -> ()
-      | _ :: _, _, _ -> (
-          match Unix.accept t.lfd with
-          | exception
-              Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
-              ()
-          | fd, _addr -> spawn_connection t fd));
-      accept_loop ()
-    end
-  in
-  accept_loop ();
-  (try Unix.close t.lfd with _ -> ());
-  drain t
+  Reactor.run t.reactor ~listener:t.lfd ~reject:reject_connection
+    (fun rc -> handle_connection t rc)

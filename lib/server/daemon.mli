@@ -1,30 +1,37 @@
 (** The HTTP planning server: a long-lived front-end over
     {!Service.Pool}, turning the NDJSON batch engine into a network
-    service.  Dependency-free — Unix sockets and threads only.
+    service.  Dependency-free — Unix sockets, threads, and a poll(2)
+    stub only.
 
     Routes:
     - [POST /solve] — one {!Service.Job} JSON spec in the body; answers
       the same result line [etransform batch] would print (plus a
       trailing newline).  Replies [400] on a malformed spec, and [503]
       with [Retry-After] when the pool queue is full ({!Service.Pool.try_submit}
-      backpressure — the accept loop never blocks on a full queue).
-    - [POST /batch] — an NDJSON body streamed through
-      {!Service.Batch.run_lines}; the response is chunked, one result
-      line per job in input order, and lines start flowing while the
-      request body is still being received.
+      backpressure — the reactor never blocks on a full queue).
+    - [POST /batch] — an NDJSON body streamed through the pool with a
+      sliding window bounded by the queue capacity; the response is
+      chunked, one result line per job in input order, and lines start
+      flowing while the request body is still being received.
     - [GET /healthz] — liveness plus pool shape as a JSON object.
     - [GET /metrics] — the {!Service.Metrics} registry in Prometheus
       text format: HTTP requests by route/status, job outcomes, solve
       and queue latency histograms, live queue depth, cache
-      hits/misses, connection counts.
+      hits/misses, connection counts by state, reactor buffer-pool
+      occupancy.
 
-    One thread per connection (solves run on the pool's domains, so
-    connection threads only block on I/O and ticket waits); HTTP/1.1
-    keep-alive between requests.
+    Connections are multiplexed by the event-driven {!Reactor}: each
+    accepted socket becomes a fiber on a readiness loop, parsing
+    through per-connection pooled buffers and answering through a
+    batched writer; solves run on the pool's domains and wake the fiber
+    through the reactor's self-pipe.  HTTP/1.1 keep-alive (including
+    pipelined requests) between requests; connections idle past
+    [idle_timeout] are evicted (408 when no response was in flight);
+    connections beyond [max_conns] are answered [503] and closed.
 
-    Shutdown is graceful: {!request_stop} (signal-safe) makes {!run}
-    stop accepting, close the listener, wait up to [drain_timeout] for
-    in-flight requests to finish, then force-close stragglers. *)
+    Shutdown is graceful: {!request_stop} (signal-safe) closes the
+    listener and idle connections immediately, gives in-flight requests
+    up to [drain_timeout] seconds, then force-closes stragglers. *)
 
 type t
 
@@ -34,7 +41,12 @@ type t
     [Harness.Line_jobs.resolve]).  [metrics] defaults to a fresh
     registry; pass your own to share it with other subsystems.  The
     pool's queue depth and cache counters are registered as gauges on
-    the metrics registry here. *)
+    the metrics registry here.
+
+    Reactor shape: [max_conns] caps live connections (default 4096,
+    beyond it new connections get 503), [idle_timeout] seconds evicts
+    stalled reads/writes (default 30, [0.] disables), [shards] is the
+    number of readiness loops (default 1). *)
 val create :
   ?addr:string ->
   ?port:int ->
@@ -43,6 +55,9 @@ val create :
   ?drain_timeout:float ->
   ?resolve:Service.Batch.resolver ->
   ?metrics:Service.Metrics.t ->
+  ?max_conns:int ->
+  ?idle_timeout:float ->
+  ?shards:int ->
   pool:Service.Pool.t ->
   unit ->
   t
@@ -56,9 +71,9 @@ val metrics : t -> Service.Metrics.t
     NOT shut down — it belongs to the caller. *)
 val run : t -> unit
 
-(** Ask {!run} to stop accepting and drain.  Async-signal-safe (sets a
-    flag; the accept loop polls it), so it can be called from a
-    [SIGINT]/[SIGTERM] handler or another thread.  Idempotent. *)
+(** Ask {!run} to stop accepting and drain.  Async-signal-safe, so it
+    can be called from a [SIGINT]/[SIGTERM] handler or another thread.
+    Idempotent. *)
 val request_stop : t -> unit
 
 (** [true] once {!request_stop} was called. *)

@@ -26,13 +26,32 @@ type conn = {
   mutable pos : int;  (* next unread byte in [buf] *)
   mutable len : int;  (* valid bytes in [buf] *)
   limits : limits;
+  (* Reused across every request on the connection, so keep-alive
+     traffic allocates no fresh buffers per request.  Two scratches
+     because body-line accumulation ([read_line]) interleaves with
+     protocol-line reads (chunk size lines) on chunked bodies. *)
+  line_scratch : Buffer.t;
+  body_scratch : Buffer.t;
 }
 
-let conn_of_source ?(limits = default_limits) source =
-  { source; buf = Bytes.create 16384; pos = 0; len = 0; limits }
+let conn_of_source ?(limits = default_limits) ?buf source =
+  let buf = match buf with Some b -> b | None -> Bytes.create 16384 in
+  {
+    source;
+    buf;
+    pos = 0;
+    len = 0;
+    limits;
+    line_scratch = Buffer.create 256;
+    body_scratch = Buffer.create 1024;
+  }
 
-let conn_of_fd ?limits fd =
-  conn_of_source ?limits (fun buf off len -> Unix.read fd buf off len)
+let conn_of_fd ?limits ?buf fd =
+  conn_of_source ?limits ?buf (fun buf off len -> Unix.read fd buf off len)
+
+(* Unconsumed bytes already sitting in the connection buffer: the
+   reactor's /batch loop uses this to read ahead without suspending. *)
+let buffered c = c.pos < c.len
 
 (* Refill returns false at EOF.  A source may legitimately return short
    counts (partial TCP segments, fault-injected reads); only 0 ends the
@@ -61,7 +80,8 @@ let read_byte c =
 (* One CRLF- (or bare-LF-) terminated protocol line, terminator dropped.
    [None] only when EOF arrives before any byte. *)
 let read_crlf_line c =
-  let buf = Buffer.create 64 in
+  let buf = c.line_scratch in
+  Buffer.clear buf;
   let rec go () =
     match read_byte c with
     | None -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
@@ -246,7 +266,8 @@ and account b ch =
   Some ch
 
 let read_line b =
-  let buf = Buffer.create 128 in
+  let buf = b.bconn.body_scratch in
+  Buffer.clear buf;
   let rec go () =
     match body_byte b with
     | None -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
@@ -261,7 +282,8 @@ let read_line b =
   go ()
 
 let read_all b =
-  let buf = Buffer.create 1024 in
+  let buf = b.bconn.body_scratch in
+  Buffer.clear buf;
   let rec go () =
     match body_byte b with
     | None -> Buffer.contents buf
@@ -292,52 +314,176 @@ let status_reason = function
   | n when n >= 400 && n < 500 -> "Client Error"
   | _ -> "Error"
 
-let write_all fd s =
-  let b = Bytes.unsafe_of_string s in
-  let n = Bytes.length b in
-  let rec go off =
-    if off < n then
-      let w = Unix.write fd b off (n - off) in
-      go (off + w)
+(* An output stream over an injectable byte sink (the write-side twin of
+   [conn_of_source]): pieces accumulate in a reusable staging buffer and
+   leave in one batched write per response (or per chunk), never through
+   intermediate string concatenation.  Strings too big for the staging
+   buffer bypass it entirely — the sink reads straight out of the
+   string's own bytes (writev-style batching without the copy). *)
+type out = {
+  sink : Bytes.t -> int -> int -> int;  (* write some bytes; returns count *)
+  ob : Bytes.t;                         (* staging buffer, typically pooled *)
+  mutable olen : int;                   (* staged bytes *)
+}
+
+let out_of_sink ?buf sink =
+  let ob = match buf with Some b -> b | None -> Bytes.create 4096 in
+  { sink; ob; olen = 0 }
+
+let sink_all sink b off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n = sink b off len in
+      go (off + n) (len - n)
+    end
   in
-  go 0
+  go off len
 
-let head ~status ~headers ~keep_alive extra =
-  let buf = Buffer.create 256 in
-  Buffer.add_string buf
-    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_reason status));
-  List.iter
-    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
-    (headers @ extra);
-  Buffer.add_string buf
-    (if keep_alive then "Connection: keep-alive\r\n" else "Connection: close\r\n");
-  Buffer.add_string buf "\r\n";
-  buf
+let out_of_fd fd =
+  out_of_sink (fun buf off len -> Unix.write fd buf off len)
 
-let write_response fd ~status ?(headers = []) ?(keep_alive = true) body =
-  let buf =
-    head ~status ~headers ~keep_alive
-      [ ("Content-Length", string_of_int (String.length body)) ]
+let flush_out o =
+  if o.olen > 0 then begin
+    let n = o.olen in
+    (* Reset before writing: if the sink raises (EPIPE) the stale bytes
+       must not be replayed by a later best-effort error response. *)
+    o.olen <- 0;
+    sink_all o.sink o.ob 0 n
+  end
+
+let out_string o s =
+  let n = String.length s in
+  let cap = Bytes.length o.ob in
+  if n >= cap / 2 then begin
+    (* Large payload: drain the staging buffer, then hand the string's
+       bytes to the sink directly — no copy. *)
+    flush_out o;
+    sink_all o.sink (Bytes.unsafe_of_string s) 0 n
+  end
+  else begin
+    if o.olen + n > cap then flush_out o;
+    Bytes.blit_string s 0 o.ob o.olen n;
+    o.olen <- o.olen + n
+  end
+
+let out_char o ch =
+  if o.olen >= Bytes.length o.ob then flush_out o;
+  Bytes.set o.ob o.olen ch;
+  o.olen <- o.olen + 1
+
+(* Decimal / lowercase-hex integers without going through
+   [string_of_int] on the hot path. *)
+let out_int o n =
+  if n < 10 then out_char o (Char.chr (Char.code '0' + n))
+  else begin
+    let digits = Bytes.create 20 in
+    let rec go i n =
+      if n = 0 then i
+      else begin
+        Bytes.set digits i (Char.chr (Char.code '0' + (n mod 10)));
+        go (i - 1) (n / 10)
+      end
+    in
+    let i = go 19 n in
+    if o.olen + (19 - i) > Bytes.length o.ob then flush_out o;
+    Bytes.blit digits (i + 1) o.ob o.olen (19 - i);
+    o.olen <- o.olen + (19 - i)
+  end
+
+let out_hex o n =
+  let hexdig d = if d < 10 then Char.chr (Char.code '0' + d)
+                 else Char.chr (Char.code 'a' + d - 10) in
+  if n < 16 then out_char o (hexdig n)
+  else begin
+    let digits = Bytes.create 16 in
+    let rec go i n =
+      if n = 0 then i
+      else begin
+        Bytes.set digits i (hexdig (n land 0xf));
+        go (i - 1) (n lsr 4)
+      end
+    in
+    let i = go 15 n in
+    if o.olen + (15 - i) > Bytes.length o.ob then flush_out o;
+    Bytes.blit digits (i + 1) o.ob o.olen (15 - i);
+    o.olen <- o.olen + (15 - i)
+  end
+
+let out_head o ~status ~headers ~keep_alive extra =
+  out_string o "HTTP/1.1 ";
+  out_int o status;
+  out_char o ' ';
+  out_string o (status_reason status);
+  out_string o "\r\n";
+  let header (k, v) =
+    out_string o k;
+    out_string o ": ";
+    out_string o v;
+    out_string o "\r\n"
   in
-  Buffer.add_string buf body;
-  write_all fd (Buffer.contents buf)
+  List.iter header headers;
+  List.iter header extra;
+  out_string o
+    (if keep_alive then "Connection: keep-alive\r\n\r\n"
+     else "Connection: close\r\n\r\n");
+  ()
 
-type chunked = { cfd : Unix.file_descr; mutable finished : bool }
-
-let start_chunked fd ~status ?(headers = []) ?(keep_alive = true) () =
-  let buf =
-    head ~status ~headers ~keep_alive [ ("Transfer-Encoding", "chunked") ]
+(* Head, Content-Length and body staged together: a small response is a
+   single [write]. *)
+let respond o ~status ?(headers = []) ?(keep_alive = true) body =
+  out_string o "HTTP/1.1 ";
+  out_int o status;
+  out_char o ' ';
+  out_string o (status_reason status);
+  out_string o "\r\n";
+  let header (k, v) =
+    out_string o k;
+    out_string o ": ";
+    out_string o v;
+    out_string o "\r\n"
   in
-  write_all fd (Buffer.contents buf);
-  { cfd = fd; finished = false }
+  List.iter header headers;
+  out_string o "Content-Length: ";
+  out_int o (String.length body);
+  out_string o "\r\n";
+  out_string o
+    (if keep_alive then "Connection: keep-alive\r\n\r\n"
+     else "Connection: close\r\n\r\n");
+  out_string o body;
+  flush_out o
+
+type chunked = { co : out; mutable finished : bool }
+
+let start_chunked_out o ~status ?(headers = []) ?(keep_alive = true) () =
+  out_head o ~status ~headers ~keep_alive
+    [ ("Transfer-Encoding", "chunked") ];
+  (* The head goes out before the first chunk is produced, so clients can
+     act on the status while results are still being computed. *)
+  flush_out o;
+  { co = o; finished = false }
 
 let write_chunk c s =
-  if (not c.finished) && String.length s > 0 then
-    write_all c.cfd
-      (Printf.sprintf "%x\r\n%s\r\n" (String.length s) s)
+  if (not c.finished) && String.length s > 0 then begin
+    out_hex c.co (String.length s);
+    out_string c.co "\r\n";
+    out_string c.co s;
+    out_string c.co "\r\n";
+    (* One flush per chunk: size line + payload + CRLF leave batched, and
+       streaming consumers see each result line promptly. *)
+    flush_out c.co
+  end
 
 let finish_chunked c =
   if not c.finished then begin
     c.finished <- true;
-    write_all c.cfd "0\r\n\r\n"
+    out_string c.co "0\r\n\r\n";
+    flush_out c.co
   end
+
+(* fd-flavoured wrappers, kept for callers without a long-lived [out]
+   (tests, one-shot error responses). *)
+let write_response fd ~status ?headers ?keep_alive body =
+  respond (out_of_fd fd) ~status ?headers ?keep_alive body
+
+let start_chunked fd ~status ?headers ?keep_alive () =
+  start_chunked_out (out_of_fd fd) ~status ?headers ?keep_alive ()

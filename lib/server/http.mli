@@ -33,7 +33,9 @@ exception Payload_too_large
 (** A buffered connection (one per accepted socket). *)
 type conn
 
-val conn_of_fd : ?limits:limits -> Unix.file_descr -> conn
+(** [buf] injects the connection's read buffer — the reactor passes a
+    pooled one so accepting a connection allocates nothing. *)
+val conn_of_fd : ?limits:limits -> ?buf:Bytes.t -> Unix.file_descr -> conn
 
 (** [conn_of_source read] builds a connection whose bytes come from
     [read buf off len] instead of a socket ([read] returns the byte
@@ -41,8 +43,15 @@ val conn_of_fd : ?limits:limits -> Unix.file_descr -> conn
     This is the seam the property-testing IO oracles use to replay
     recorded requests under adversarial read boundaries — randomized
     chunking, short reads, mid-body EOF — without a socket in the
-    loop. *)
-val conn_of_source : ?limits:limits -> (Bytes.t -> int -> int -> int) -> conn
+    loop; it is also how the reactor suspends a connection fiber on
+    would-block reads. *)
+val conn_of_source :
+  ?limits:limits -> ?buf:Bytes.t -> (Bytes.t -> int -> int -> int) -> conn
+
+(** Bytes already read from the source but not yet consumed by the
+    parser — a pipelined request may be sitting there, so a readiness
+    loop must not wait on the socket while [buffered] is true. *)
+val buffered : conn -> bool
 
 (** [read_request conn] parses the next request head.  [None] means the
     peer closed the connection cleanly between requests. *)
@@ -72,9 +81,42 @@ val read_all : body -> string
     reused for the next request even when a handler answered early. *)
 val drain : body -> unit
 
-(** [write_response fd ~status body] writes a complete fixed-length
-    response.  [keep_alive] (default [true]) controls the [Connection]
-    header. *)
+(** {2 Response writing}
+
+    An output stream over an injectable byte sink — the write-side twin
+    of {!conn_of_source}.  Pieces accumulate in a reusable staging
+    buffer and leave in one batched write per response (or per chunk);
+    payloads too large for the staging buffer are handed to the sink
+    directly, without copying. *)
+type out
+
+(** [out_of_sink write] builds a stream whose bytes go to
+    [write buf off len] ([write] returns the count accepted; short
+    writes are fine).  [buf] injects the staging buffer (pooled by the
+    reactor); default 4 KiB. *)
+val out_of_sink : ?buf:Bytes.t -> (Bytes.t -> int -> int -> int) -> out
+
+val out_of_fd : Unix.file_descr -> out
+
+(** Force staged bytes out to the sink.  {!respond}, {!write_chunk} and
+    {!finish_chunked} flush themselves; explicit flushing is only needed
+    around raw {!out} reuse. *)
+val flush_out : out -> unit
+
+(** [respond o ~status body] writes a complete fixed-length response —
+    head, [Content-Length] and body staged together, so a small response
+    is a single write.  [keep_alive] (default [true]) controls the
+    [Connection] header. *)
+val respond :
+  out ->
+  status:int ->
+  ?headers:(string * string) list ->
+  ?keep_alive:bool ->
+  string ->
+  unit
+
+(** [write_response fd ~status body] is {!respond} over a throwaway
+    fd-backed stream — for tests and one-shot error paths. *)
 val write_response :
   Unix.file_descr ->
   status:int ->
@@ -84,10 +126,21 @@ val write_response :
   unit
 
 (** Chunked responses, for streams whose length is unknown up front:
-    {!start_chunked} writes the head, each {!write_chunk} one chunk
-    (empty strings are skipped — an empty chunk would terminate the
-    stream), {!finish_chunked} the final zero chunk. *)
+    {!start_chunked_out} writes and flushes the head (clients see the
+    status before the first result is computed), each {!write_chunk}
+    one chunk — size line, payload and CRLF batched into one write,
+    no intermediate strings (empty strings are skipped — an empty
+    chunk would terminate the stream), {!finish_chunked} the final
+    zero chunk. *)
 type chunked
+
+val start_chunked_out :
+  out ->
+  status:int ->
+  ?headers:(string * string) list ->
+  ?keep_alive:bool ->
+  unit ->
+  chunked
 
 val start_chunked :
   Unix.file_descr ->

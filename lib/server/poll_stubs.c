@@ -1,0 +1,178 @@
+/* poll(2) binding for the reactor's readiness loop.
+ *
+ * Unix.select caps out at FD_SETSIZE (1024) descriptors, which the
+ * 1000-connection concurrency kernel blows through once client and
+ * server fds share a process.  The interface is deliberately tiny:
+ *
+ *   etransform_poll fds events timeout_ms = revents
+ *
+ * where [events] and [revents] are bitmasks per fd: 1 = readable,
+ * 2 = writable.  Error conditions (POLLERR/POLLHUP/POLLNVAL) surface
+ * as "ready" on whatever was requested, so the waiting fiber resumes
+ * and its next read/write reports the failure through errno — the
+ * same contract select gives.  EINTR reports no fd ready (the caller
+ * just loops).
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+
+#include <errno.h>
+#include <poll.h>
+#include <stdlib.h>
+
+CAMLprim value etransform_poll(value v_fds, value v_events, value v_timeout)
+{
+    CAMLparam3(v_fds, v_events, v_timeout);
+    CAMLlocal1(v_res);
+    int n = Wosize_val(v_fds);
+    int timeout = Int_val(v_timeout);
+    struct pollfd *pfds = NULL;
+    int rc, err, i;
+
+    if (n > 0) {
+        pfds = malloc(sizeof(struct pollfd) * (size_t)n);
+        if (pfds == NULL) caml_failwith("etransform_poll: out of memory");
+        for (i = 0; i < n; i++) {
+            int ev = Int_val(Field(v_events, i));
+            pfds[i].fd = Int_val(Field(v_fds, i));
+            pfds[i].events = 0;
+            if (ev & 1) pfds[i].events |= POLLIN;
+            if (ev & 2) pfds[i].events |= POLLOUT;
+            pfds[i].revents = 0;
+        }
+    }
+
+    caml_release_runtime_system();
+    rc = poll(pfds, (nfds_t)n, timeout);
+    err = errno;
+    caml_acquire_runtime_system();
+
+    if (rc < 0 && err != EINTR) {
+        if (pfds) free(pfds);
+        caml_failwith("etransform_poll: poll failed");
+    }
+
+    v_res = caml_alloc(n, 0);
+    for (i = 0; i < n; i++) {
+        int r = 0;
+        if (rc > 0) {
+            short re = pfds[i].revents;
+            int ev = Int_val(Field(v_events, i));
+            if (re & (POLLIN | POLLERR | POLLHUP | POLLNVAL)) r |= ev & 1;
+            if (re & (POLLOUT | POLLERR | POLLHUP | POLLNVAL)) r |= ev & 2;
+            /* An error on an fd nobody asked events for still needs a
+             * wake-up bit, or the conn would never get culled. */
+            if (r == 0 && (re & (POLLERR | POLLHUP | POLLNVAL))) r = 3;
+        }
+        Store_field(v_res, i, Val_int(r));
+    }
+    if (pfds) free(pfds);
+    CAMLreturn(v_res);
+}
+
+/* ------------------------------------------------------------- epoll --
+ *
+ * Level-triggered epoll, the O(ready) upgrade over the O(registered)
+ * poll scan: interest is registered once per connection and only
+ * re-registered when it changes (rare — keep-alive connections wait
+ * for reads essentially forever), and a wait returns just the ready
+ * fds.  Event bits: 1 = readable, 2 = writable, 4 = error/hangup.
+ * On platforms without epoll the create stub raises and the reactor
+ * falls back to poll.
+ */
+
+#ifdef __linux__
+#include <sys/epoll.h>
+
+CAMLprim value etransform_epoll_create(value v_unit)
+{
+    CAMLparam1(v_unit);
+    int ep = epoll_create1(0);
+    if (ep < 0) caml_failwith("epoll_create1 failed");
+    CAMLreturn(Val_int(ep));
+}
+
+/* op: 1 = add, 2 = mod, 3 = del; mask bits: 1 = read, 2 = write. */
+CAMLprim value etransform_epoll_ctl(value v_ep, value v_op, value v_fd,
+                                    value v_mask)
+{
+    CAMLparam4(v_ep, v_op, v_fd, v_mask);
+    struct epoll_event ev;
+    int op, rc, mask = Int_val(v_mask);
+    ev.events = 0;
+    if (mask & 1) ev.events |= EPOLLIN;
+    if (mask & 2) ev.events |= EPOLLOUT;
+    ev.data.fd = Int_val(v_fd);
+    switch (Int_val(v_op)) {
+    case 1: op = EPOLL_CTL_ADD; break;
+    case 2: op = EPOLL_CTL_MOD; break;
+    default: op = EPOLL_CTL_DEL; break;
+    }
+    rc = epoll_ctl(Int_val(v_ep), op, Int_val(v_fd), &ev);
+    if (rc < 0 && !(op == EPOLL_CTL_DEL && (errno == EBADF || errno == ENOENT)))
+        caml_failwith("epoll_ctl failed");
+    CAMLreturn(Val_unit);
+}
+
+#define EPOLL_MAX_EVENTS 512
+
+/* Returns a flat int array: [fd0; bits0; fd1; bits1; ...]. */
+CAMLprim value etransform_epoll_wait(value v_ep, value v_timeout)
+{
+    CAMLparam2(v_ep, v_timeout);
+    CAMLlocal1(v_res);
+    struct epoll_event evs[EPOLL_MAX_EVENTS];
+    int ep = Int_val(v_ep);
+    int timeout = Int_val(v_timeout);
+    int rc, err, i;
+
+    caml_release_runtime_system();
+    rc = epoll_wait(ep, evs, EPOLL_MAX_EVENTS, timeout);
+    err = errno;
+    caml_acquire_runtime_system();
+
+    if (rc < 0) {
+        if (err == EINTR) rc = 0;
+        else caml_failwith("epoll_wait failed");
+    }
+    v_res = caml_alloc(2 * rc, 0);
+    for (i = 0; i < rc; i++) {
+        int bits = 0;
+        if (evs[i].events & EPOLLIN) bits |= 1;
+        if (evs[i].events & EPOLLOUT) bits |= 2;
+        if (evs[i].events & (EPOLLERR | EPOLLHUP)) bits |= 4;
+        Store_field(v_res, 2 * i, Val_int(evs[i].data.fd));
+        Store_field(v_res, (2 * i) + 1, Val_int(bits));
+    }
+    CAMLreturn(v_res);
+}
+
+#else /* !__linux__ */
+
+CAMLprim value etransform_epoll_create(value v_unit)
+{
+    CAMLparam1(v_unit);
+    caml_failwith("epoll unavailable");
+    CAMLreturn(Val_unit);
+}
+
+CAMLprim value etransform_epoll_ctl(value v_ep, value v_op, value v_fd,
+                                    value v_mask)
+{
+    CAMLparam4(v_ep, v_op, v_fd, v_mask);
+    caml_failwith("epoll unavailable");
+    CAMLreturn(Val_unit);
+}
+
+CAMLprim value etransform_epoll_wait(value v_ep, value v_timeout)
+{
+    CAMLparam2(v_ep, v_timeout);
+    caml_failwith("epoll unavailable");
+    CAMLreturn(Val_unit);
+}
+
+#endif

@@ -127,54 +127,100 @@ let job_of_line ?resolve line =
   | Error msg -> Error msg
   | Ok j -> job_of_json ?resolve j
 
-let result_to_json (r : Pool.result) =
+let result_base_fields (r : Pool.result) =
   let code =
     match r.Pool.code with
     | Pool.Solved -> "ok"
     | Pool.Degraded -> "degraded"
     | Pool.Failed -> "failed"
   in
-  let base =
-    [
-      ("id", Json.Str r.Pool.job.Job.id);
-      ("fp", Json.Str r.Pool.fingerprint);
-      ("code", Json.Str code);
-      ("cache", Json.Str (if r.Pool.cache_hit then "hit" else "miss"));
-      ("queue_s", Json.Num r.Pool.queue_s);
-      ("solve_s", Json.Num r.Pool.solve_s);
-    ]
-  in
+  [
+    ("id", Json.Str r.Pool.job.Job.id);
+    ("fp", Json.Str r.Pool.fingerprint);
+    ("code", Json.Str code);
+    ("cache", Json.Str (if r.Pool.cache_hit then "hit" else "miss"));
+    ("queue_s", Json.Num r.Pool.queue_s);
+    ("solve_s", Json.Num r.Pool.solve_s);
+  ]
+
+let result_details_fields (o : Etransform.Solver.outcome) =
+  let s = o.Solver.summary in
+  [
+    ("total", Json.Num (Evaluate.total s.Evaluate.cost));
+    ("operational", Json.Num (Evaluate.operational s.Evaluate.cost));
+    ("dcs_used", Json.Num (float_of_int s.Evaluate.dcs_used));
+    ("violations", Json.Num (float_of_int s.Evaluate.violations));
+    ("status", Json.Str (Lp.Status.to_string o.Solver.milp_status));
+    ("gap", Json.Num o.Solver.milp_gap);
+    ("nodes", Json.Num (float_of_int o.Solver.nodes));
+    ( "placement",
+      Json.List
+        (Array.to_list
+           (Array.map
+              (fun j -> Json.Num (float_of_int j))
+              o.Solver.placement.Placement.primary)) );
+  ]
+
+let result_reason_fields (r : Pool.result) =
+  match r.Pool.reason with
+  | None -> []
+  | Some m -> [ ("reason", Json.Str m) ]
+
+let result_to_json (r : Pool.result) =
   let details =
     match r.Pool.outcome with
     | None -> []
-    | Some o ->
-        let s = o.Solver.summary in
-        [
-          ("total", Json.Num (Evaluate.total s.Evaluate.cost));
-          ("operational", Json.Num (Evaluate.operational s.Evaluate.cost));
-          ("dcs_used", Json.Num (float_of_int s.Evaluate.dcs_used));
-          ("violations", Json.Num (float_of_int s.Evaluate.violations));
-          ("status", Json.Str (Lp.Status.to_string o.Solver.milp_status));
-          ("gap", Json.Num o.Solver.milp_gap);
-          ("nodes", Json.Num (float_of_int o.Solver.nodes));
-          ( "placement",
-            Json.List
-              (Array.to_list
-                 (Array.map
-                    (fun j -> Json.Num (float_of_int j))
-                    o.Solver.placement.Placement.primary)) );
-        ]
+    | Some o -> result_details_fields o
+  in
+  Json.Obj (result_base_fields r @ details @ result_reason_fields r)
+
+(* Serialized result line, the hot path for /solve and /batch answers.
+   Rendering the outcome details — the placement array above all —
+   dominates serialization cost and is byte-identical for every cache
+   hit of the same plan (the plan cache shares outcome values
+   physically), so the rendered fragment is memoized per outcome.  The
+   per-request fields (id, timings, cache bit, reason) are rendered
+   fresh each time.  Output is byte-equal to
+   [Json.to_string (result_to_json r)]. *)
+let details_memo : (Etransform.Solver.outcome * string) option Atomic.t =
+  Atomic.make None
+
+(* "{...}" -> the fields between the braces *)
+let strip_obj s = String.sub s 1 (String.length s - 2)
+
+let details_fragment o =
+  match Atomic.get details_memo with
+  | Some (o', s) when o' == o -> s
+  | _ ->
+      let s =
+        "," ^ strip_obj (Json.to_string (Json.Obj (result_details_fields o)))
+      in
+      Atomic.set details_memo (Some (o, s));
+      s
+
+let result_to_line (r : Pool.result) =
+  let details =
+    match r.Pool.outcome with None -> "" | Some o -> details_fragment o
   in
   let reason =
-    match r.Pool.reason with
-    | None -> []
-    | Some m -> [ ("reason", Json.Str m) ]
+    match result_reason_fields r with
+    | [] -> ""
+    | l -> "," ^ strip_obj (Json.to_string (Json.Obj l))
   in
-  Json.Obj (base @ details @ reason)
+  "{" ^ strip_obj (Json.to_string (Json.Obj (result_base_fields r)))
+  ^ details ^ reason ^ "}"
 
 let skippable line =
   let line = String.trim line in
   line = "" || line.[0] = '#'
+
+let invalid_line msg =
+  Json.Obj
+    [
+      ("id", Json.Str "");
+      ("code", Json.Str "invalid");
+      ("reason", Json.Str msg);
+    ]
 
 (* Parse failures must not shift the one-line-in/one-line-out alignment:
    every kept input line yields exactly one output line.
@@ -233,25 +279,20 @@ let run_lines ?resolve pool ~read_line ~write =
     Mutex.unlock m
   in
   let emit item =
-    let j =
+    let line =
       match item with
       | Error msg ->
           incr failed;
-          Json.Obj
-            [
-              ("id", Json.Str "");
-              ("code", Json.Str "invalid");
-              ("reason", Json.Str msg);
-            ]
+          Json.to_string (invalid_line msg)
       | Ok ticket ->
           let r = Pool.await ticket in
           (match r.Pool.code with
           | Pool.Solved -> incr ok
           | Pool.Degraded -> incr degraded
           | Pool.Failed -> incr failed);
-          result_to_json r
+          result_to_line r
     in
-    if not !aborted then write (Json.to_string j)
+    if not !aborted then write line
   in
   let producer_thread = Thread.create producer () in
   let write_error = ref None in

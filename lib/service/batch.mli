@@ -33,6 +33,22 @@ val job_of_line : ?resolve:resolver -> string -> (Job.t, string) result
     cost summary, solver status, and the placement vector. *)
 val result_to_json : Pool.result -> Json.t
 
+(** [result_to_line r] is [Json.to_string (result_to_json r)] byte for
+    byte, but memoizes the rendered outcome details (the placement
+    vector above all) per physically-shared outcome, so cache-hit
+    responses skip re-serializing the plan.  This is the serializer the
+    server and {!run_lines} use on their hot paths. *)
+val result_to_line : Pool.result -> string
+
+(** The result line for an unparseable input line, exactly as
+    {!run_lines} emits it — the HTTP /batch route reuses it so its
+    streams stay byte-compatible with the CLI. *)
+val invalid_line : string -> Json.t
+
+(** [true] for blank lines and [#] comments, which consume no output
+    line. *)
+val skippable : string -> bool
+
 (** [run_lines pool ~read_line ~write] streams a batch through the pool
     in full duplex: a producer thread pulls lines from [read_line]
     ([None] = end of input) and submits jobs, while the calling thread

@@ -18,6 +18,7 @@ type ticket = {
   tm : Mutex.t;
   tc : Condition.t;
   mutable res : result option;
+  mutable hooks : (result -> unit) list;
 }
 
 type task = { tjob : Job.t; submitted : float; ticket : ticket }
@@ -204,8 +205,24 @@ let run_task ~cache ~trace task =
 let resolve ticket r =
   Mutex.lock ticket.tm;
   ticket.res <- Some r;
+  let hooks = ticket.hooks in
+  ticket.hooks <- [];
   Condition.broadcast ticket.tc;
-  Mutex.unlock ticket.tm
+  Mutex.unlock ticket.tm;
+  (* Hooks run outside the ticket lock, on the resolving thread (a worker
+     domain, or the submitter for inline pools).  A hook that raises must
+     not kill the worker. *)
+  List.iter (fun f -> try f r with _ -> ()) (List.rev hooks)
+
+let on_complete ticket f =
+  Mutex.lock ticket.tm;
+  match ticket.res with
+  | Some r ->
+      Mutex.unlock ticket.tm;
+      (try f r with _ -> ())
+  | None ->
+      ticket.hooks <- f :: ticket.hooks;
+      Mutex.unlock ticket.tm
 
 let worker_loop t () =
   let rec loop () =
@@ -274,7 +291,9 @@ let queue_depth t =
   n
 
 let fresh_task job =
-  let ticket = { tm = Mutex.create (); tc = Condition.create (); res = None } in
+  let ticket =
+    { tm = Mutex.create (); tc = Condition.create (); res = None; hooks = [] }
+  in
   { tjob = job; submitted = now (); ticket }
 
 let submit t job =

@@ -79,6 +79,15 @@ val await : ticket -> result
     blocks. *)
 val poll : ticket -> result option
 
+(** [on_complete ticket f] runs [f result] once the job completes:
+    immediately (in the calling thread) when it already has, otherwise
+    from the thread that resolves the ticket — a worker domain, so [f]
+    must be quick and thread-safe.  This is the completion hook the
+    event-driven HTTP reactor uses to get woken through its self-pipe
+    instead of parking a thread in {!await}.  Hooks run outside the
+    ticket lock, in registration order; exceptions are swallowed. *)
+val on_complete : ticket -> (result -> unit) -> unit
+
 (** [run_batch t jobs] submits every job and returns results in submission
     order; also emits a ["batch"] trace summary. *)
 val run_batch : t -> Job.t list -> result list

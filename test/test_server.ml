@@ -116,11 +116,11 @@ let job_line ?(id = "j") ?(penalty = 0) () =
     {|{"id":"%s","estate":{"kind":"line","n_groups":12,"penalty":%d},"milp":{"nodes":2,"time":20}}|}
     id penalty
 
-let with_server ?(workers = 1) ?(queue = 64) f =
+let with_server ?(workers = 1) ?(queue = 64) ?max_conns ?idle_timeout f =
   Service.Pool.with_pool ~workers ~queue_capacity:queue (fun pool ->
       let server =
-        Server.Daemon.create ~port:0 ~drain_timeout:5.0
-          ~resolve:Harness.Line_jobs.resolve ~pool ()
+        Server.Daemon.create ~port:0 ~drain_timeout:5.0 ?max_conns
+          ?idle_timeout ~resolve:Harness.Line_jobs.resolve ~pool ()
       in
       let th = Thread.create Server.Daemon.run server in
       Fun.protect
@@ -325,6 +325,103 @@ let test_solve_backpressure_503 () =
       let status, _, _ = post port "/solve" (job_line ()) in
       Alcotest.(check int) "accepted once drained" 200 status)
 
+(* Two requests in one TCP segment: after answering the first, the
+   fiber must find the second already sitting in its connection buffer
+   instead of parking for a readiness event that will never come. *)
+let test_keepalive_pipelined () =
+  with_server (fun _pool server ->
+      let port = Server.Daemon.port server in
+      let fd = connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          let req id =
+            let body = job_line ~id () in
+            Printf.sprintf
+              "POST /solve HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n%s"
+              (String.length body) body
+          in
+          write_all fd (req "p1" ^ req "p2");
+          let ic = Unix.in_channel_of_descr fd in
+          let read_one expect_id =
+            let status, headers = read_head ic in
+            Alcotest.(check int) "200" 200 status;
+            let body =
+              match List.assoc_opt "content-length" headers with
+              | Some n -> really_input_string ic (int_of_string n)
+              | None -> Alcotest.fail "expected content-length"
+            in
+            match Service.Json.parse (String.trim body) with
+            | Ok j ->
+                Alcotest.(check (option string)) "id" (Some expect_id)
+                  (Option.bind (Service.Json.member "id" j)
+                     Service.Json.to_str)
+            | Error m -> Alcotest.failf "bad body: %s" m
+          in
+          read_one "p1";
+          read_one "p2"))
+
+(* Slow-loris defence: a connection stalled mid-request-head is evicted
+   at the idle deadline with a 408 (no response bytes were in flight)
+   and closed. *)
+let test_idle_timeout_evicts () =
+  with_server ~idle_timeout:0.3 (fun _pool server ->
+      let port = Server.Daemon.port server in
+      let fd = connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          write_all fd "POST /solve HTTP/1.1\r\nHost: t\r\n";
+          let ic = Unix.in_channel_of_descr fd in
+          let status, headers = read_head ic in
+          Alcotest.(check int) "408 on idle eviction" 408 status;
+          (match List.assoc_opt "content-length" headers with
+          | Some n -> ignore (really_input_string ic (int_of_string n))
+          | None -> ());
+          Alcotest.(check bool) "connection closed after 408" true
+            (match input_char ic with
+            | _ -> false
+            | exception End_of_file -> true)))
+
+(* Connections beyond --max-conns are answered 503 + Retry-After and
+   closed without ever reaching a fiber; closing the occupying
+   connection frees the slot. *)
+let test_max_conns_503 () =
+  with_server ~max_conns:1 (fun _pool server ->
+      let port = Server.Daemon.port server in
+      let fd1 = connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd1 with _ -> ())
+        (fun () ->
+          (* Occupy the only slot with a completed keep-alive request, so
+             the connection is adopted and stays live. *)
+          let body = job_line ~id:"occupant" () in
+          write_all fd1
+            (Printf.sprintf
+               "POST /solve HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n%s"
+               (String.length body) body);
+          let ic1 = Unix.in_channel_of_descr fd1 in
+          let status, headers = read_head ic1 in
+          Alcotest.(check int) "occupant 200" 200 status;
+          (match List.assoc_opt "content-length" headers with
+          | Some n -> ignore (really_input_string ic1 (int_of_string n))
+          | None -> Alcotest.fail "expected content-length");
+          let fd2 = connect port in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd2 with _ -> ())
+            (fun () ->
+              let ic2 = Unix.in_channel_of_descr fd2 in
+              let status, headers = read_head ic2 in
+              Alcotest.(check int) "over-cap conn is 503" 503 status;
+              Alcotest.(check bool) "retry-after set" true
+                (List.assoc_opt "retry-after" headers <> None)));
+      (* fd1 is closed by the Fun.protect finaliser above; give the
+         reactor a beat to cull the connection, then check the slot is
+         free again. *)
+      Unix.sleepf 0.5;
+      let status, _, _ = post port "/solve" (job_line ~id:"after" ()) in
+      Alcotest.(check int) "accepted after slot freed" 200 status)
+
 let suite =
   [
     Alcotest.test_case "http: request parsing" `Quick test_parse_request;
@@ -339,4 +436,10 @@ let suite =
       test_batch_streams_before_eof;
     Alcotest.test_case "server: /solve backpressure 503" `Slow
       test_solve_backpressure_503;
+    Alcotest.test_case "server: keep-alive pipelined requests" `Slow
+      test_keepalive_pipelined;
+    Alcotest.test_case "server: idle timeout evicts slow-loris" `Slow
+      test_idle_timeout_evicts;
+    Alcotest.test_case "server: max-conns overflow is 503" `Slow
+      test_max_conns_503;
   ]
