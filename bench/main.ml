@@ -77,6 +77,15 @@ let read_keepalive_response buf fd =
   in
   fill 0
 
+(* Last-seen node counts for the branch-and-bound kernels, keyed by
+   kernel name.  Refreshed on every run of the thunk, so after a timing
+   window the table holds the tree size of the final iteration — tree
+   searches here are deterministic, so that is THE tree size.  The JSON
+   writer emits it next to ns_per_run: a branching regression that
+   doubles the tree but hides inside wall-clock noise still shows up in
+   the recorded node counts. *)
+let tree_nodes : (string, int) Hashtbl.t = Hashtbl.create 8
+
 (* One entry per experiment family, over the kernels each experiment
    leans on.  Returned as named thunks so the same list backs both the
    Bechamel timing run and the single-shot smoke mode. *)
@@ -135,7 +144,12 @@ let kernel_thunks () =
         1.0
     done;
     let total_w = Array.fold_left ( +. ) 0.0 weight in
-    let cap = 1.12 *. total_w /. float_of_int nbins in
+    (* 2 % slack: at 12 % the root dive already lands on the optimum and
+       every strategy closes the tree in 3 nodes, which measures nothing.
+       Near-tight capacities force a real search (thousands of nodes under
+       most-fractional branching) — the regime where branching-rule and
+       node-LP costs actually show up. *)
+    let cap = 1.02 *. total_w /. float_of_int nbins in
     for b = 0 to nbins - 1 do
       Lp.Model.add_le m (Printf.sprintf "cap_%d" b)
         (Lp.Model.Linexpr.sum
@@ -264,9 +278,44 @@ let kernel_thunks () =
     { Lp.Milp.default_options with
       Lp.Milp.node_limit = 50; warm_start; workers }
   in
+  (* The gap-tree kernels time the branch-and-bound tree in isolation:
+     root heuristics are disabled (the pump and cut machinery has its own
+     kernel, federal_milp_root) so a regression here means the tree — the
+     selector, the node LPs, the queue — got slower, not that root-stage
+     policy changed. *)
   let gap_opts ?warm_start ?workers () =
     { (milp_opts ?warm_start ?workers ()) with
-      Lp.Milp.node_limit = 5000; dive_first = false }
+      Lp.Milp.node_limit = 5000; dive_first = false; pump = false;
+      root_cuts = false }
+  in
+  let tree name options model () =
+    let r = Lp.Milp.solve ~options model in
+    Hashtbl.replace tree_nodes name r.Lp.Milp.nodes
+  in
+  (* Root-node work on the real Federal estate at a bench-sized scale:
+     LP relaxation plus cut separation and the feasibility pump, no
+     tree.  This is the fixed cost every Federal study pays before
+     branching starts, and the piece whose regressions the synthetic
+     fixtures cannot see (piecewise segment binaries, big-M site
+     indicators). *)
+  let federal_root =
+    lazy
+      (let asis = Datasets.Federal.asis ~scale:0.05 () in
+       let built =
+         Etransform.Lp_builder.build
+           ~options:
+             { Etransform.Lp_builder.default_options with
+               Etransform.Lp_builder.economies_of_scale = true;
+               fixed_charges = true }
+           asis
+       in
+       built.Etransform.Lp_builder.model)
+  in
+  let federal_root_opts =
+    { Lp.Milp.default_options with
+      Lp.Milp.node_limit = 1;
+      time_limit = 30.0;
+      core = Lp.Simplex.Sparse }
   in
   [
     ( "e1_simplex_solve",
@@ -288,14 +337,28 @@ let kernel_thunks () =
           (Lp.Milp.solve ~options:(milp_opts ~workers:4 ())
              built.Etransform.Lp_builder.model) );
     ( "e1_milp_gap_tree_cold",
-      fun () ->
-        ignore (Lp.Milp.solve ~options:(gap_opts ~warm_start:false ()) gap_model)
-    );
-    ( "e1_milp_gap_tree_warm",
-      fun () -> ignore (Lp.Milp.solve ~options:(gap_opts ()) gap_model) );
+      tree "e1_milp_gap_tree_cold" (gap_opts ~warm_start:false ()) gap_model );
+    ("e1_milp_gap_tree_warm", tree "e1_milp_gap_tree_warm" (gap_opts ()) gap_model);
     ( "e1_milp_gap_tree_par4",
+      tree "e1_milp_gap_tree_par4" (gap_opts ~workers:4 ()) gap_model );
+    ( "e1_milp_pseudocost",
+      tree "e1_milp_pseudocost"
+        { (gap_opts ()) with
+          Lp.Milp.branch_strategy = Lp.Branching.Pseudocost }
+        gap_model );
+    (* Uninformed reference point for the tree kernels above: same model,
+       same budget, most-fractional selection.  The nodes field in the
+       JSON makes the pseudocost/reliability node reduction auditable
+       from a single run. *)
+    ( "e1_milp_mf_tree",
+      tree "e1_milp_mf_tree"
+        { (gap_opts ()) with
+          Lp.Milp.branch_strategy = Lp.Branching.Most_fractional }
+        gap_model );
+    ( "federal_milp_root",
       fun () ->
-        ignore (Lp.Milp.solve ~options:(gap_opts ~workers:4 ()) gap_model) );
+        tree "federal_milp_root" federal_root_opts (Lazy.force federal_root) ()
+    );
     ("e1_greedy_baseline", fun () -> ignore (Etransform.Greedy.plan fixture));
     ( "e2_backup_pools",
       fun () ->
@@ -451,10 +514,11 @@ let run_concurrency ~conns ~samples () =
 
 (* Minimal reader for the committed BENCH_kernels.json: one
    {"kernel": ..., "ns_per_run": ...} object per line, as written below.
-   Returns an empty table on malformed input rather than failing the
-   bench run. *)
+   Skip-tagged entries ("ns_per_run": null) map to [None] so the check
+   can tell "baselined as skipped" from "absent".  Returns an empty
+   table on malformed input rather than failing the bench run. *)
 let baseline_of_file path =
-  let tbl = Hashtbl.create 16 in
+  let tbl : (string, float option) Hashtbl.t = Hashtbl.create 16 in
   (try
      let ic = open_in path in
      let len = in_channel_length ic in
@@ -481,27 +545,38 @@ let baseline_of_file path =
                     match find_sub line "\"ns_per_run\": " with
                     | None -> ()
                     | Some k ->
-                        let buf = Buffer.create 24 in
-                        (try
-                           String.iter
-                             (function
-                               | ('0' .. '9' | '.' | '-' | '+' | 'e' | 'E') as c
-                                 ->
-                                   Buffer.add_char buf c
-                               | _ -> raise Exit)
-                             (String.sub line k (String.length line - k))
-                         with Exit -> ());
-                        (match float_of_string_opt (Buffer.contents buf) with
-                        | Some v -> Hashtbl.replace tbl name v
-                        | None -> ()))))
+                        if
+                          String.length line >= k + 4
+                          && String.sub line k 4 = "null"
+                        then Hashtbl.replace tbl name None
+                        else begin
+                          let buf = Buffer.create 24 in
+                          (try
+                             String.iter
+                               (function
+                                 | ('0' .. '9' | '.' | '-' | '+' | 'e' | 'E')
+                                   as c ->
+                                     Buffer.add_char buf c
+                                 | _ -> raise Exit)
+                               (String.sub line k (String.length line - k))
+                           with Exit -> ());
+                          match float_of_string_opt (Buffer.contents buf) with
+                          | Some v -> Hashtbl.replace tbl name (Some v)
+                          | None -> ()
+                        end)))
    with Sys_error _ -> ());
   tbl
 
 (* Compare fresh results against the committed baseline; more than
    [tolerance] percent slower (default 25) on any kernel fails the run.
-   Missing or new kernels are reported but do not fail, so the guard
-   stays usable while kernels are added. *)
-let check_regressions ?(tolerance = 25.0) ~path results =
+   New kernels (no baseline entry) are reported but do not fail, so the
+   guard stays usable while kernels are added.  The reverse is a hard
+   failure: a baselined kernel that the run never measured — deleted,
+   renamed, or crashed out of the thunk list — would otherwise rot the
+   baseline silently.  Skip-tagged entries pass on both sides: a null
+   baseline gates nothing, and a kernel skipped this run (oversubscribed
+   workers) is exempt from the missing-kernel check. *)
+let check_regressions ?(tolerance = 25.0) ~path ~skipped results =
   let baseline = baseline_of_file path in
   if Hashtbl.length baseline = 0 then begin
     Printf.printf "check: no baseline entries in %s; skipping\n%!" path;
@@ -513,7 +588,7 @@ let check_regressions ?(tolerance = 25.0) ~path results =
       (fun (name, t) ->
         match Hashtbl.find_opt baseline name with
         | None -> Printf.printf "check: %s has no baseline entry\n%!" name
-        | Some b when b > 0.0 && not (Float.is_nan t) ->
+        | Some (Some b) when b > 0.0 && not (Float.is_nan t) ->
             if t > (1.0 +. (tolerance /. 100.0)) *. b then begin
               ok := false;
               Printf.printf "check: REGRESSION %s: %.2f -> %.2f ns (%+.0f%%)\n%!"
@@ -521,6 +596,31 @@ let check_regressions ?(tolerance = 25.0) ~path results =
             end
         | Some _ -> ())
       results;
+    Hashtbl.iter
+      (fun name baseline_ns ->
+        let measured = List.mem_assoc name results in
+        let skipped_now =
+          List.exists (fun s -> "kernels/" ^ s = name) skipped
+        in
+        (* Under a BENCH_KERNELS filter deselected kernels are knowingly
+           absent; only a selected kernel can go missing by accident. *)
+        let deselected =
+          match String.index_opt name '/' with
+          | Some i ->
+              not
+                (kernel_selected
+                   (String.sub name (i + 1) (String.length name - i - 1)))
+          | None -> false
+        in
+        if
+          baseline_ns <> None && (not measured) && (not skipped_now)
+          && not deselected
+        then begin
+          ok := false;
+          Printf.printf "check: MISSING %s: in baseline but not measured\n%!"
+            name
+        end)
+      baseline;
     if !ok then
       Printf.printf "check: all kernels within %g%% of %s\n%!" tolerance path;
     !ok
@@ -600,7 +700,10 @@ let run_kernels ?(json = false) ?check ?tolerance () =
   let passed =
     match check with
     | None -> true
-    | Some path -> check_regressions ?tolerance ~path results
+    | Some path ->
+        check_regressions ?tolerance ~path
+          ~skipped:(List.map fst skipped)
+          results
   in
   if json then begin
     (* Machine-readable mirror of the table, so the perf trajectory can be
@@ -609,11 +712,25 @@ let run_kernels ?(json = false) ?check ?tolerance () =
        slowdown but readers still see they exist. *)
     let path = "BENCH_kernels.json" in
     let extras name =
-      match (name, conc) with
-      | "kernels/service_http_concurrency", Some (_, p99) ->
-          Printf.sprintf ", \"p99_ns\": %.2f, \"connections\": %d" p99
-            concurrency_conns
-      | _ -> ""
+      let conc_extra =
+        match (name, conc) with
+        | "kernels/service_http_concurrency", Some (_, p99) ->
+            Printf.sprintf ", \"p99_ns\": %.2f, \"connections\": %d" p99
+              concurrency_conns
+        | _ -> ""
+      in
+      let nodes_extra =
+        match String.index_opt name '/' with
+        | Some i -> (
+            match
+              Hashtbl.find_opt tree_nodes
+                (String.sub name (i + 1) (String.length name - i - 1))
+            with
+            | Some n -> Printf.sprintf ", \"nodes\": %d" n
+            | None -> "")
+        | None -> ""
+      in
+      conc_extra ^ nodes_extra
     in
     let entries =
       List.map

@@ -135,6 +135,7 @@ let datasets_cmd_run verbose =
    line, one result line per job on stdout, in input order. *)
 let batch_cmd_run verbose input workers queue cache_size trace_file =
   setup_logs verbose;
+  let workers = Service.Pool.clamp_workers ~what:"etransform batch" workers in
   (* `etransform batch ... | head` must end the stream cleanly when the
      consumer hangs up: ignore SIGPIPE so the write fails with EPIPE
      (surfaced as Sys_error "Broken pipe"), which Batch.run re-raises

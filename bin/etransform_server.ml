@@ -20,6 +20,7 @@ let serve port addr workers queue cache_size trace_file drain_timeout
   (* A client hanging up mid-stream must end that connection quietly
      (EPIPE on its socket), not kill the whole server with SIGPIPE. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let workers = Service.Pool.clamp_workers ~what:"etransform_server" workers in
   let trace_out, close_trace =
     match trace_file with
     | None -> (Service.Trace.null, fun () -> ())

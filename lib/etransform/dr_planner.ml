@@ -284,11 +284,30 @@ let plan ?(options = default_options) asis =
             failwith
               "Dr_planner.plan: could not fit backup pools; raise capacity"
     end
-    else
-      finish
-        ~secondary:(decode_secondary asis primary y r.Lp.Milp.x)
-        ~status:r.Lp.Milp.status
-        ~gap:(if Float.is_nan r.Lp.Milp.gap then 1.0 else r.Lp.Milp.gap)
+    else begin
+      let gap = if Float.is_nan r.Lp.Milp.gap then 1.0 else r.Lp.Milp.gap in
+      let milp_out =
+        finish
+          ~secondary:(decode_secondary asis primary y r.Lp.Milp.x)
+          ~status:r.Lp.Milp.status ~gap
+      in
+      (* Same insurance as Solver.consolidate: a heuristic incumbent the
+         tree never had time to improve can lose to the greedy secondary
+         assignment that no-incumbent runs would have used.  While the gap
+         is loose, finish both and keep the cheaper plan. *)
+      if gap <= 0.05 then milp_out
+      else
+        match greedy_secondary asis primary with
+        | Some secondary ->
+            let greedy_out =
+              finish ~secondary ~status:r.Lp.Milp.status ~gap
+            in
+            let total out =
+              Evaluate.total out.Solver.summary.Evaluate.cost
+            in
+            if total greedy_out < total milp_out then greedy_out else milp_out
+        | None -> milp_out
+    end
   in
   attempt ~candidates:options.secondary_candidates options.reserve 3
 

@@ -40,10 +40,19 @@ let default_milp_options =
    candidate with room, breaking ties toward cheaper assignments — the
    classic generalized-assignment rounding, which keeps the LP's global
    view of latency and capacity trade-offs. *)
-let lp_round ~core asis (built : Lp_builder.built) =
-  let relax = Lp.Milp.relax ~core built.Lp_builder.model in
-  if relax.Lp.Simplex.status <> Lp.Status.Optimal then None
-  else begin
+let lp_round ?(relax_x = [||]) ~core asis (built : Lp_builder.built) =
+  let relax_x =
+    (* The MILP already solved the root relaxation; only re-solve when the
+       caller has no point to hand over (e.g. the root LP never finished). *)
+    if Array.length relax_x > 0 then Some relax_x
+    else
+      let relax = Lp.Milp.relax ~core built.Lp_builder.model in
+      if relax.Lp.Simplex.status <> Lp.Status.Optimal then None
+      else Some relax.Lp.Simplex.x
+  in
+  match relax_x with
+  | None -> None
+  | Some relax_x ->
     let m = Asis.num_groups asis and n = Asis.num_targets asis in
     let order = Array.init m Fun.id in
     Array.sort
@@ -63,7 +72,7 @@ let lp_round ~core asis (built : Lp_builder.built) =
                  match built.Lp_builder.x.(i).(j) with
                  | None -> None
                  | Some v ->
-                     let value = relax.Lp.Simplex.x.(v.Lp.Model.id) in
+                     let value = relax_x.(v.Lp.Model.id) in
                      let cost =
                        Cost_model.assign_cost asis ~group:i asis.Asis.targets.(j)
                      in
@@ -84,7 +93,6 @@ let lp_round ~core asis (built : Lp_builder.built) =
         | None -> ok := false)
       order;
     if !ok then Some (Placement.non_dr primary) else None
-  end
 
 let consolidate ?(builder = Lp_builder.default_options)
     ?(milp = default_milp_options) ?(local_search = true) asis =
@@ -103,7 +111,9 @@ let consolidate ?(builder = Lp_builder.default_options)
       Log.warn (fun f ->
           f "MILP returned %s with no incumbent; rounding the LP relaxation"
             (Lp.Status.to_string r.Lp.Milp.status));
-      match lp_round ~core:milp.Lp.Milp.core asis built with
+      match
+        lp_round ~relax_x:r.Lp.Milp.relax_x ~core:milp.Lp.Milp.core asis built
+      with
       | Some p -> p
       | None -> Greedy.plan asis
     end
@@ -117,7 +127,7 @@ let consolidate ?(builder = Lp_builder.default_options)
       (not (Hashtbl.mem banned (i, j)))
       && match Hashtbl.find_opt pinned i with None -> true | Some j' -> j = j'
   in
-  let placement, moves =
+  let polish placement =
     if local_search then begin
       (* Swap moves are quadratic in groups; keep them for small estates. *)
       let swaps = Asis.num_groups asis <= 220 in
@@ -125,6 +135,28 @@ let consolidate ?(builder = Lp_builder.default_options)
         asis placement
     end
     else (placement, 0)
+  in
+  let cost p = Evaluate.total (Evaluate.plan asis p).Evaluate.cost in
+  let placement, moves = polish placement in
+  (* An early heuristic incumbent is progress for the gap report, but a
+     budget-starved tree can stop at one the old no-incumbent rounding
+     fallback would have beaten.  While the proven gap stays loose, polish
+     the rounded relaxation as a full peer candidate and keep the cheaper
+     plan — the incumbent may add information, never cost plan quality. *)
+  let placement, moves =
+    if
+      Array.length r.Lp.Milp.x > 0
+      && (Float.is_nan r.Lp.Milp.gap || r.Lp.Milp.gap > 0.05)
+    then
+      match
+        lp_round ~relax_x:r.Lp.Milp.relax_x ~core:milp.Lp.Milp.core asis built
+      with
+      | Some rounded when Placement.validate asis rounded = [] ->
+          let rounded, rmoves = polish rounded in
+          if cost rounded < cost placement then (rounded, rmoves)
+          else (placement, moves)
+      | _ -> (placement, moves)
+    else (placement, moves)
   in
   (* When no side constraints restrict the plan, keep the better of the
      engine's plan and the polished greedy plan — a cheap insurance against
@@ -142,7 +174,6 @@ let consolidate ?(builder = Lp_builder.default_options)
               Local_search.improve ~swaps:false ~max_rounds:2 asis g
             else (g, 0)
           in
-          let cost p = Evaluate.total (Evaluate.plan asis p).Evaluate.cost in
           if Placement.validate asis g = [] && cost g < cost placement then g
           else placement
       | exception Failure _ -> placement

@@ -179,6 +179,32 @@ let milp_config_equivalence spec =
       ("no-dive", { base with Lp.Milp.dive_first = false });
       ("workers2", { base with Lp.Milp.workers = 2 });
     ]
+    (* Full branching matrix: every selection strategy crossed with the
+       root heuristics on and off.  The optimum must not depend on how
+       the tree picks variables, whether the pump seeds an incumbent, or
+       whether cut rounds tighten the root — only the node counts may
+       differ.  This is the oracle that catches an unsound cut (cuts off
+       an integer point: some matrix cell finds a worse "optimum") or a
+       pump/dive point accepted without being feasible (some cell finds
+       a better one). *)
+    @ List.concat_map
+        (fun (bname, strat) ->
+          List.concat_map
+            (fun pump ->
+              List.map
+                (fun root_cuts ->
+                  ( Printf.sprintf "%s%s%s" bname
+                      (if pump then "+pump" else "-pump")
+                      (if root_cuts then "+cuts" else "-cuts"),
+                    { base with Lp.Milp.branch_strategy = strat; pump; root_cuts }
+                  ))
+                [ true; false ])
+            [ true; false ])
+        [
+          ("mf", Lp.Branching.Most_fractional);
+          ("pseudo", Lp.Branching.Pseudocost);
+          ("rel", Lp.Branching.Reliability);
+        ]
   in
   let results =
     List.map

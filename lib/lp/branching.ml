@@ -1,0 +1,155 @@
+type strategy = Most_fractional | Pseudocost | Reliability
+
+let strategy_to_string = function
+  | Most_fractional -> "most-fractional"
+  | Pseudocost -> "pseudocost"
+  | Reliability -> "reliability"
+
+let strategy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "most-fractional" | "most_fractional" | "mf" -> Some Most_fractional
+  | "pseudocost" | "pc" -> Some Pseudocost
+  | "reliability" | "rel" -> Some Reliability
+  | _ -> None
+
+type t = {
+  strategy : strategy;
+  sb_nvars : int;
+  sb_nsteps : int;
+  down : float array;  (* running mean per-unit degradation, down branch *)
+  up : float array;
+  ndown : int array;
+  nup : int array;
+  mutable nobs : int;
+}
+
+let reliability_threshold = 4
+let infeasible_degradation = 1e10
+
+let create ~nvars ~strategy ~sb_nvars ~sb_nsteps =
+  {
+    strategy;
+    sb_nvars = max 0 sb_nvars;
+    sb_nsteps = max 0 sb_nsteps;
+    down = Array.make nvars 0.0;
+    up = Array.make nvars 0.0;
+    ndown = Array.make nvars 0;
+    nup = Array.make nvars 0;
+    nobs = 0;
+  }
+
+let observe t ~var ~up ~frac ~degradation =
+  let dist = if up then 1.0 -. frac else frac in
+  if dist > 1e-9 && Float.is_finite degradation then begin
+    let per_unit =
+      Float.min infeasible_degradation (Float.max 0.0 degradation /. dist)
+    in
+    let a, n = if up then (t.up, t.nup) else (t.down, t.ndown) in
+    let k = n.(var) in
+    a.(var) <- ((a.(var) *. float_of_int k) +. per_unit) /. float_of_int (k + 1);
+    n.(var) <- k + 1;
+    t.nobs <- t.nobs + 1
+  end
+
+let most_fractional int_ids tol x =
+  let best = ref (-1) and score = ref tol in
+  List.iter
+    (fun j ->
+      let f = x.(j) -. Float.floor x.(j) in
+      let dist = Float.min f (1.0 -. f) in
+      if dist > !score then begin
+        score := dist;
+        best := j
+      end)
+    int_ids;
+  !best
+
+(* Fractional candidates as (id, frac, distance-to-integer), most
+   fractional first so probe budgets go to the most promising ones. *)
+let candidates int_ids tol x =
+  List.filter_map
+    (fun j ->
+      let f = x.(j) -. Float.floor x.(j) in
+      let dist = Float.min f (1.0 -. f) in
+      if dist > tol then Some (j, f, dist) else None)
+    int_ids
+  |> List.sort (fun (i, _, da) (j, _, db) ->
+         match compare db da with 0 -> compare i j | c -> c)
+
+let select t ~int_ids ~tol ~x ~nodes ~probe =
+  match candidates int_ids tol x with
+  | [] -> -1
+  | cands -> (
+      match t.strategy with
+      | Most_fractional ->
+          let j, _, _ = List.hd cands in
+          (* candidates are sorted by distance; [most_fractional] keeps the
+             first maximum, which the id tie-break above reproduces. *)
+          j
+      | Pseudocost | Reliability ->
+          let unreliable j =
+            match t.strategy with
+            | Pseudocost -> nodes < t.sb_nsteps
+            | Reliability ->
+                min t.ndown.(j) t.nup.(j) < reliability_threshold
+            | Most_fractional -> false
+          in
+          (* Strong-branching warmup: probe the most fractional unreliable
+             candidates and fold the observed degradations in. *)
+          let budget = ref t.sb_nvars in
+          List.iter
+            (fun (j, f, _) ->
+              if !budget > 0 && unreliable j then begin
+                decr budget;
+                let dn, up = probe j x.(j) in
+                (match dn with
+                | Some d -> observe t ~var:j ~up:false ~frac:f ~degradation:d
+                | None -> ());
+                match up with
+                | Some d -> observe t ~var:j ~up:true ~frac:f ~degradation:d
+                | None -> ()
+              end)
+            cands;
+          if t.nobs = 0 then
+            let j, _, _ = List.hd cands in
+            j
+          else begin
+            (* Global mean per-unit degradations stand in for variables
+               without their own history yet. *)
+            let gsum = ref 0.0 and gn = ref 0 in
+            Array.iteri
+              (fun j n ->
+                if n > 0 then begin
+                  gsum := !gsum +. t.down.(j);
+                  incr gn
+                end)
+              t.ndown;
+            Array.iteri
+              (fun j n ->
+                if n > 0 then begin
+                  gsum := !gsum +. t.up.(j);
+                  incr gn
+                end)
+              t.nup;
+            let gmean = if !gn > 0 then !gsum /. float_of_int !gn else 1.0 in
+            let eps = 1e-6 in
+            let best = ref (-1) and best_score = ref neg_infinity
+            and best_dist = ref 0.0 in
+            List.iter
+              (fun (j, f, dist) ->
+                let dn = if t.ndown.(j) > 0 then t.down.(j) else gmean in
+                let up = if t.nup.(j) > 0 then t.up.(j) else gmean in
+                let score =
+                  Float.max eps (dn *. f) *. Float.max eps (up *. (1.0 -. f))
+                in
+                if
+                  score > !best_score +. 1e-12
+                  || (score > !best_score -. 1e-12 && dist > !best_dist +. 1e-12)
+                then begin
+                  best := j;
+                  best_score := score;
+                  best_dist := dist
+                end)
+              cands;
+            !best
+          end)

@@ -1,0 +1,539 @@
+(* Root cutting planes.  See cuts.mli for the overview; the geometry
+   below leans on the frame layout shared by both simplex engines:
+   structural columns 0..n-1, then one slack column per inequality row
+   assigned in row order (coefficient +1 for Le, -1 for Ge), then one
+   pinned artificial per row. *)
+
+type stats = { gomory : int; cover : int; rounds : int }
+
+let total s = s.gomory + s.cover
+
+let apply (input : Simplex.input) cuts =
+  let base = Array.length input.Simplex.rows in
+  let input' =
+    { input with
+      Simplex.rows = Array.append input.Simplex.rows (Array.of_list cuts) }
+  in
+  let undo (r : Simplex.result) =
+    if Array.length r.Simplex.duals <= base then r
+    else
+      { r with
+        Simplex.duals = Array.sub r.Simplex.duals 0 base;
+        basis = None }
+  in
+  (input', undo)
+
+(* ---------- dense LU over the basis transpose ---------- *)
+
+(* Factor M (row-major m*m) in place with partial pivoting; returns the
+   row permutation, or None when a pivot collapses (singular basis as
+   seen through this dense lens: bail out of Gomory separation). *)
+let lu_factor m a =
+  let perm = Array.init m (fun i -> i) in
+  let ok = ref true in
+  (try
+     for k = 0 to m - 1 do
+       let piv = ref k and pmax = ref (Float.abs a.((k * m) + k)) in
+       for i = k + 1 to m - 1 do
+         let v = Float.abs a.((i * m) + k) in
+         if v > !pmax then begin
+           pmax := v;
+           piv := i
+         end
+       done;
+       if !pmax < 1e-11 then begin
+         ok := false;
+         raise Exit
+       end;
+       if !piv <> k then begin
+         let tmp = perm.(k) in
+         perm.(k) <- perm.(!piv);
+         perm.(!piv) <- tmp;
+         for j = 0 to m - 1 do
+           let t = a.((k * m) + j) in
+           a.((k * m) + j) <- a.((!piv * m) + j);
+           a.((!piv * m) + j) <- t
+         done
+       end;
+       let d = a.((k * m) + k) in
+       for i = k + 1 to m - 1 do
+         let f = a.((i * m) + k) /. d in
+         if f <> 0.0 then begin
+           a.((i * m) + k) <- f;
+           for j = k + 1 to m - 1 do
+             a.((i * m) + j) <- a.((i * m) + j) -. (f *. a.((k * m) + j))
+           done
+         end
+         else a.((i * m) + k) <- 0.0
+       done
+     done
+   with Exit -> ());
+  if !ok then Some perm else None
+
+(* Solve M w = e_r given the in-place LU and permutation. *)
+let lu_solve_unit m a perm r =
+  let w = Array.make m 0.0 in
+  for i = 0 to m - 1 do
+    w.(i) <- (if perm.(i) = r then 1.0 else 0.0)
+  done;
+  for i = 0 to m - 1 do
+    let s = ref w.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (a.((i * m) + j) *. w.(j))
+    done;
+    w.(i) <- !s
+  done;
+  for i = m - 1 downto 0 do
+    let s = ref w.(i) in
+    for j = i + 1 to m - 1 do
+      s := !s -. (a.((i * m) + j) *. w.(j))
+    done;
+    w.(i) <- !s /. a.((i * m) + i)
+  done;
+  w
+
+(* ---------- Gomory mixed-integer cuts ---------- *)
+
+let near_integral v = Float.abs (v -. Float.round v) <= 1e-9
+
+let gomory_cuts ~integer ~int_tol (input : Simplex.input)
+    (r : Simplex.result) ~max_cuts =
+  match r.Simplex.basis with
+  | None -> []
+  | Some b ->
+      let rows = input.Simplex.rows in
+      let m = Array.length rows and n = input.Simplex.nvars in
+      (* Mirror the frame's slack layout. *)
+      let slack_col = Array.make m (-1) in
+      let srow = ref [] in
+      let next = ref n in
+      Array.iteri
+        (fun i (_, s, _) ->
+          match s with
+          | Model.Eq -> ()
+          | Model.Le | Model.Ge ->
+              slack_col.(i) <- !next;
+              srow := (!next, i) :: !srow;
+              incr next)
+        rows;
+      let art0 = !next in
+      let row_of_slack = Hashtbl.create 16 in
+      List.iter (fun (c, i) -> Hashtbl.add row_of_slack c i) !srow;
+      let sigma i =
+        match rows.(i) with _, Model.Le, _ -> 1.0 | _ -> -1.0
+      in
+      if
+        m = 0
+        || Array.length b.Simplex.vbasis <> m
+        || Array.exists (fun c -> c < 0 || c >= art0) b.Simplex.vbasis
+      then []
+      else begin
+        (* pos.(j) = basis row of structural j, or -1. *)
+        let pos = Array.make n (-1) in
+        Array.iteri
+          (fun i c -> if c < n then pos.(c) <- i)
+          b.Simplex.vbasis;
+        (* M = Bᵀ: M.(i*m+k) = entry of basis column i at row k. *)
+        let mt = Array.make (m * m) 0.0 in
+        Array.iteri
+          (fun k (terms, _, _) ->
+            Array.iter
+              (fun (j, c) ->
+                if j < n && pos.(j) >= 0 then
+                  mt.((pos.(j) * m) + k) <- mt.((pos.(j) * m) + k) +. c)
+              terms)
+          rows;
+        Array.iteri
+          (fun i c ->
+            if c >= n && c < art0 then
+              let k = Hashtbl.find row_of_slack c in
+              mt.((i * m) + k) <- mt.((i * m) + k) +. sigma k)
+          b.Simplex.vbasis;
+        match lu_factor m mt with
+        | None -> []
+        | Some perm ->
+            let rhs = Array.map (fun (_, _, v) -> v) rows in
+            (* Candidate tableau rows: basic structural integer variable
+               with a decently interior fractional part. *)
+            let cands = ref [] in
+            Array.iteri
+              (fun i c ->
+                if c < n && integer.(c) then begin
+                  let xv = r.Simplex.x.(c) in
+                  let f = xv -. Float.floor xv in
+                  let dist = Float.min f (1.0 -. f) in
+                  if dist > Float.max 0.005 int_tol then
+                    cands := (i, c, dist) :: !cands
+                end)
+              b.Simplex.vbasis;
+            let cands =
+              List.sort
+                (fun (_, a, da) (_, b, db) ->
+                  match compare db da with 0 -> compare a b | c -> c)
+                !cands
+            in
+            let cuts = ref [] and ncuts = ref 0 in
+            List.iter
+              (fun (ri, jb, _) ->
+                if !ncuts < max_cuts then begin
+                  let w = lu_solve_unit m mt perm ri in
+                  (* Tableau row over all columns: abar_j = w · A_j. *)
+                  let abar = Array.make art0 0.0 in
+                  Array.iteri
+                    (fun k (terms, _, _) ->
+                      let wk = w.(k) in
+                      if Float.abs wk > 1e-13 then
+                        Array.iter
+                          (fun (j, c) -> abar.(j) <- abar.(j) +. (wk *. c))
+                          terms)
+                    rows;
+                  for k = 0 to m - 1 do
+                    if slack_col.(k) >= 0 then
+                      abar.(slack_col.(k)) <- w.(k) *. sigma k
+                  done;
+                  let beta = ref 0.0 in
+                  for k = 0 to m - 1 do
+                    beta := !beta +. (w.(k) *. rhs.(k))
+                  done;
+                  (* Shift nonbasics to their active bound; track the
+                     resulting basic-variable value as a numeric check. *)
+                  let ok = ref true in
+                  let shifted = ref !beta in
+                  for j = 0 to art0 - 1 do
+                    match b.Simplex.vstat.(j) with
+                    | Simplex.Basic -> ()
+                    | Simplex.At_lower ->
+                        let l =
+                          if j < n then input.Simplex.lo.(j) else 0.0
+                        in
+                        shifted := !shifted -. (abar.(j) *. l)
+                    | Simplex.At_upper ->
+                        let u =
+                          if j < n then input.Simplex.hi.(j) else infinity
+                        in
+                        if u = infinity then ok := false
+                        else shifted := !shifted -. (abar.(j) *. u)
+                    | Simplex.Free_nb ->
+                        if Float.abs abar.(j) > 1e-7 then ok := false
+                  done;
+                  let xb = r.Simplex.x.(jb) in
+                  if
+                    !ok
+                    && Float.abs (!shifted -. xb)
+                       <= 1e-6 *. (1.0 +. Float.abs xb)
+                  then begin
+                    let f0 = !shifted -. Float.floor !shifted in
+                    if f0 > 0.005 && f0 < 0.995 then begin
+                      (* GMI over the shifted nonbasics t_j >= 0. *)
+                      let coef = Array.make n 0.0 in
+                      let cut_rhs = ref 1.0 in
+                      let add_term j gamma =
+                        if Float.abs gamma > 1e-12 then begin
+                          match b.Simplex.vstat.(j) with
+                          | Simplex.At_lower ->
+                              if j < n then begin
+                                coef.(j) <- coef.(j) +. gamma;
+                                cut_rhs :=
+                                  !cut_rhs +. (gamma *. input.Simplex.lo.(j))
+                              end
+                              else begin
+                                (* slack at lower (0): substitute
+                                   s = sigma * (rhs_k - row_k . x). *)
+                                let k = Hashtbl.find row_of_slack j in
+                                let sg = sigma k in
+                                let terms, _, rk = rows.(k) in
+                                Array.iter
+                                  (fun (jj, c) ->
+                                    coef.(jj) <-
+                                      coef.(jj) -. (gamma *. sg *. c))
+                                  terms;
+                                cut_rhs := !cut_rhs -. (gamma *. sg *. rk)
+                              end
+                          | Simplex.At_upper ->
+                              (* slacks have no finite upper bound, so
+                                 only structurals land here *)
+                              coef.(j) <- coef.(j) -. gamma;
+                              cut_rhs :=
+                                !cut_rhs -. (gamma *. input.Simplex.hi.(j))
+                          | Simplex.Basic | Simplex.Free_nb -> ()
+                        end
+                      in
+                      for j = 0 to art0 - 1 do
+                        match b.Simplex.vstat.(j) with
+                        | Simplex.Basic | Simplex.Free_nb -> ()
+                        | Simplex.At_lower | Simplex.At_upper ->
+                            let c =
+                              match b.Simplex.vstat.(j) with
+                              | Simplex.At_upper -> -.abar.(j)
+                              | _ -> abar.(j)
+                            in
+                            let int_shift =
+                              j < n && integer.(j)
+                              &&
+                              match b.Simplex.vstat.(j) with
+                              | Simplex.At_lower ->
+                                  near_integral input.Simplex.lo.(j)
+                              | _ -> near_integral input.Simplex.hi.(j)
+                            in
+                            let gamma =
+                              if int_shift then begin
+                                let fj = c -. Float.floor c in
+                                if fj <= f0 then fj /. f0
+                                else (1.0 -. fj) /. (1.0 -. f0)
+                              end
+                              else if c >= 0.0 then c /. f0
+                              else -.c /. (1.0 -. f0)
+                            in
+                            add_term j gamma
+                      done;
+                      (* Hygiene: sparsify, bound dynamism, demand real
+                         violation at the current LP point. *)
+                      let terms = ref [] in
+                      let cmax = ref 0.0 and cmin = ref infinity in
+                      Array.iteri
+                        (fun j c ->
+                          if Float.abs c > 1e-9 then begin
+                            terms := (j, c) :: !terms;
+                            cmax := Float.max !cmax (Float.abs c);
+                            cmin := Float.min !cmin (Float.abs c)
+                          end)
+                        coef;
+                      let lhs_now =
+                        List.fold_left
+                          (fun a (j, c) -> a +. (c *. r.Simplex.x.(j)))
+                          0.0 !terms
+                      in
+                      let viol = !cut_rhs -. lhs_now in
+                      if
+                        !terms <> []
+                        && !cmax <= 1e8
+                        && !cmax /. !cmin <= 1e8
+                        && Float.abs !cut_rhs <= 1e10
+                        && viol > 1e-4
+                      then begin
+                        incr ncuts;
+                        cuts :=
+                          ( Array.of_list (List.rev !terms),
+                            Model.Ge,
+                            !cut_rhs )
+                          :: !cuts
+                      end
+                    end
+                  end
+                end)
+              cands;
+            List.rev !cuts
+      end
+
+(* ---------- knapsack cover cuts ---------- *)
+
+let cover_cuts ~integer (input : Simplex.input) x ~base_rows ~max_cuts =
+  let lo = input.Simplex.lo and hi = input.Simplex.hi in
+  let is_bin j = integer.(j) && lo.(j) = 0.0 && hi.(j) = 1.0 in
+  let cuts = ref [] in
+  (try
+     Array.iteri
+       (fun ri (terms, sense, b) ->
+         if ri < base_rows && sense = Model.Le && List.length !cuts < max_cuts
+         then begin
+           (* Relax non-binary terms to their interval minimum and
+              complement negative binary coefficients, leaving a pure
+              0/1 knapsack  sum w_k z_k <= cap  with w_k > 0. *)
+           let cap = ref b and ok = ref true in
+           let items = ref [] in
+           Array.iter
+             (fun (j, c) ->
+               if c <> 0.0 then
+                 if is_bin j then
+                   if c > 0.0 then items := (j, c, false, x.(j)) :: !items
+                   else begin
+                     (* c*x = c - c*(1-x): complement to weight -c. *)
+                     cap := !cap -. c;
+                     items := (j, -.c, true, 1.0 -. x.(j)) :: !items
+                   end
+                 else begin
+                   let mn =
+                     if c > 0.0 then c *. lo.(j) else c *. hi.(j)
+                   in
+                   if Float.is_finite mn then cap := !cap -. mn
+                   else ok := false
+                 end)
+             terms;
+           let wsum =
+             List.fold_left (fun a (_, w, _, _) -> a +. w) 0.0 !items
+           in
+           if !ok && !cap >= 0.0 && wsum > !cap +. 1e-9 then begin
+             (* Greedy cover: take literals the LP packs hardest first. *)
+             let sorted =
+               List.sort
+                 (fun (i, _, _, za) (j, _, _, zb) ->
+                   match compare zb za with 0 -> compare i j | c -> c)
+                 !items
+             in
+             let cover = ref [] and wt = ref 0.0 in
+             (try
+                List.iter
+                  (fun (j, w, compl, z) ->
+                    cover := (j, w, compl, z) :: !cover;
+                    wt := !wt +. w;
+                    if !wt > !cap +. 1e-9 then raise Exit)
+                  sorted
+              with Exit -> ());
+             if !wt > !cap +. 1e-9 then begin
+               (* Minimize: drop low-z members that are not needed to
+                  exceed capacity. *)
+               let keep = ref [] in
+               List.iter
+                 (fun (j, w, compl, z) ->
+                   if !wt -. w > !cap +. 1e-9 then wt := !wt -. w
+                   else keep := (j, w, compl, z) :: !keep)
+                 (List.sort
+                    (fun (_, _, _, za) (_, _, _, zb) -> compare za zb)
+                    !cover);
+               let c = !keep in
+               let sz = List.length c in
+               let zsum =
+                 List.fold_left (fun a (_, _, _, z) -> a +. z) 0.0 c
+               in
+               if zsum > float_of_int (sz - 1) +. 0.005 then begin
+                 let rhs = ref (float_of_int (sz - 1)) in
+                 let cterms =
+                   List.map
+                     (fun (j, _, compl, _) ->
+                       if compl then begin
+                         rhs := !rhs -. 1.0;
+                         (j, -1.0)
+                       end
+                       else (j, 1.0))
+                     (List.sort (fun (i, _, _, _) (j, _, _, _) -> compare i j) c)
+                 in
+                 cuts := (Array.of_list cterms, Model.Le, !rhs) :: !cuts
+               end
+             end
+           end
+         end)
+       input.Simplex.rows
+   with Exit -> ());
+  List.rev !cuts
+
+(* ---------- separation driver ---------- *)
+
+(* Extend an optimal basis of [input_old] to the same input with [ncuts]
+   inequality rows appended: each new row's slack goes basic (zero cost,
+   so dual feasibility is untouched; the violated cut leaves the slack
+   below its bound, which is exactly what the dual simplex repairs in a
+   few pivots).  Old slack columns keep their indices — new slacks and
+   the shifted artificials land after them. *)
+let extend_basis (input_old : Simplex.input) (b : Simplex.basis) ncuts =
+  let n = input_old.Simplex.nvars in
+  let m_old = Array.length input_old.Simplex.rows in
+  let ns_old =
+    Array.fold_left
+      (fun a (_, s, _) -> match s with Model.Eq -> a | _ -> a + 1)
+      0 input_old.Simplex.rows
+  in
+  let art0_old = n + ns_old in
+  if
+    Array.length b.Simplex.vbasis <> m_old
+    || Array.length b.Simplex.vstat <> art0_old + m_old
+    || Array.exists (fun c -> c < 0 || c >= art0_old) b.Simplex.vbasis
+  then None
+  else begin
+    let m_new = m_old + ncuts and ns_new = ns_old + ncuts in
+    let art0_new = n + ns_new in
+    let vstat = Array.make (art0_new + m_new) Simplex.At_lower in
+    Array.blit b.Simplex.vstat 0 vstat 0 art0_old;
+    for k = 0 to ncuts - 1 do
+      vstat.(art0_old + k) <- Simplex.Basic
+    done;
+    Array.blit b.Simplex.vstat art0_old vstat art0_new m_old;
+    let vbasis = Array.make m_new 0 in
+    Array.blit b.Simplex.vbasis 0 vbasis 0 m_old;
+    for k = 0 to ncuts - 1 do
+      vbasis.(m_old + k) <- art0_old + k
+    done;
+    Some { Simplex.vbasis; vstat }
+  end
+
+let cut_key (terms, sense, rhs) =
+  let b = Buffer.create 64 in
+  (match sense with
+  | Model.Le -> Buffer.add_char b 'L'
+  | Model.Ge -> Buffer.add_char b 'G'
+  | Model.Eq -> Buffer.add_char b 'E');
+  Buffer.add_string b (Printf.sprintf "%.9g" rhs);
+  Array.iter
+    (fun (j, c) -> Buffer.add_string b (Printf.sprintf ";%d:%.9g" j c))
+    terms;
+  Buffer.contents b
+
+let strengthen ~(solve : ?warm:Simplex.basis -> Simplex.input -> Simplex.result)
+    ~integer ~int_tol ?root ?(max_rounds = 3)
+    ?(max_per_round = 16) ?(max_dense_rows = 768) ~stop
+    (input0 : Simplex.input) =
+  if Array.length input0.Simplex.rows > max_dense_rows then None
+  else begin
+    let base_rows = Array.length input0.Simplex.rows in
+    let seen = Hashtbl.create 64 in
+    (* Reuse the caller's root solve when it already carries a basis: on
+       wide models a cold LP is the single most expensive step of the
+       whole cut pass, and the caller has usually just paid for it. *)
+    let r0 =
+      match root with
+      | Some (r : Simplex.result)
+        when r.Simplex.status = Status.Optimal && r.Simplex.basis <> None ->
+          r
+      | _ -> solve input0
+    in
+    if r0.Simplex.status <> Status.Optimal then None
+    else begin
+      let stats = ref { gomory = 0; cover = 0; rounds = 0 } in
+      let rec loop input r round =
+        if round >= max_rounds || stop () then (input, r)
+        else begin
+          let g =
+            gomory_cuts ~integer ~int_tol input r ~max_cuts:max_per_round
+          in
+          let c =
+            cover_cuts ~integer input r.Simplex.x ~base_rows
+              ~max_cuts:max_per_round
+          in
+          let fresh =
+            List.filter
+              (fun cut ->
+                let k = cut_key cut in
+                if Hashtbl.mem seen k then false
+                else begin
+                  Hashtbl.replace seen k ();
+                  true
+                end)
+              (g @ c)
+          in
+          if fresh = [] then (input, r)
+          else begin
+            let ng =
+              List.length (List.filter (fun (_, s, _) -> s = Model.Ge) fresh)
+            in
+            stats :=
+              { gomory = !stats.gomory + ng;
+                cover = !stats.cover + (List.length fresh - ng);
+                rounds = !stats.rounds + 1 };
+            let input', _undo = apply input fresh in
+            (* Cuts-then-dual-simplex: extend the optimal basis with the new
+               slacks basic and let the dual simplex repair the violated
+               rows, instead of re-solving the grown LP from scratch. *)
+            let warm =
+              match r.Simplex.basis with
+              | Some b -> extend_basis input b (List.length fresh)
+              | None -> None
+            in
+            let r' = solve ?warm input' in
+            if r'.Simplex.status <> Status.Optimal then (input, r)
+            else loop input' r' (round + 1)
+          end
+        end
+      in
+      let input, r = loop input0 r0 0 in
+      if total !stats = 0 then None else Some (input, r, !stats)
+    end
+  end

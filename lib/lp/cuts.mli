@@ -1,0 +1,69 @@
+(** Root-node cutting planes: Gomory mixed-integer and knapsack-cover
+    cuts.
+
+    Cuts are valid inequalities for the integer hull that the current LP
+    relaxation optimum violates; appending them tightens the root bound
+    and often de-fractionalizes many variables at once before the tree
+    opens.  Both separators work purely from the {!Simplex} frame layout
+    (structurals first, then one slack per inequality row in row order)
+    and the exported optimal basis — no solver internals are touched.
+
+    - {e Gomory mixed-integer cuts} read one simplex tableau row per
+      fractional basic integer variable: the row of [B⁻¹[A|S]] is
+      recovered by one dense LU solve against the basis transpose,
+      nonbasic columns are shifted onto their active bounds, and the
+      standard GMI formula is applied (fractional-part coefficients for
+      integer nonbasics, sign-split scaling for continuous ones).  Slack
+      variables are substituted back out so the cut is expressed over
+      structural variables only.  Rows whose basic column is an
+      artificial, or that involve a nonbasic free column, are skipped.
+    - {e Knapsack-cover cuts} scan [<=] rows: binary terms with negative
+      coefficients are complemented, non-binary terms are relaxed to
+      their interval minimum, and a greedy cover (largest LP value
+      first, then minimized) yields [sum x_j <= |C| - 1] whenever the
+      relaxation packs more than capacity into the cover.
+
+    Like the {!Presolve} passes, application is an undo-closure pair:
+    {!apply} returns the augmented input together with a function that
+    restores a result to the original row arity, so downstream consumers
+    (dual reporting, the LP writer) never see cut rows.  Note the undo
+    only truncates — a cut-strengthened bound has no certificate in the
+    original LP, so truncated duals are heuristic, not a certificate. *)
+
+type stats = { gomory : int; cover : int; rounds : int }
+
+val total : stats -> int
+
+(** [apply input cuts] appends the cut rows and returns the augmented
+    input plus an undo that truncates a result's duals back to the
+    original rows (dropping the exported basis, which is only valid for
+    the augmented row structure). *)
+val apply :
+  Simplex.input ->
+  ((int * float) array * Model.sense * float) list ->
+  Simplex.input * (Simplex.result -> Simplex.result)
+
+(** [strengthen ~solve ~integer ~int_tol ~stop input] runs separation
+    rounds at the root: solve (with a basis), separate, append, repeat.
+    [solve] must export a basis ([want_basis]) for Gomory separation to
+    fire; [integer.(j)] marks integer structurals.  When [root] carries
+    an optimal result with a basis for [input], the initial solve is
+    skipped and each subsequent round is warm-started by extending the
+    previous basis with the new cut slacks basic (the classic
+    cuts-then-dual-simplex repair), so a round costs a handful of dual
+    pivots instead of a cold solve.  Returns the augmented input, its
+    relaxation optimum and cut statistics — or [None] when the first
+    solve fails or no cut was ever added (callers keep their original
+    root solve in that case).  Separation is skipped for models wider
+    than [max_dense_rows] rows (the dense LU would dominate). *)
+val strengthen :
+  solve:(?warm:Simplex.basis -> Simplex.input -> Simplex.result) ->
+  integer:bool array ->
+  int_tol:float ->
+  ?root:Simplex.result ->
+  ?max_rounds:int ->
+  ?max_per_round:int ->
+  ?max_dense_rows:int ->
+  stop:(unit -> bool) ->
+  Simplex.input ->
+  (Simplex.input * Simplex.result * stats) option

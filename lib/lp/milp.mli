@@ -1,10 +1,14 @@
 (** Mixed-integer linear programming by LP-based branch-and-bound.
 
     The solver runs best-bound branch-and-bound over the bounded-variable
-    simplex of {!Simplex}.  A dive-and-fix heuristic seeds the incumbent at
-    the root and serves as the fallback when node or time budgets run out,
-    so a feasible plan is almost always returned together with the LP lower
-    bound and the resulting optimality gap.
+    simplex of {!Simplex}.  Before the tree opens the root is worked hard:
+    {!Cuts} appends Gomory mixed-integer and knapsack-cover cutting planes
+    ([root_cuts]), a dive-and-fix heuristic and the {!Fpump} feasibility
+    pump ([pump]) hunt for an early incumbent, and the tree then branches
+    under a {!Branching} strategy (pseudocost / reliability with
+    strong-branching warmup by default) instead of blind most-fractional
+    selection.  A feasible plan is almost always returned together with
+    the LP lower bound and the resulting optimality gap.
 
     With [warm_start] (the default) every branch-and-bound node carries its
     parent's optimal basis and the node LP is reoptimized by the dual
@@ -45,6 +49,21 @@ type options = {
           64 rows) for the reduction to pay for itself (default [true]) *)
   core : Simplex.core;
       (** simplex engine for node LPs (default {!Simplex.Sparse}) *)
+  branch_strategy : Branching.strategy;
+      (** branching-variable selection (default {!Branching.Reliability}) *)
+  strong_branching_nvars : int;
+      (** strong-branching probes per node during warmup (default 8) *)
+  strong_branching_nsteps : int;
+      (** warmup window in tree nodes for {!Branching.Pseudocost}
+          (default 8); {!Branching.Reliability} instead re-probes any
+          variable with fewer than {!Branching.reliability_threshold}
+          observations, regardless of the window *)
+  pump : bool;
+      (** run the {!Fpump} feasibility pump at the root when diving left
+          no incumbent (default [true]) *)
+  root_cuts : bool;
+      (** strengthen the root with {!Cuts} separation rounds before the
+          tree opens (default [true]) *)
   log : bool;              (** emit progress on the [lp.milp] log source *)
 }
 
@@ -53,10 +72,15 @@ val default_options : options
 type result = {
   status : Status.t;
   x : float array;         (** best integer point found (empty if none) *)
+  relax_x : float array;
+  (** root LP relaxation optimum, before cuts (empty when the root LP
+      did not solve to optimality) — lets callers run rounding
+      heuristics against the relaxation without re-solving it *)
   obj : float;             (** its objective, user direction *)
   bound : float;           (** proven bound on the optimum, user direction *)
   gap : float;             (** relative gap between [obj] and [bound] *)
   nodes : int;             (** branch-and-bound nodes explored *)
+  cuts : int;              (** cutting planes appended at the root *)
   lp_iterations : int;     (** total simplex iterations *)
 }
 

@@ -86,11 +86,32 @@ let milp_of_json j =
             | Some f -> Ok (Some f)
             | None -> Error (Printf.sprintf "milp field %S must be a number" key))
       in
+      let bool_opt key =
+        match Json.member key mj with
+        | None | Some Json.Null -> Ok None
+        | Some v -> (
+            match Json.to_bool v with
+            | Some b -> Ok (Some b)
+            | None -> Error (Printf.sprintf "milp field %S must be a boolean" key))
+      in
       let* node_limit = int_opt "nodes" in
       let* time_limit = float_opt "time" in
       let* gap_tol = float_opt "gap" in
       let* workers = int_opt "workers" in
-      Ok { Job.node_limit; time_limit; gap_tol; workers }
+      let* branching =
+        match Json.member "branching" mj with
+        | None | Some Json.Null -> Ok None
+        | Some v -> (
+            match Option.bind (Json.to_str v) Lp.Branching.strategy_of_string with
+            | Some s -> Ok (Some s)
+            | None ->
+                Error
+                  "milp field \"branching\" must be \"most-fractional\", \
+                   \"pseudocost\" or \"reliability\"")
+      in
+      let* pump = bool_opt "pump" in
+      let* cuts = bool_opt "cuts" in
+      Ok { Job.node_limit; time_limit; gap_tol; workers; branching; pump; cuts }
 
 let job_of_json ?resolve j =
   match j with

@@ -29,12 +29,16 @@ type estate =
       build : unit -> Etransform.Asis.t;
     }
 
-(** MILP budget overrides; [None] keeps {!Etransform.Solver.default_milp_options}. *)
+(** MILP budget and strategy overrides; [None] keeps
+    {!Etransform.Solver.default_milp_options}. *)
 type milp_overrides = {
   node_limit : int option;
   time_limit : float option;
   gap_tol : float option;
   workers : int option;
+  branching : Lp.Branching.strategy option;  (** branch-variable selection *)
+  pump : bool option;      (** feasibility pump at the root *)
+  cuts : bool option;      (** Gomory / cover cuts at the root *)
 }
 
 val no_overrides : milp_overrides

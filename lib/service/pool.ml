@@ -260,6 +260,15 @@ let worker_loop t () =
   in
   loop ()
 
+let clamp_workers ~what n =
+  let avail = Domain.recommended_domain_count () in
+  if n > avail then begin
+    Printf.eprintf "%s: clamping --workers %d to %d (recommended domain count)\n%!"
+      what n avail;
+    avail
+  end
+  else n
+
 let create ?(workers = 2) ?(queue_capacity = 64) ?(cache_capacity = 256)
     ?(trace = Trace.null) () =
   let t =

@@ -100,6 +100,14 @@ val stream_batch : t -> Job.t list -> f:(result -> unit) -> unit
 (** Drain the queue and join the worker domains.  Idempotent. *)
 val shutdown : t -> unit
 
+(** [clamp_workers ~what n] caps a worker-count flag at
+    [Domain.recommended_domain_count ()], printing a one-line [what]-tagged
+    warning on stderr when it clamps.  Oversubscribing domains on a
+    machine with fewer cores only adds scheduler thrash — front-end flags
+    ([--workers]) should pass through here before reaching a pool or
+    {!Lp.Milp.options}. *)
+val clamp_workers : what:string -> int -> int
+
 (** [with_pool f] runs [f] over a fresh pool and always shuts it down. *)
 val with_pool :
   ?workers:int ->

@@ -328,6 +328,54 @@ let test_parallel_matches_sequential () =
     agree (Printf.sprintf "case %d" case) seq par
   done
 
+let test_pump_cycle_terminates () =
+  (* Crafted cycling instance: 2x + 2y = 1 over binaries has a fractional
+     relaxation (x + y = 1/2) and NO integral point, so the pump can never
+     succeed — every distance LP lands on a vertex like (1/2, 0), whose
+     rounding repeats an earlier target and trips the rounding-history
+     cycle detector.  The run must still terminate (perturbation plus the
+     round budget and stall cap), must not report Integral, and must be
+     deterministic from round counts down to the returned iterate. *)
+  let m = Model.create ~name:"pump_cycle" () in
+  let x = Model.add_var m ~binary:true "x"
+  and y = Model.add_var m ~binary:true "y" in
+  Model.add_eq m "half" Model.Linexpr.(add (term 2.0 x) (term 2.0 y)) 1.0;
+  Model.set_objective m ~minimize:true Model.Linexpr.(add (var x) (var y));
+  let input = Simplex.of_model m in
+  let root = Simplex.solve input in
+  Alcotest.(check string) "relaxation solves" "optimal"
+    (Status.to_string root.Simplex.status);
+  let rounds = ref 0 in
+  let solve inp =
+    incr rounds;
+    if !rounds > 200 then Alcotest.fail "pump did not terminate";
+    Simplex.solve inp
+  in
+  let run () =
+    rounds := 0;
+    let outcome =
+      Fpump.run ~solve ~input ~int_ids:[ 0; 1 ] ~int_tol:1e-9
+        ~start:root.Simplex.x
+        ~stop:(fun () -> false)
+        ~max_rounds:40 ()
+    in
+    (outcome, !rounds)
+  in
+  let o1, n1 = run () in
+  let o2, n2 = run () in
+  (match o1 with
+  | Fpump.Integral _ -> Alcotest.fail "no integral point exists"
+  | Fpump.Near p ->
+      Alcotest.(check bool) "near iterate satisfies the relaxation" true
+        (Simplex.feasible input p)
+  | Fpump.Failed -> ());
+  Alcotest.(check int) "deterministic round count" n1 n2;
+  match (o1, o2) with
+  | Fpump.Near p1, Fpump.Near p2 ->
+      Alcotest.(check bool) "deterministic iterate" true (p1 = p2)
+  | Fpump.Failed, Fpump.Failed -> ()
+  | _ -> Alcotest.fail "outcome shape differs between identical runs"
+
 let test_relax_reports_fractional () =
   let m = Model.create () in
   let x = Model.add_var m ~binary:true "x" in
@@ -346,6 +394,8 @@ let suite =
     Alcotest.test_case "mixed integer-continuous" `Quick test_mixed;
     Alcotest.test_case "node limit still feasible" `Quick test_node_limit_returns_feasible;
     Alcotest.test_case "relaxation is fractional" `Quick test_relax_reports_fractional;
+    Alcotest.test_case "pump cycle detection terminates" `Quick
+      test_pump_cycle_terminates;
     Alcotest.test_case "warm start matches cold start" `Quick
       test_warm_matches_cold;
     Alcotest.test_case "parallel matches sequential" `Quick
