@@ -1,9 +1,9 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
-   evaluation (experiments E0-E6, see DESIGN.md) and measures the solver
+   evaluation (experiments E0-E7, see DESIGN.md) and measures the solver
    kernels with Bechamel.
 
    Usage: main.exe [--json] [--check BASELINE.json] [--tolerance PCT]
-                   [e0|e1|e2|e3|e4|e5|e6|kernels|smoke|all]   (default: all)
+                   [e0|e1|e2|e3|e4|e5|e6|e7|kernels|smoke|all]   (default: all)
 
    [smoke] runs every kernel thunk exactly once (no timing) so the test
    suite can exercise the bench harness cheaply; [--check] compares the
@@ -204,6 +204,33 @@ let kernel_thunks () =
        ignore (Service.Pool.run_batch pool service_jobs);
        pool)
   in
+  (* Scenario-sweep machinery over a warm cache: a 6-point grid (failure
+     radius x early-warning window) fanned through its own worker-less
+     pool, pre-swept once when the lazy forces.  Every timed run is then
+     all cache hits, so the kernel isolates the sweep engine's own costs
+     — grid expansion, per-point fingerprinting, resilience scoring
+     under the strictest spec, and the Pareto frontier fold — from MILP
+     time. *)
+  let sweep_job =
+    Service.Job.v
+      ~milp:
+        { Service.Job.no_overrides with
+          Service.Job.node_limit = Some 2;
+          time_limit = Some 20.0 }
+      (Harness.Line_jobs.estate ~penalty:40.0
+         { Harness.Line_estate.default with Harness.Line_estate.n_groups = 12 })
+  in
+  let sweep_grid =
+    { Service.Sweep.empty_grid with
+      Service.Sweep.radius_km = [ None; Some 50.0; Some 100.0 ];
+      warning_s = [ None; Some 600.0 ] }
+  in
+  let sweep_pool =
+    lazy
+      (let pool = Service.Pool.create ~workers:0 ~cache_capacity:64 () in
+       ignore (Service.Sweep.run pool sweep_job sweep_grid ~f:(fun _ -> ()));
+       pool)
+  in
   (* Whole-stack HTTP latency, split along the reactor's design axis.
      The cold kernel opens a fresh loopback connection per request
      against a cache-less server: it pays connect/teardown (~43us of
@@ -381,6 +408,11 @@ let kernel_thunks () =
     ( "service_batch_line_warm",
       fun () ->
         ignore (Service.Pool.run_batch (Lazy.force warm_pool) service_jobs) );
+    ( "scenario_sweep_grid",
+      fun () ->
+        ignore
+          (Service.Sweep.run (Lazy.force sweep_pool) sweep_job sweep_grid
+             ~f:(fun _ -> ())) );
     ( "service_http_roundtrip_cold",
       fun () -> http_roundtrip (Lazy.force cold_server) );
     ( "service_http_roundtrip_warm",
@@ -792,13 +824,14 @@ let () =
   | "e4" -> ignore (Harness.Studies.e4_dr_server_cost ())
   | "e5" -> ignore (Harness.Studies.e5_space_wan_tradeoff ())
   | "e6" -> ignore (Harness.Studies.e6_placement_growth ())
+  | "e7" -> ignore (Harness.Studies.e7_scenario_frontier ())
   | "kernels" -> passed := run_kernels ~json ?check ?tolerance ()
   | "smoke" -> run_smoke ()
   | "all" ->
       Harness.Studies.all ();
       passed := run_kernels ~json ?check ?tolerance ()
   | other ->
-      Printf.eprintf "unknown experiment %S (want e0..e6, kernels, smoke, all)\n"
+      Printf.eprintf "unknown experiment %S (want e0..e7, kernels, smoke, all)\n"
         other;
       exit 2);
   Printf.printf "\nDone.\n%!";

@@ -122,6 +122,7 @@ let experiment_cmd_run verbose which =
   | "e4" -> ignore (Harness.Studies.e4_dr_server_cost ())
   | "e5" -> ignore (Harness.Studies.e5_space_wan_tradeoff ())
   | "e6" -> ignore (Harness.Studies.e6_placement_growth ())
+  | "e7" -> ignore (Harness.Studies.e7_scenario_frontier ())
   | "all" -> Harness.Studies.all ()
   | other ->
       Printf.eprintf "unknown experiment %S\n" other;
@@ -130,6 +131,23 @@ let experiment_cmd_run verbose which =
 let datasets_cmd_run verbose =
   setup_logs verbose;
   Harness.Studies.e0_datasets ()
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+let broken_pipe = function
+  | Sys_error msg -> contains ~affix:"roken pipe" msg
+  | Unix.Unix_error (Unix.EPIPE, _, _) -> true
+  | _ -> false
+
+let trace_sink trace_file =
+  match trace_file with
+  | None -> (Service.Trace.null, fun () -> ())
+  | Some path ->
+      let oc = open_out path in
+      (Service.Trace.to_channel oc, fun () -> close_out oc)
 
 (* batch: the planning service's NDJSON front-end.  One job spec per input
    line, one result line per job on stdout, in input order. *)
@@ -141,23 +159,7 @@ let batch_cmd_run verbose input workers queue cache_size trace_file =
      (surfaced as Sys_error "Broken pipe"), which Batch.run re-raises
      after winding the stream down — treated below as a normal end. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let contains ~affix s =
-    let n = String.length affix and m = String.length s in
-    let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
-    go 0
-  in
-  let broken_pipe = function
-    | Sys_error msg -> contains ~affix:"roken pipe" msg
-    | Unix.Unix_error (Unix.EPIPE, _, _) -> true
-    | _ -> false
-  in
-  let trace, close_trace =
-    match trace_file with
-    | None -> (Service.Trace.null, fun () -> ())
-    | Some path ->
-        let oc = open_out path in
-        (Service.Trace.to_channel oc, fun () -> close_out oc)
-  in
+  let trace, close_trace = trace_sink trace_file in
   let ic, close_in_ =
     if input = "-" then (stdin, fun () -> ())
     else
@@ -181,6 +183,49 @@ let batch_cmd_run verbose input workers queue cache_size trace_file =
           (0, 0, 0))
   in
   if failed > 0 then exit 1
+
+(* sweep: fan one request across a parameter grid, streaming one NDJSON
+   line per grid point (in grid order, as each completes) and a terminal
+   cost-vs-resilience Pareto frontier line. *)
+let sweep_cmd_run verbose input workers queue cache_size trace_file =
+  setup_logs verbose;
+  let workers = Service.Pool.clamp_workers ~what:"etransform sweep" workers in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let text =
+    if input = "-" then In_channel.input_all stdin
+    else In_channel.with_open_text input In_channel.input_all
+  in
+  let request =
+    match Service.Json.parse text with
+    | Error msg -> Error ("body is not JSON: " ^ msg)
+    | Ok j ->
+        Service.Sweep.request_of_json ~resolve:Harness.Line_jobs.resolve j
+  in
+  match request with
+  | Error msg ->
+      Printf.eprintf "invalid sweep request: %s\n" msg;
+      exit 2
+  | Ok (base, grid) ->
+      let trace, close_trace = trace_sink trace_file in
+      let failed = ref 0 in
+      Fun.protect ~finally:close_trace (fun () ->
+          try
+            Service.Pool.with_pool ~workers ~queue_capacity:queue
+              ~cache_capacity:cache_size ~trace (fun pool ->
+                let s =
+                  Service.Sweep.run pool base grid ~f:(fun p ->
+                      (match p.Service.Sweep.result.Service.Pool.code with
+                      | Service.Pool.Failed -> incr failed
+                      | _ -> ());
+                      print_string (Service.Sweep.point_line p);
+                      print_newline ();
+                      flush stdout)
+                in
+                print_string (Service.Sweep.frontier_line s);
+                print_newline ();
+                flush stdout)
+          with exn when broken_pipe exn -> ());
+      if !failed > 0 then exit 1
 
 (* Shared arguments. *)
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Chatty logs.")
@@ -260,7 +305,7 @@ let compare_cmd =
 
 let experiment_cmd =
   Cmd.v
-    (Cmd.info "experiment" ~doc:"run a paper experiment (e0..e6, all)")
+    (Cmd.info "experiment" ~doc:"run a paper experiment (e0..e7, all)")
     Term.(const experiment_cmd_run $ verbose $ which_exp)
 
 let datasets_cmd =
@@ -275,10 +320,29 @@ let batch_cmd =
     Term.(const batch_cmd_run $ verbose $ batch_input $ batch_workers
           $ batch_queue $ batch_cache $ batch_trace)
 
+let sweep_input =
+  Arg.(value & pos 0 string "-"
+       & info [] ~docv:"REQUEST.json"
+           ~doc:"A job spec with a \"grid\" member; - reads stdin.")
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"stream a parameter sweep and its cost-vs-resilience frontier")
+    Term.(const sweep_cmd_run $ verbose $ sweep_input $ batch_workers
+          $ batch_queue $ batch_cache $ batch_trace)
+
 let () =
   let doc = "enterprise data-center transformation and consolidation planner" in
   exit
     (Cmd.eval
        (Cmd.group
           (Cmd.info "etransform" ~doc ~version:"1.0.0")
-          [ plan_cmd; compare_cmd; experiment_cmd; datasets_cmd; batch_cmd ]))
+          [
+            plan_cmd;
+            compare_cmd;
+            experiment_cmd;
+            datasets_cmd;
+            batch_cmd;
+            sweep_cmd;
+          ]))

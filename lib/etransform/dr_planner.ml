@@ -2,6 +2,15 @@ let src = Logs.Src.create "etransform.dr" ~doc:"disaster-recovery planner"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* A failure scenario, already compiled down to target indices: which
+   sites fail together, and how much data a primary->backup link can
+   evacuate inside the early-warning window.  [lib/scenario] derives
+   these from DC geography; this planner only consumes them. *)
+type scenario = {
+  events : int list array;
+  evac_mb : float option;
+}
+
 type options = {
   omega : float option;
   economies_of_scale : bool;
@@ -9,6 +18,8 @@ type options = {
   milp : Lp.Milp.options;
   local_search : bool;
   secondary_candidates : int option;
+  scenario : scenario option;
+  max_latency_ms : float option;
 }
 
 let default_options =
@@ -19,7 +30,53 @@ let default_options =
     milp = Solver.default_milp_options;
     local_search = true;
     secondary_candidates = None;
+    scenario = None;
+    max_latency_ms = None;
   }
+
+(* The scenario in effect: absent one, each site fails alone — exactly
+   the paper's single-failure sharing, so the generalized stage-2 model
+   below reduces to the historical one row for row. *)
+let effective_events scenario n =
+  match scenario with
+  | Some s when Array.length s.events > 0 -> s.events
+  | _ -> Array.init n (fun a -> [ a ])
+
+let effective_evac scenario =
+  match scenario with None -> None | Some s -> s.evac_mb
+
+(* co_fail.(a).(b): site [b] fails in EVERY event that takes out site
+   [a], so [b] is useless as a backup for a group whose primary is [a] —
+   the pairing would survive no failure of [a].  This is deliberately
+   NOT "a and b share some event": under multi-failure planning the
+   events include unions of independent regions, where every site pair
+   co-occurs somewhere yet most pairings still protect most events —
+   those are capacity-sizing events, not exclusions.  Only deterministic
+   co-failure (b inside a's correlated region, under every union) kills
+   the pairing.  With singleton events this reduces to [a = b]. *)
+let co_fail_matrix events n =
+  let co = Array.make_matrix n n true in
+  let appears = Array.make n false in
+  Array.iter
+    (fun ev ->
+      List.iter
+        (fun a ->
+          if a >= 0 && a < n then begin
+            appears.(a) <- true;
+            for b = 0 to n - 1 do
+              if not (List.mem b ev) then co.(a).(b) <- false
+            done
+          end)
+        ev)
+    events;
+  (* A site no event touches never fails; nothing is excluded for it. *)
+  for a = 0 to n - 1 do
+    if not appears.(a) then
+      for b = 0 to n - 1 do
+        co.(a).(b) <- false
+      done
+  done;
+  co
 
 (* Stage 1 runs against a shrunk estate so stage 2 has room for pools. *)
 let with_reserved_capacity asis reserve =
@@ -35,10 +92,17 @@ let with_reserved_capacity asis reserve =
   { asis with Asis.targets }
 
 (* Stage 2: given primaries, choose each group's secondary and size the
-   shared pools exactly. *)
-let secondary_model ?candidates asis (primary : int array) =
+   shared pools exactly.  With a scenario the pools are sized per failure
+   event (every site of an event fails at once, so one pool must absorb
+   all their failovers together), co-failing sites are excluded as
+   backups, and early-warning evacuation rows bound the data each
+   primary->backup link must move inside the warning window. *)
+let secondary_model ?candidates ?scenario asis (primary : int array) =
   let open Lp in
   let m = Asis.num_groups asis and n = Asis.num_targets asis in
+  let events = effective_events scenario n in
+  let evac_mb = effective_evac scenario in
+  let co_fail = co_fail_matrix events n in
   let model = Model.create ~name:(asis.Asis.name ^ "_dr_stage2") () in
   (* Pool sites concentrate on the cheapest hosts, so pruning candidate
      secondaries loses essentially nothing at scale. *)
@@ -74,6 +138,7 @@ let secondary_model ?candidates asis (primary : int array) =
             if
               b <> primary.(i)
               && App_group.allowed asis.Asis.groups.(i) b
+              && (not co_fail.(primary.(i)).(b))
               && (keep i b || n <= 2)
             then
               Some (Model.add_var model ~binary:true (Printf.sprintf "Y_%d_%d" i b))
@@ -92,29 +157,59 @@ let secondary_model ?candidates asis (primary : int array) =
     Model.add_eq model (Printf.sprintf "backup_%d" i) (Model.Linexpr.sum terms)
       1.0
   done;
-  (* Pool sizing per (primary site a, pool site b). *)
-  for a = 0 to n - 1 do
-    for b = 0 to n - 1 do
-      if a <> b then begin
-        let demand =
-          Model.Linexpr.sum
-            (List.filter_map
-               (fun i ->
-                 if primary.(i) = a then
-                   Option.map
-                     (Model.Linexpr.term
-                        (float_of_int asis.Asis.groups.(i).App_group.servers))
-                     y.(i).(b)
-                 else None)
-               (List.init m Fun.id))
-        in
-        Model.add_ge model
-          (Printf.sprintf "pool_%d_%d" a b)
-          (Model.Linexpr.sub (Model.Linexpr.var g.(b)) demand)
-          0.0
-      end
-    done
-  done;
+  (* Pool sizing per (failure event e, pool site b): when event [e]
+     strikes, every group whose primary is inside it fails over at once,
+     so the pool at [b] must cover their joint demand.  With the default
+     singleton events this is exactly the historical one row per
+     (primary site, pool site). *)
+  Array.iteri
+    (fun e ev ->
+      for b = 0 to n - 1 do
+        if not (List.mem b ev) then begin
+          let demand =
+            Model.Linexpr.sum
+              (List.filter_map
+                 (fun i ->
+                   if List.mem primary.(i) ev then
+                     Option.map
+                       (Model.Linexpr.term
+                          (float_of_int asis.Asis.groups.(i).App_group.servers))
+                       y.(i).(b)
+                   else None)
+                 (List.init m Fun.id))
+          in
+          Model.add_ge model
+            (Printf.sprintf "pool_%d_%d" e b)
+            (Model.Linexpr.sub (Model.Linexpr.var g.(b)) demand)
+            0.0
+        end
+      done)
+    events;
+  (* Early-warning evacuation: the data of the groups failing over from
+     primary [a] to backup [b] must fit through that link inside the
+     warning window (bandwidth x window, precompiled into [evac_mb]). *)
+  (match evac_mb with
+  | None -> ()
+  | Some budget ->
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if a <> b then begin
+            let terms =
+              List.filter_map
+                (fun i ->
+                  let d = asis.Asis.groups.(i).App_group.data_mb_month in
+                  if primary.(i) = a && d > 0.0 then
+                    Option.map (Model.Linexpr.term d) y.(i).(b)
+                  else None)
+                (List.init m Fun.id)
+            in
+            if terms <> [] then
+              Model.add_le model
+                (Printf.sprintf "evac_%d_%d" a b)
+                (Model.Linexpr.sum terms) budget
+          end
+        done
+      done);
   (* Full capacity minus the primary load already committed. *)
   let load = Array.make n 0 in
   Array.iteri
@@ -147,8 +242,20 @@ let secondary_model ?candidates asis (primary : int array) =
    primary load plus pool must fit [b]'s full capacity.  Each group takes
    the site with the cheapest incremental pool cost.  Returns [None] when
    some group fits nowhere. *)
-let greedy_secondary asis (primary : int array) =
+let greedy_secondary ?scenario asis (primary : int array) =
   let m = Asis.num_groups asis and n = Asis.num_targets asis in
+  let events = effective_events scenario n in
+  let evac_mb = effective_evac scenario in
+  let co_fail = co_fail_matrix events n in
+  (* Failure events whose site set contains [a]: the pools that must
+     absorb a group with primary [a]. *)
+  let events_of = Array.make n [] in
+  Array.iteri
+    (fun e ev ->
+      List.iter
+        (fun a -> if a >= 0 && a < n then events_of.(a) <- e :: events_of.(a))
+        ev)
+    events;
   let price b =
     let dc = asis.Asis.targets.(b) in
     asis.Asis.params.Asis.dr_server_cost
@@ -159,7 +266,10 @@ let greedy_secondary asis (primary : int array) =
   Array.iteri
     (fun i a -> load.(a) <- load.(a) + asis.Asis.groups.(i).App_group.servers)
     primary;
-  let demand = Array.make_matrix n n 0 in
+  (* demand.(e).(b): failover servers landing at [b] when event [e]
+     strikes; the pool at [b] is the worst event's demand. *)
+  let demand = Array.make_matrix (Array.length events) n 0 in
+  let evac_used = Array.make_matrix n n 0.0 in
   let pool = Array.make n 0 in
   let secondary = Array.make m (-1) in
   let order =
@@ -172,10 +282,26 @@ let greedy_secondary asis (primary : int array) =
   let place i =
     let a = primary.(i) in
     let s = asis.Asis.groups.(i).App_group.servers in
+    let d = asis.Asis.groups.(i).App_group.data_mb_month in
+    let pool_with b =
+      List.fold_left
+        (fun acc e -> max acc (demand.(e).(b) + s))
+        pool.(b) events_of.(a)
+    in
+    let evac_ok b =
+      match evac_mb with
+      | None -> true
+      | Some budget -> evac_used.(a).(b) +. d <= budget +. 1e-9
+    in
     let best = ref (-1) and best_cost = ref infinity in
     for b = 0 to n - 1 do
-      if b <> a && App_group.allowed asis.Asis.groups.(i) b then begin
-        let new_pool = max pool.(b) (demand.(a).(b) + s) in
+      if
+        b <> a
+        && App_group.allowed asis.Asis.groups.(i) b
+        && (not co_fail.(a).(b))
+        && evac_ok b
+      then begin
+        let new_pool = pool_with b in
         if load.(b) + new_pool <= asis.Asis.targets.(b).Data_center.capacity
         then begin
           let cost = float_of_int (new_pool - pool.(b)) *. price b in
@@ -189,8 +315,12 @@ let greedy_secondary asis (primary : int array) =
     if !best < 0 then false
     else begin
       let b = !best in
-      demand.(a).(b) <- demand.(a).(b) + s;
-      pool.(b) <- max pool.(b) demand.(a).(b);
+      List.iter
+        (fun e ->
+          demand.(e).(b) <- demand.(e).(b) + s;
+          pool.(b) <- max pool.(b) demand.(e).(b))
+        events_of.(a);
+      evac_used.(a).(b) <- evac_used.(a).(b) +. d;
       secondary.(i) <- b;
       true
     end
@@ -230,6 +360,7 @@ let plan ?(options = default_options) asis =
         Lp_builder.default_options with
         Lp_builder.economies_of_scale = options.economies_of_scale;
         omega = options.omega;
+        max_latency_ms = options.max_latency_ms;
       }
     in
     let stage1 =
@@ -237,12 +368,18 @@ let plan ?(options = default_options) asis =
         stage1_asis
     in
     let primary = stage1.Solver.placement.Placement.primary in
-    let model, y = secondary_model ?candidates asis primary in
+    let model, y =
+      secondary_model ?candidates ?scenario:options.scenario asis primary
+    in
     let r = Lp.Milp.solve ~options:options.milp model in
     let finish ~secondary ~status ~gap =
       let placement = Placement.with_dr ~primary ~secondary () in
       let placement, moves =
-        if options.local_search then
+        (* The local search polishes against the exact evaluator, which
+           does not see failure events or evacuation budgets; a move
+           could silently re-pair a group with a co-failing backup, so
+           scenario'd plans skip the polish. *)
+        if options.local_search && options.scenario = None then
           Local_search.improve ~swaps:(Asis.num_groups asis <= 120) asis
             placement
         else (placement, 0)
@@ -264,7 +401,7 @@ let plan ?(options = default_options) asis =
          constraints recovers a feasible plan directly in that case. *)
       match
         if r.Lp.Milp.status = Lp.Status.Infeasible then None
-        else greedy_secondary asis primary
+        else greedy_secondary ?scenario:options.scenario asis primary
       with
       | Some secondary ->
           Log.info (fun f ->
@@ -297,7 +434,7 @@ let plan ?(options = default_options) asis =
          is loose, finish both and keep the cheaper plan. *)
       if gap <= 0.05 then milp_out
       else
-        match greedy_secondary asis primary with
+        match greedy_secondary ?scenario:options.scenario asis primary with
         | Some secondary ->
             let greedy_out =
               finish ~secondary ~status:r.Lp.Milp.status ~gap

@@ -17,14 +17,38 @@
     rerun.  On small instances the result is checked against the joint
     model in the test suite. *)
 
+(** A failure scenario compiled down to target indices.  [events] lists
+    the failure events the plan must survive: each event is the set of
+    target DCs that fail together (a correlated region, or several
+    uncorrelated sites under multi-failure planning).  Pools are sized
+    per event — every group whose primary is inside an event fails over
+    at once — and a backup site that fails in {e every} event taking out
+    the group's primary (i.e. inside the primary's correlated region) is
+    excluded outright.  [evac_mb] bounds the data each primary->backup link can
+    evacuate inside an early-warning window (bandwidth x window, in MB);
+    [None] drops the evacuation rows.  An empty [events] array (or an
+    absent scenario) means each site fails alone — the paper's model.
+
+    Scenarios are typically produced by the [scenario] library's
+    [Failure.compile], which derives events from DC geography. *)
+type scenario = {
+  events : int list array;
+  evac_mb : float option;
+}
+
 type options = {
   omega : float option;          (** business-impact spread for primaries *)
   economies_of_scale : bool;     (** stage-1 space on the discount curve *)
   reserve : float;               (** initial capacity fraction kept for pools *)
   milp : Lp.Milp.options;
   local_search : bool;
+      (** polish with the joint local search (skipped when a scenario is
+          set: the search cannot see event or evacuation constraints) *)
   secondary_candidates : int option;
       (** keep only this many cheapest pool sites per group in stage 2 *)
+  scenario : scenario option;    (** richer failure model for stage 2 *)
+  max_latency_ms : float option;
+      (** stage-1 latency budget (see {!Lp_builder.options}) *)
 }
 
 val default_options : options

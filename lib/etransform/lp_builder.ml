@@ -5,6 +5,7 @@ type options = {
   pins : (int * int) list;
   forbids : (int * int) list;
   candidate_limit : int option;
+  max_latency_ms : float option;
 }
 
 let default_options =
@@ -15,7 +16,23 @@ let default_options =
     pins = [];
     forbids = [];
     candidate_limit = None;
+    max_latency_ms = None;
   }
+
+(* User-weighted mean latency of hosting group [i] at target [j]; the
+   admissibility measure behind [max_latency_ms]. *)
+let mean_latency asis i j =
+  let g = asis.Asis.groups.(i) in
+  let dc = asis.Asis.targets.(j) in
+  let total = App_group.total_users g in
+  if total <= 0.0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun u w -> acc := !acc +. (w *. dc.Data_center.user_latency_ms.(u)))
+      g.App_group.users;
+    !acc /. total
+  end
 
 type built = {
   model : Lp.Model.t;
@@ -32,10 +49,38 @@ let build ?(options = default_options) asis =
   List.iter (fun (i, j) -> Hashtbl.replace forbidden (i, j) ()) options.forbids;
   let pinned = Hashtbl.create 16 in
   List.iter (fun (i, j) -> Hashtbl.replace pinned (i, j) ()) options.pins;
-  let admissible i j =
+  let base_admissible i j =
     App_group.allowed asis.Asis.groups.(i) j
     && not (Hashtbl.mem forbidden (i, j))
   in
+  (* Latency budget: drop candidates whose user-weighted mean latency
+     exceeds the budget.  A group whose every candidate violates the
+     budget keeps its fastest one — sweeps over tight budgets degrade
+     gracefully instead of going infeasible — and pinned pairs always
+     survive (the re-planner pins prior assignments it already vetted). *)
+  let latency_ok =
+    match options.max_latency_ms with
+    | None -> fun _ _ -> true
+    | Some budget ->
+        let within = Hashtbl.create (m * 2) in
+        for i = 0 to m - 1 do
+          let best = ref (-1) and best_lat = ref infinity in
+          for j = 0 to n - 1 do
+            if base_admissible i j then begin
+              let l = mean_latency asis i j in
+              if l < !best_lat then begin
+                best_lat := l;
+                best := j
+              end;
+              if l <= budget then Hashtbl.replace within (i, j) ()
+            end
+          done;
+          if !best >= 0 && not (Hashtbl.mem within (i, !best)) then
+            Hashtbl.replace within (i, !best) ()
+        done;
+        fun i j -> Hashtbl.mem within (i, j) || Hashtbl.mem pinned (i, j)
+  in
+  let admissible i j = base_admissible i j && latency_ok i j in
   (* Column pruning for large estates: per group, keep only the cheapest
      candidate targets (pins always survive). *)
   let keep =

@@ -21,6 +21,11 @@ type options = {
       (** keep only this many cheapest targets per group (a standard
           column-pruning presolve for large estates); pinned targets are
           always kept *)
+  max_latency_ms : float option;
+      (** latency budget: exclude targets whose user-weighted mean
+          latency for the group exceeds this.  A group with no candidate
+          inside the budget keeps its fastest admissible target, and
+          pinned pairs always survive the filter. *)
 }
 
 val default_options : options

@@ -1,6 +1,8 @@
 (* The full oracle suite, in the order the driver lists and runs it. *)
 
-let props = Oracle_solver.props @ Oracle_serial.props @ Oracle_io.props
+let props =
+  Oracle_solver.props @ Oracle_serial.props @ Oracle_io.props
+  @ Oracle_scenario.props
 
 let find name =
   List.find_opt (fun p -> Check.prop_name p = name) props

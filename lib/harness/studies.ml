@@ -453,6 +453,108 @@ let e6_placement_growth () =
           results));
   results
 
+(* ------------------------------------------------------------------ E7 *)
+
+let e7_scenario_frontier () =
+  section "E7: scenario sweeps — cost vs resilience, replan vs cold";
+  (* Part A: DR sweep on Florida over early-warning window x spread ω,
+     through the service pool like any client sweep.  Every point is
+     scored under the strictest spec the grid reaches (here the 7200 s
+     warning window), so resilience is comparable across the column. *)
+  let base =
+    Service.Job.v ~id:"e7-florida" ~dr:true
+      ~milp:
+        { Service.Job.no_overrides with
+          Service.Job.node_limit = Some 2;
+          time_limit = Some 10.0 }
+      (Service.Job.Dataset
+         { name = "florida"; scale = 0.5; seed = 0; groups = 0; targets = 0 })
+  in
+  let grid =
+    { Service.Sweep.empty_grid with
+      Service.Sweep.warning_s = [ None; Some 7200.0 ];
+      omega = [ None; Some 0.5 ] }
+  in
+  let summary, points =
+    Service.Pool.with_pool ~workers:0 ~cache_capacity:16 (fun pool ->
+        let acc = ref [] in
+        let s =
+          Service.Sweep.run pool base grid ~f:(fun p -> acc := p :: !acc)
+        in
+        (s, List.rev !acc))
+  in
+  let on_frontier tag =
+    List.exists
+      (fun (p : Scenario.Pareto.point) -> p.Scenario.Pareto.tag = tag)
+      summary.Service.Sweep.frontier
+  in
+  let num = function Some f -> Printf.sprintf "%.2f" f | None -> "-" in
+  print_string
+    (Report.table
+       ~header:[ "grid point"; "cost/month"; "resilience"; "frontier" ]
+       (List.map
+          (fun (p : Service.Sweep.point) ->
+            [
+              p.Service.Sweep.tag;
+              num p.Service.Sweep.cost;
+              num p.Service.Sweep.resilience;
+              (if on_frontier p.Service.Sweep.tag then "*" else "");
+            ])
+          points));
+  Printf.printf "frontier: %d of %d points non-dominated\n%!"
+    (List.length summary.Service.Sweep.frontier)
+    summary.Service.Sweep.points;
+  (* Part B: incremental re-plan against estate drift.  Resize one group
+     and grow another's data (2 of M groups, well under 10% drift), then
+     compare a cold solve of the drifted estate with Delta.replan, which
+     pins every structurally-unchanged group to its previous primary and
+     warm-starts the tree. *)
+  let asis = Datasets.Florida.asis ~scale:0.5 () in
+  let milp = case_milp_for asis in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let previous, _ = time (fun () -> Solver.consolidate ~milp asis) in
+  let g0 = asis.Asis.groups.(0) and g1 = asis.Asis.groups.(1) in
+  let drifted =
+    Scenario.Delta.apply asis
+      [
+        Scenario.Delta.Resize (g0.App_group.name, g0.App_group.servers + 1);
+        Scenario.Delta.Scale_data (g1.App_group.name, 1.1);
+      ]
+  in
+  let cold, cold_s = time (fun () -> Solver.consolidate ~milp drifted) in
+  let warm, warm_s =
+    time (fun () ->
+        Scenario.Delta.replan ~milp
+          ~previous:(asis, previous.Solver.placement)
+          drifted)
+  in
+  print_string
+    (Report.table
+       ~header:[ "re-plan of drifted estate"; "cost/month"; "wall s" ]
+       [
+         [
+           "cold solve";
+           Printf.sprintf "%.2f" (Evaluate.total cold.Solver.summary.Evaluate.cost);
+           Printf.sprintf "%.3f" cold_s;
+         ];
+         [
+           Printf.sprintf "warm re-plan (%d of %d groups pinned)"
+             warm.Scenario.Delta.pinned (Asis.num_groups drifted);
+           Printf.sprintf "%.2f"
+             (Evaluate.total
+                warm.Scenario.Delta.outcome.Solver.summary.Evaluate.cost);
+           Printf.sprintf "%.3f" warm_s;
+         ];
+       ]);
+  Printf.printf "replan speed-up: %.1fx (%d groups changed of %d)\n%!"
+    (cold_s /. Float.max warm_s 1e-9)
+    2 (Asis.num_groups asis);
+  (summary, (cold_s, warm_s))
+
 let all () =
   e0_datasets ();
   ignore (e1_consolidation ());
@@ -460,4 +562,5 @@ let all () =
   ignore (e3_latency_penalty ());
   ignore (e4_dr_server_cost ());
   ignore (e5_space_wan_tradeoff ());
-  ignore (e6_placement_growth ())
+  ignore (e6_placement_growth ());
+  ignore (e7_scenario_frontier ())

@@ -42,5 +42,12 @@ val e5_space_wan_tradeoff : unit -> (int * float * float * float) list * float
     returns [(n_groups, dcs_used, first_locations)] per sweep point. *)
 val e6_placement_growth : unit -> (int * int * int list) list
 
+(** E7 — scenario engine: a Florida DR sweep over early-warning window x
+    spread ω with its cost-vs-resilience Pareto frontier, then a
+    replan-vs-cold wall-clock comparison on a 2-group drift of the same
+    estate.  Returns the sweep summary and [(cold_s, warm_s)]. *)
+val e7_scenario_frontier :
+  unit -> Service.Sweep.summary * (float * float)
+
 (** Run everything in order. *)
 val all : unit -> unit

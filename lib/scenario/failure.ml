@@ -1,0 +1,194 @@
+open Etransform
+
+type spec = {
+  radius_km : float option;
+  max_concurrent : int;
+  warning_s : float option;
+  link_mb_s : float;
+}
+
+let default =
+  { radius_km = None; max_concurrent = 1; warning_s = None; link_mb_s = 1000.0 }
+
+let is_default s = s = default
+
+(* ------------------------------------------------------------ geography *)
+
+(* Estates carry no coordinates, only DC names.  Geography is synthesized
+   deterministically: a DC whose name mentions a gazetteer metro sits at
+   that metro; anything else hashes into the gazetteer with a small
+   name-derived jitter, so distinct anonymous DCs land at distinct but
+   stable points.  Determinism matters twice over — job fingerprints
+   assume a scenario'd solve is a pure function of the job, and the sweep
+   oracles re-derive the same sites run after run. *)
+
+let ascii_lower s = String.lowercase_ascii s
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n > 0 && go 0
+
+let named_place name =
+  let lname = ascii_lower name in
+  Array.fold_left
+    (fun acc (pl : Geo.Places.place) ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if contains ~affix:(ascii_lower pl.Geo.Places.loc.Geo.Location.name) lname
+          then Some pl.Geo.Places.loc
+          else None)
+    None Geo.Places.all
+
+let site_of_name name =
+  match named_place name with
+  | Some loc -> Geo.Location.v ~name ~lat:loc.Geo.Location.lat ~lon:loc.Geo.Location.lon
+  | None ->
+      let h = Hashtbl.hash name in
+      let h2 = Hashtbl.hash (name ^ "#lat") in
+      let h3 = Hashtbl.hash (name ^ "#lon") in
+      let base = Geo.Places.all.(h mod Array.length Geo.Places.all) in
+      let jitter h = (float_of_int (h mod 1000) /. 1000.0 -. 0.5) *. 2.0 in
+      let lat =
+        Float.max (-85.0)
+          (Float.min 85.0 (base.Geo.Places.loc.Geo.Location.lat +. jitter h2))
+      in
+      let lon = base.Geo.Places.loc.Geo.Location.lon +. jitter h3 in
+      Geo.Location.v ~name ~lat ~lon
+
+let sites asis =
+  Array.map
+    (fun (dc : Data_center.t) -> site_of_name dc.Data_center.name)
+    asis.Asis.targets
+
+(* --------------------------------------------------------------- events *)
+
+(* Hard cap on the compiled event count: each event adds O(n) pool rows
+   to the stage-2 MILP, and multi-failure unions grow combinatorially.
+   Enumeration is breadth-first by union size, so the cap drops the
+   widest (least likely) combinations first. *)
+let max_events = 256
+
+let events ?(spec = default) sites =
+  let n = Array.length sites in
+  let within a b =
+    match spec.radius_km with
+    | None -> a = b
+    | Some r -> a = b || Geo.Location.distance_km sites.(a) sites.(b) <= r
+  in
+  (* One base event per site: its correlated-failure region. *)
+  let base =
+    List.init n (fun a ->
+        List.init n Fun.id |> List.filter (fun b -> within a b))
+  in
+  let seen = Hashtbl.create 64 in
+  let out = ref [] and count = ref 0 in
+  let add ev =
+    let ev = List.sort_uniq compare ev in
+    if (not (Hashtbl.mem seen ev)) && !count < max_events then begin
+      Hashtbl.add seen ev ();
+      out := ev :: !out;
+      incr count
+    end
+  in
+  (* Unions of up to [max_concurrent] base regions, smallest unions
+     first so singleton regions keep their historical order. *)
+  let base_arr = Array.of_list base in
+  let nb = Array.length base_arr in
+  let rec combos k start acc =
+    if k = 0 then add acc
+    else
+      for i = start to nb - 1 do
+        combos (k - 1) (i + 1) (List.rev_append base_arr.(i) acc)
+      done
+  in
+  let k_max = max 1 spec.max_concurrent in
+  for k = 1 to min k_max nb do
+    combos k 0 []
+  done;
+  Array.of_list (List.rev !out)
+
+let evac_mb spec =
+  Option.map (fun w -> spec.link_mb_s *. Float.max 0.0 w) spec.warning_s
+
+let compile spec asis =
+  let sites = sites asis in
+  { Dr_planner.events = events ~spec sites; evac_mb = evac_mb spec }
+
+(* ----------------------------------------------------------- resilience *)
+
+type scored = {
+  resilience : float;
+  surviving_servers : int;
+  total_servers : int;
+  worst_event : int list;
+}
+
+(* Server-weighted fraction of the estate that survives the worst single
+   failure event: a group survives an event unless its primary is in the
+   event and either it has no backup, its backup is also in the event, or
+   its data could not be evacuated to the backup inside the warning
+   window.  Evacuation is scored per (primary, backup) link: groups
+   claim the link budget in index order, mirroring the deterministic
+   order the planner's constraints see. *)
+let score ?(spec = default) asis sites (placement : Placement.t) =
+  let evs = events ~spec sites in
+  let budget = evac_mb spec in
+  let m = Asis.num_groups asis in
+  let primary = placement.Placement.primary in
+  let secondary = placement.Placement.secondary in
+  (* Which groups are evacuable, given per-link budgets claimed in group
+     index order. *)
+  let evacuable =
+    match (budget, secondary) with
+    | None, _ -> Array.make m true
+    | Some _, None -> Array.make m true
+    | Some budget, Some sec ->
+        let n = Asis.num_targets asis in
+        let used = Array.make_matrix n n 0.0 in
+        Array.init m (fun i ->
+            let a = primary.(i) and b = sec.(i) in
+            let d = asis.Asis.groups.(i).App_group.data_mb_month in
+            if a = b then true
+            else begin
+              let ok = used.(a).(b) +. d <= budget +. 1e-9 in
+              if ok then used.(a).(b) <- used.(a).(b) +. d;
+              ok
+            end)
+  in
+  let total = Asis.total_servers asis in
+  let worst = ref [] and worst_surv = ref total in
+  Array.iter
+    (fun ev ->
+      let surv = ref 0 in
+      for i = 0 to m - 1 do
+        let s = asis.Asis.groups.(i).App_group.servers in
+        let survives =
+          if not (List.mem primary.(i) ev) then true
+          else
+            match secondary with
+            | None -> false
+            | Some sec ->
+                (not (List.mem sec.(i) ev))
+                && sec.(i) <> primary.(i)
+                && evacuable.(i)
+        in
+        if survives then surv := !surv + s
+      done;
+      if !surv < !worst_surv then begin
+        worst_surv := !surv;
+        worst := ev
+      end)
+    evs;
+  {
+    resilience =
+      (if total = 0 then 1.0
+       else float_of_int !worst_surv /. float_of_int total);
+    surviving_servers = !worst_surv;
+    total_servers = total;
+    worst_event = !worst;
+  }
+
+let resilience ?spec asis sites placement =
+  (score ?spec asis sites placement).resilience

@@ -1,0 +1,82 @@
+(** Richer disaster-recovery failure models over DC geography.
+
+    The paper's DR stage assumes exactly one site fails at a time.  This
+    module compiles two generalizations from the related work down to
+    the {!Etransform.Dr_planner.scenario} constraint form, so the MILP
+    core is reused unchanged:
+
+    - {b correlated-region / multi-failure events}: every target DC gets
+      deterministic coordinates (see {!sites}); a failure radius turns
+      each site into a correlated region (all sites within the radius
+      fail together), and [max_concurrent] > 1 additionally unions up to
+      that many regions into one event — shared pools must then absorb
+      the joint failover of each event;
+    - {b ε-time early-warning evacuation}: with a warning window of
+      [warning_s] seconds and [link_mb_s] of evacuation bandwidth per
+      primary→backup link, at most [link_mb_s x warning_s] MB of data is
+      recoverable per link, bounding which groups a backup site can
+      actually protect.
+
+    Both compile to extra rows/exclusions in the stage-2 model;
+    {!score} evaluates any plan against the same event set. *)
+
+type spec = {
+  radius_km : float option;
+      (** correlated-failure radius over {!sites}; [None] = sites fail
+          independently *)
+  max_concurrent : int;
+      (** simultaneous region failures per event (default 1) *)
+  warning_s : float option;
+      (** early-warning window in seconds; [None] = no evacuation bound *)
+  link_mb_s : float;
+      (** evacuation bandwidth per primary→backup link, MB/s (default 1000) *)
+}
+
+(** Single independent failures, no evacuation bound — the paper's model. *)
+val default : spec
+
+val is_default : spec -> bool
+
+(** Deterministic synthetic geography for an estate's target DCs: a DC
+    whose name mentions a {!Geo.Places} metro sits at that metro; others
+    hash into the gazetteer with a stable name-derived jitter.  A pure
+    function of the DC names — job fingerprints rely on this. *)
+val sites : Etransform.Asis.t -> Geo.Location.t array
+
+(** The synthetic site for one DC name — the per-element function behind
+    {!sites}. *)
+val site_of_name : string -> Geo.Location.t
+
+(** [events ~spec sites] enumerates the compiled failure events: unions
+    of up to [spec.max_concurrent] correlated regions, each event the
+    sorted list of failing target indices, deduplicated, smallest unions
+    first, capped at 256 events.  With the default spec this is exactly
+    one singleton event per site. *)
+val events : ?spec:spec -> Geo.Location.t array -> int list array
+
+(** Per-link evacuation budget in MB ([link_mb_s x warning_s]), if any. *)
+val evac_mb : spec -> float option
+
+(** Compile a spec against an estate into the planner's constraint form. *)
+val compile : spec -> Etransform.Asis.t -> Etransform.Dr_planner.scenario
+
+type scored = {
+  resilience : float;
+      (** server-weighted fraction surviving the worst single event *)
+  surviving_servers : int;
+  total_servers : int;
+  worst_event : int list;  (** the event realizing the minimum *)
+}
+
+(** [score ~spec asis sites placement] evaluates a plan against the
+    spec's event set: a group survives an event unless its primary is in
+    the event and its backup is missing, co-failing, or not evacuable
+    within the warning window.  Deterministic in all inputs. *)
+val score :
+  ?spec:spec -> Etransform.Asis.t -> Geo.Location.t array ->
+  Etransform.Placement.t -> scored
+
+(** Just the [resilience] field of {!score}. *)
+val resilience :
+  ?spec:spec -> Etransform.Asis.t -> Geo.Location.t array ->
+  Etransform.Placement.t -> float

@@ -1,0 +1,27 @@
+type point = { cost : float; resilience : float; tag : string }
+
+let dominates a b =
+  (a.cost <= b.cost && a.resilience >= b.resilience)
+  && (a.cost < b.cost || a.resilience > b.resilience)
+
+(* Canonical order: cheaper first, then more resilient, then tag.  The
+   frontier scan keeps a point only when it is strictly more resilient
+   than everything cheaper — so duplicates collapse and the result is
+   independent of input order, which the fuzz oracle pins down. *)
+let compare_points a b =
+  match Float.compare a.cost b.cost with
+  | 0 -> (
+      match Float.compare b.resilience a.resilience with
+      | 0 -> String.compare a.tag b.tag
+      | c -> c)
+  | c -> c
+
+let frontier points =
+  let sorted = List.sort compare_points points in
+  let rec scan best acc = function
+    | [] -> List.rev acc
+    | p :: rest ->
+        if p.resilience > best then scan p.resilience (p :: acc) rest
+        else scan best acc rest
+  in
+  scan neg_infinity [] sorted

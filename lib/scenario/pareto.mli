@@ -1,0 +1,17 @@
+(** Cost-vs-resilience Pareto frontiers for scenario sweeps. *)
+
+type point = {
+  cost : float;        (** total monthly cost of the plan *)
+  resilience : float;  (** {!Failure.score} resilience of the plan *)
+  tag : string;        (** grid-point label, used as a deterministic tiebreak *)
+}
+
+(** [dominates a b]: [a] is no worse on both axes and strictly better on
+    at least one. *)
+val dominates : point -> point -> bool
+
+(** Non-dominated subset, sorted by increasing cost (and strictly
+    increasing resilience).  Deterministic and insensitive to input
+    order: ties on both axes collapse to the lexicographically smallest
+    tag. *)
+val frontier : point list -> point list

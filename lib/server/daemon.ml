@@ -198,6 +198,108 @@ let handle_batch t rc out body ~keep =
   Http.finish_chunked ch;
   200
 
+(* POST /sweep: one job spec plus a ["grid"] member -> chunked NDJSON,
+   one line per grid point in grid order as each completes, then one
+   terminal frontier line.  The first point is admitted with [try_submit]
+   BEFORE any response bytes leave, so a saturated pool sheds the whole
+   sweep as a clean 503 + Retry-After — exactly like /solve — instead of
+   aborting a started stream.  Subsequent points ride the same sliding
+   window discipline as /batch. *)
+let handle_sweep t rc out body ~keep =
+  let t0 = now () in
+  let text = Http.read_all body in
+  match Json.parse text with
+  | Error msg ->
+      Http.respond out ~status:400 ~headers:json_headers ~keep_alive:keep
+        (error_body "invalid" ("body is not JSON: " ^ msg));
+      400
+  | Ok j -> (
+      match Sweep.request_of_json ?resolve:t.resolve j with
+      | Error msg ->
+          Http.respond out ~status:400 ~headers:json_headers ~keep_alive:keep
+            (error_body "invalid" msg);
+          400
+      | Ok (base, grid) -> (
+          let points = Sweep.expand base grid in
+          let tag0, job0 = List.hd points in
+          match Pool.try_submit t.pool job0 with
+          | None ->
+              Http.respond out ~status:503
+                ~headers:(("Retry-After", "1") :: json_headers)
+                ~keep_alive:keep
+                (error_body "busy" "job queue is full; retry shortly");
+              503
+          | Some ticket0 ->
+              let ctx = Sweep.ctx base grid in
+              let ch =
+                Http.start_chunked_out out ~status:200 ~headers:ndjson_headers
+                  ~keep_alive:keep ()
+              in
+              let window = max 1 (Pool.queue_capacity t.pool) in
+              let pending : (string * Pool.ticket) Queue.t = Queue.create () in
+              let acc = ref [] in
+              let emit line = Http.write_chunk ch (line ^ "\n") in
+              let rec emit_ready () =
+                match Queue.peek_opt pending with
+                | Some (tag, ticket) -> (
+                    match Pool.poll ticket with
+                    | Some r ->
+                        ignore (Queue.pop pending);
+                        let p = Sweep.point ctx ~tag r in
+                        acc := p :: !acc;
+                        emit (Sweep.point_line p);
+                        emit_ready ()
+                    | None -> ())
+                | None -> ()
+              in
+              Fun.protect
+                ~finally:(fun () -> Reactor.set_on_signal rc None)
+                (fun () ->
+                  Reactor.set_on_signal rc (Some emit_ready);
+                  let watch ticket =
+                    Pool.on_complete ticket (fun _ -> Reactor.notify rc)
+                  in
+                  watch ticket0;
+                  Queue.push (tag0, ticket0) pending;
+                  let rec submit tag job =
+                    match Pool.try_submit t.pool job with
+                    | Some ticket ->
+                        watch ticket;
+                        Queue.push (tag, ticket) pending
+                    | None ->
+                        if Queue.is_empty pending then Reactor.sleep rc 0.005
+                        else Reactor.wait_signal rc;
+                        emit_ready ();
+                        submit tag job
+                  in
+                  let rec main todo =
+                    emit_ready ();
+                    if Queue.length pending >= window then begin
+                      Reactor.wait_signal rc;
+                      main todo
+                    end
+                    else
+                      match todo with
+                      | [] ->
+                          let rec drain () =
+                            emit_ready ();
+                            if not (Queue.is_empty pending) then begin
+                              Reactor.wait_signal rc;
+                              drain ()
+                            end
+                          in
+                          drain ()
+                      | (tag, job) :: rest ->
+                          submit tag job;
+                          main rest
+                  in
+                  main (List.tl points));
+              let s = Sweep.summarize ~wall_s:(now () -. t0) (List.rev !acc) in
+              emit (Sweep.frontier_line s);
+              Sweep.emit_trace t.pool s;
+              Http.finish_chunked ch;
+              200))
+
 let handle_healthz t out ~keep =
   let body =
     Json.to_string
@@ -236,9 +338,11 @@ let handle_request t rc out conn req ~started =
         ("/solve", fun () -> handle_solve t rc out body ~keep)
     | Http.POST, "/batch" ->
         ("/batch", fun () -> handle_batch t rc out body ~keep)
+    | Http.POST, "/sweep" ->
+        ("/sweep", fun () -> handle_sweep t rc out body ~keep)
     | Http.GET, "/healthz" -> ("/healthz", fun () -> handle_healthz t out ~keep)
     | Http.GET, "/metrics" -> ("/metrics", fun () -> handle_metrics t out ~keep)
-    | _, ("/solve" | "/batch" | "/healthz" | "/metrics") ->
+    | _, ("/solve" | "/batch" | "/sweep" | "/healthz" | "/metrics") ->
         ( req.Http.path,
           fun () ->
             Http.respond out ~status:405 ~headers:json_headers ~keep_alive:keep

@@ -13,6 +13,13 @@
       sliding window bounded by the queue capacity; the response is
       chunked, one result line per job in input order, and lines start
       flowing while the request body is still being received.
+    - [POST /sweep] — one job spec plus a ["grid"] member
+      ({!Service.Sweep}); the response is chunked NDJSON, one line per
+      grid point in grid order as each completes, closed by a
+      cost-vs-resilience Pareto frontier line.  Replies [400] on a
+      malformed spec or oversized grid, and — before any stream bytes —
+      [503] with [Retry-After] when the pool queue is full, matching
+      [/solve].
     - [GET /healthz] — liveness plus pool shape as a JSON object.
     - [GET /metrics] — the {!Service.Metrics} registry in Prometheus
       text format: HTTP requests by route/status, job outcomes, solve

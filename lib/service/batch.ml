@@ -113,6 +113,37 @@ let milp_of_json j =
       let* cuts = bool_opt "cuts" in
       Ok { Job.node_limit; time_limit; gap_tol; workers; branching; pump; cuts }
 
+let scenario_of_json j =
+  match Json.member "scenario" j with
+  | None -> Ok Job.no_scenario
+  | Some sj ->
+      let float_opt key =
+        match Json.member key sj with
+        | None | Some Json.Null -> Ok None
+        | Some v -> (
+            match Json.to_float v with
+            | Some f -> Ok (Some f)
+            | None ->
+                Error (Printf.sprintf "scenario field %S must be a number" key))
+      in
+      let int_opt key =
+        match Json.member key sj with
+        | None | Some Json.Null -> Ok None
+        | Some v -> (
+            match Json.to_int v with
+            | Some i -> Ok (Some i)
+            | None ->
+                Error
+                  (Printf.sprintf "scenario field %S must be an integer" key))
+      in
+      let* radius_km = float_opt "radius_km" in
+      let* max_concurrent = int_opt "max_concurrent" in
+      let* warning_s = float_opt "warning_s" in
+      let* link_mb_s = float_opt "link_mb_s" in
+      let* max_latency_ms = float_opt "max_latency_ms" in
+      Ok
+        { Job.radius_km; max_concurrent; warning_s; link_mb_s; max_latency_ms }
+
 let job_of_json ?resolve j =
   match j with
   | Json.Obj _ ->
@@ -125,6 +156,7 @@ let job_of_json ?resolve j =
       let* reserve = opt_field field_float j "reserve" in
       let* dr_server_cost = opt_field field_float j "dr_server_cost" in
       let* milp = milp_of_json j in
+      let* scenario = scenario_of_json j in
       let* deadline_s = opt_field field_float j "deadline_s" in
       let* degrade = field_bool j "degrade" true in
       Ok
@@ -138,6 +170,7 @@ let job_of_json ?resolve j =
           reserve;
           dr_server_cost;
           milp;
+          scenario;
           deadline_s;
           degrade;
         }

@@ -29,6 +29,23 @@ let no_overrides =
     cuts = None;
   }
 
+type scenario_overrides = {
+  radius_km : float option;
+  max_concurrent : int option;
+  warning_s : float option;
+  link_mb_s : float option;
+  max_latency_ms : float option;
+}
+
+let no_scenario =
+  {
+    radius_km = None;
+    max_concurrent = None;
+    warning_s = None;
+    link_mb_s = None;
+    max_latency_ms = None;
+  }
+
 type t = {
   id : string;
   estate : estate;
@@ -39,13 +56,15 @@ type t = {
   reserve : float option;
   dr_server_cost : float option;
   milp : milp_overrides;
+  scenario : scenario_overrides;
   deadline_s : float option;
   degrade : bool;
 }
 
 let v ?(id = "") ?(dr = false) ?(economies_of_scale = false)
     ?(fixed_charges = false) ?omega ?reserve ?dr_server_cost
-    ?(milp = no_overrides) ?deadline_s ?(degrade = true) estate =
+    ?(milp = no_overrides) ?(scenario = no_scenario) ?deadline_s
+    ?(degrade = true) estate =
   {
     id;
     estate;
@@ -56,6 +75,7 @@ let v ?(id = "") ?(dr = false) ?(economies_of_scale = false)
     reserve;
     dr_server_cost;
     milp;
+    scenario;
     deadline_s;
     degrade;
   }
@@ -73,9 +93,12 @@ let estate_key = function
   | Inline { key; _ } -> "inline:" ^ key
 
 (* One fixed field order; delivery-only fields (id, deadline_s, degrade)
-   are deliberately absent so retries and tighter deadlines still hit. *)
+   are deliberately absent so retries and tighter deadlines still hit.
+   Scenario fields join the serialization only when set at all, so every
+   fingerprint minted before the scenario engine existed — including the
+   sweep grid's plain points — is unchanged. *)
 let canonical job =
-  String.concat "|"
+  let base =
     [
       "v2";
       estate_key job.estate;
@@ -93,6 +116,19 @@ let canonical job =
       "pump=" ^ opt string_of_bool job.milp.pump;
       "cuts=" ^ opt string_of_bool job.milp.cuts;
     ]
+  in
+  let scen =
+    if job.scenario = no_scenario then []
+    else
+      [
+        "radius=" ^ opt fl job.scenario.radius_km;
+        "conc=" ^ opt string_of_int job.scenario.max_concurrent;
+        "warn=" ^ opt fl job.scenario.warning_s;
+        "link=" ^ opt fl job.scenario.link_mb_s;
+        "maxlat=" ^ opt fl job.scenario.max_latency_ms;
+      ]
+  in
+  String.concat "|" (base @ scen)
 
 let fingerprint job = Digest.to_hex (Digest.string (canonical job))
 
@@ -124,6 +160,18 @@ let build_estate job =
         Etransform.Asis.params =
           { asis.Etransform.Asis.params with Etransform.Asis.dr_server_cost = zeta };
       }
+
+let failure_spec job =
+  let d = Scenario.Failure.default in
+  {
+    Scenario.Failure.radius_km = job.scenario.radius_km;
+    max_concurrent =
+      Option.value job.scenario.max_concurrent
+        ~default:d.Scenario.Failure.max_concurrent;
+    warning_s = job.scenario.warning_s;
+    link_mb_s =
+      Option.value job.scenario.link_mb_s ~default:d.Scenario.Failure.link_mb_s;
+  }
 
 let milp_options job =
   let base = Etransform.Solver.default_milp_options in

@@ -43,6 +43,22 @@ type milp_overrides = {
 
 val no_overrides : milp_overrides
 
+(** Failure-scenario overrides mapped onto {!Scenario.Failure.default};
+    [None] keeps the default.  [max_latency_ms] is the stage-1 latency
+    budget ({!Etransform.Lp_builder.options}).  All-[None]
+    ({!no_scenario}) means the paper's model, and — unlike the MILP
+    overrides — contributes nothing to the fingerprint, so legacy job
+    fingerprints are unchanged. *)
+type scenario_overrides = {
+  radius_km : float option;
+  max_concurrent : int option;
+  warning_s : float option;
+  link_mb_s : float option;
+  max_latency_ms : float option;
+}
+
+val no_scenario : scenario_overrides
+
 type t = {
   id : string;                    (** client tag echoed in results *)
   estate : estate;
@@ -53,6 +69,7 @@ type t = {
   reserve : float option;         (** DR stage-1 capacity reservation *)
   dr_server_cost : float option;  (** override ζ on the built estate *)
   milp : milp_overrides;
+  scenario : scenario_overrides;  (** richer DR failure model / latency budget *)
   deadline_s : float option;
       (** wall-clock budget from submission; an expired deadline degrades
           (or fails) the job instead of starting the MILP *)
@@ -73,6 +90,7 @@ val v :
   ?reserve:float ->
   ?dr_server_cost:float ->
   ?milp:milp_overrides ->
+  ?scenario:scenario_overrides ->
   ?deadline_s:float ->
   ?degrade:bool ->
   estate -> t
@@ -87,6 +105,11 @@ val fingerprint : t -> string
 
 (** Materialize the estate, applying [dr_server_cost] when set. *)
 val build_estate : t -> Etransform.Asis.t
+
+(** The job's {!Scenario.Failure.spec}: defaults plus the scenario
+    overrides (ignoring [max_latency_ms], which lives in the stage-1
+    builder). *)
+val failure_spec : t -> Scenario.Failure.spec
 
 (** Solver budgets: {!Etransform.Solver.default_milp_options} plus the
     job's overrides. *)

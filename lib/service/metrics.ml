@@ -241,4 +241,23 @@ let observe_trace t fields =
         (num "solve_s")
   | Some "batch" ->
       incr t "etransform_batches_total" ~help:"Batches completed"
+  | Some "sweep" ->
+      incr t "etransform_sweeps_total" ~help:"Parameter sweeps completed";
+      let points = Option.value ~default:0.0 (num "points") in
+      let hits = Option.value ~default:0.0 (num "cache_hits") in
+      let points_help =
+        "Sweep grid points solved, by plan-cache disposition"
+      in
+      if hits > 0.0 then
+        incr t "etransform_sweep_points_total" ~help:points_help
+          ~labels:[ ("cache", "hit") ] ~by:hits;
+      if points -. hits > 0.0 then
+        incr t "etransform_sweep_points_total" ~help:points_help
+          ~labels:[ ("cache", "miss") ]
+          ~by:(points -. hits);
+      Option.iter
+        (fun n ->
+          set t "etransform_sweep_frontier_size"
+            ~help:"Non-dominated points on the last sweep's frontier" n)
+        (num "frontier")
   | _ -> ()

@@ -41,7 +41,16 @@ let now () = Unix.gettimeofday ()
 (* ------------------------------------------------------- job execution *)
 
 let solve job asis ~milp =
+  let max_latency_ms = job.Job.scenario.Job.max_latency_ms in
   if job.Job.dr then
+    (* A spec that is still the paper's model (only a latency budget set,
+       say) compiles to no scenario at all, keeping the byte-identical
+       default stage-2 path and its local-search polish. *)
+    let scenario =
+      let spec = Job.failure_spec job in
+      if Scenario.Failure.is_default spec then None
+      else Some (Scenario.Failure.compile spec asis)
+    in
     let options =
       {
         Dr_planner.default_options with
@@ -51,6 +60,8 @@ let solve job asis ~milp =
         reserve =
           Option.value job.Job.reserve
             ~default:Dr_planner.default_options.Dr_planner.reserve;
+        scenario;
+        max_latency_ms;
       }
     in
     Dr_planner.plan ~options asis
@@ -61,6 +72,7 @@ let solve job asis ~milp =
         Lp_builder.economies_of_scale = job.Job.economies_of_scale;
         fixed_charges = job.Job.fixed_charges;
         omega = job.Job.omega;
+        max_latency_ms;
       }
     in
     Solver.consolidate ~builder ~milp asis
@@ -292,6 +304,7 @@ let create ?(workers = 2) ?(queue_capacity = 64) ?(cache_capacity = 256)
 let workers t = t.workers
 let queue_capacity t = t.queue_capacity
 let cache t = t.cache
+let trace t = t.trace
 
 let queue_depth t =
   Mutex.lock t.m;

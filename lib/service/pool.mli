@@ -59,6 +59,11 @@ val workers : t -> int
 val queue_capacity : t -> int
 val cache : t -> Etransform.Solver.outcome Cache.t
 
+(** The trace sink the pool was created with ({!Trace.null} by default) —
+    lets layered drivers (sweeps above all) emit their own summary events
+    into the same stream. *)
+val trace : t -> Trace.t
+
 (** Jobs currently waiting in the queue (excludes the ones workers are
     executing).  Always [0] on inline ([workers = 0]) pools. *)
 val queue_depth : t -> int

@@ -21,6 +21,7 @@ let () =
       ("harness", Test_harness.suite);
       ("migration", Test_migration.suite);
       ("service", Test_service.suite);
+      ("scenario", Test_scenario.suite);
       ("server", Test_server.suite);
       ("check", Test_check.suite);
       ("http-edge", Test_http_edge.suite);

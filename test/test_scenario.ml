@@ -1,0 +1,542 @@
+(* The scenario engine: synthetic geography, failure events, evacuation
+   budgets, resilience scoring, Pareto frontiers, estate deltas, and the
+   sweep grid algebra (expansion, fingerprint collapse, scoring spec). *)
+
+open Etransform
+module F = Scenario.Failure
+module P = Scenario.Pareto
+module D = Scenario.Delta
+
+(* Three targets at known metros: London and Paris are ~344 km apart,
+   Dallas is an ocean away.  Groups are the hand-computable fixture set
+   (servers 4, 3, 5, 2 — 14 total). *)
+let geo_asis () =
+  let targets =
+    [|
+      Fixtures.dc "London hub" 10 100.0 1e-3 1.0 1300.0 [| 5.0; 20.0 |];
+      Fixtures.dc "Paris hub" 10 80.0 2e-3 2.0 2600.0 [| 20.0; 5.0 |];
+      Fixtures.dc "Dallas hub" 20 120.0 1e-3 1.0 1300.0 [| 10.0; 10.0 |];
+    |]
+  in
+  let current =
+    [|
+      Fixtures.dc "east wing" 7 150.0 2e-3 1.0 1300.0 [| 15.0; 25.0 |];
+      Fixtures.dc "west wing" 7 160.0 2e-3 2.0 2600.0 [| 25.0; 15.0 |];
+    |]
+  in
+  Asis.v ~params:Fixtures.params ~name:"geo"
+    ~groups:
+      [| Fixtures.group_0 (); Fixtures.group_1 (); Fixtures.group_2 ();
+         Fixtures.group_3 () |]
+    ~targets ~user_locations:[| "east"; "west" |] ~current
+    ~current_placement:[| 0; 0; 1; 1 |] ()
+
+(* ------------------------------------------------------------ geography *)
+
+let test_sites_named_and_deterministic () =
+  let asis = geo_asis () in
+  let sites = F.sites asis in
+  Alcotest.(check int) "one site per target" 3 (Array.length sites);
+  (* Named metros pin the DC to the gazetteer coordinates. *)
+  Alcotest.(check (float 1e-9)) "London lat" 51.51 sites.(0).Geo.Location.lat;
+  Alcotest.(check (float 1e-9)) "Paris lon" 2.35 sites.(1).Geo.Location.lon;
+  (* Anonymous names hash to stable, in-range, distinct coordinates. *)
+  let a = F.site_of_name "backend row 7" in
+  let b = F.site_of_name "backend row 8" in
+  Alcotest.(check bool) "stable" true (a = F.site_of_name "backend row 7");
+  Alcotest.(check bool) "distinct" true
+    (a.Geo.Location.lat <> b.Geo.Location.lat
+    || a.Geo.Location.lon <> b.Geo.Location.lon);
+  Alcotest.(check bool) "lat clamped" true
+    (Float.abs a.Geo.Location.lat <= 85.0)
+
+let test_events_default_singletons () =
+  let sites = F.sites (geo_asis ()) in
+  Alcotest.(check (array (list int))) "paper model: one site at a time"
+    [| [ 0 ]; [ 1 ]; [ 2 ] |]
+    (F.events sites)
+
+let test_events_radius_merges () =
+  let sites = F.sites (geo_asis ()) in
+  let spec = { F.default with F.radius_km = Some 400.0 } in
+  (* London and Paris fall in each other's region; Dallas stays alone.
+     The two identical {0,1} regions deduplicate. *)
+  Alcotest.(check (array (list int))) "correlated region"
+    [| [ 0; 1 ]; [ 2 ] |]
+    (F.events ~spec sites)
+
+let test_events_multi_failure () =
+  let sites = F.sites (geo_asis ()) in
+  let spec = { F.default with F.max_concurrent = 2 } in
+  Alcotest.(check (array (list int))) "singletons then pairs"
+    [| [ 0 ]; [ 1 ]; [ 2 ]; [ 0; 1 ]; [ 0; 2 ]; [ 1; 2 ] |]
+    (F.events ~spec sites);
+  (* The enumeration cap: 9 independent sites at max_concurrent 9 would
+     union to 511 events; the compiler stops at the cap, keeping the
+     smallest unions. *)
+  let many =
+    Array.init 9 (fun i ->
+        Geo.Location.v
+          ~name:(Printf.sprintf "s%d" i)
+          ~lat:(float_of_int i *. 5.0) ~lon:0.0)
+  in
+  let spec = { F.default with F.max_concurrent = 9 } in
+  let evs = F.events ~spec many in
+  Alcotest.(check int) "capped" 256 (Array.length evs);
+  Array.iteri
+    (fun i ev ->
+      if i < 9 then
+        Alcotest.(check (list int)) "singletons survive the cap" [ i ] ev)
+    evs
+
+let test_evac_budget () =
+  Alcotest.(check (option (float 0.0))) "no warning, no bound" None
+    (F.evac_mb F.default);
+  Alcotest.(check (option (float 1e-6))) "bandwidth x window"
+    (Some 360_000.0)
+    (F.evac_mb { F.default with F.warning_s = Some 3600.0; link_mb_s = 100.0 });
+  Alcotest.(check (option (float 0.0))) "negative window clamps" (Some 0.0)
+    (F.evac_mb { F.default with F.warning_s = Some (-5.0) })
+
+let test_compile () =
+  let spec = { F.default with F.warning_s = Some 60.0 } in
+  let sc = F.compile spec (geo_asis ()) in
+  Alcotest.(check int) "singleton events" 3
+    (Array.length sc.Dr_planner.events);
+  Alcotest.(check (option (float 1e-6))) "evac budget" (Some 60_000.0)
+    sc.Dr_planner.evac_mb
+
+(* ----------------------------------------------------------- resilience *)
+
+let test_score_hand_computed () =
+  let asis = geo_asis () in
+  let sites = F.sites asis in
+  (* No DR: groups die with their primary.  Worst event is London's,
+     killing g0 (4 servers) and g3 (2) of the 14 total. *)
+  let s = F.score asis sites (Placement.non_dr [| 0; 1; 2; 0 |]) in
+  Alcotest.(check int) "total" 14 s.F.total_servers;
+  Alcotest.(check int) "worst survivors" 8 s.F.surviving_servers;
+  Alcotest.(check (list int)) "worst event" [ 0 ] s.F.worst_event;
+  Alcotest.(check (float 1e-9)) "resilience" (8.0 /. 14.0) s.F.resilience;
+  (* Distinct secondaries and no evacuation bound: everything survives. *)
+  let full =
+    Placement.with_dr ~primary:[| 0; 1; 2; 0 |] ~secondary:[| 1; 0; 0; 1 |] ()
+  in
+  Alcotest.(check (float 1e-9)) "full DR" 1.0 (F.resilience asis sites full);
+  (* A secondary equal to the primary protects nothing. *)
+  let degenerate =
+    Placement.with_dr ~primary:[| 0; 1; 2; 0 |] ~secondary:[| 0; 0; 0; 1 |] ()
+  in
+  Alcotest.(check (float 1e-9)) "self-backup dies" (10.0 /. 14.0)
+    (F.resilience asis sites degenerate)
+
+let test_score_evacuation_budget () =
+  let asis = geo_asis () in
+  let sites = F.sites asis in
+  (* 1500 MB per link: on the 0->1 link, g0 (1000 MB) claims first and
+     fits, g1 (2000 MB) cannot, g3 (100 MB) still fits behind g0.  g2
+     rides the uncontended 1->0 link. *)
+  let spec = { F.default with F.warning_s = Some 1500.0; link_mb_s = 1.0 } in
+  let p =
+    Placement.with_dr ~primary:[| 0; 0; 1; 0 |] ~secondary:[| 1; 1; 0; 1 |] ()
+  in
+  let s = F.score ~spec asis sites p in
+  Alcotest.(check (list int)) "worst is the shared link's primary" [ 0 ]
+    s.F.worst_event;
+  Alcotest.(check int) "g1 is stranded" 11 s.F.surviving_servers;
+  Alcotest.(check (float 1e-9)) "resilience" (11.0 /. 14.0) s.F.resilience
+
+let test_planner_respects_events () =
+  (* A compiled multi-failure scenario must still come back feasible, and
+     it can only help the scored resilience relative to the paper's
+     single-failure plan evaluated under the same spec. *)
+  let asis = Fixtures.synthetic ~seed:23 ~groups:12 ~targets:4 () in
+  let spec = { F.default with F.max_concurrent = 2 } in
+  let scenario = F.compile spec asis in
+  let options =
+    { Dr_planner.default_options with Dr_planner.scenario = Some scenario }
+  in
+  let o = Dr_planner.plan ~options asis in
+  Alcotest.(check (list string)) "feasible" []
+    (Placement.validate asis o.Solver.placement);
+  let sites = F.sites asis in
+  let plain = Dr_planner.plan asis in
+  let r_scen = F.resilience ~spec asis sites o.Solver.placement in
+  let r_plain = F.resilience ~spec asis sites plain.Solver.placement in
+  Alcotest.(check bool)
+    (Printf.sprintf "scenario plan %.3f >= plain plan %.3f" r_scen r_plain)
+    true
+    (r_scen >= r_plain -. 1e-9)
+
+(* --------------------------------------------------------------- pareto *)
+
+let test_pareto_frontier () =
+  let pt cost resilience tag = { P.cost; resilience; tag } in
+  let a = pt 10.0 0.5 "a"
+  and b = pt 12.0 0.9 "b"
+  and c = pt 11.0 0.4 "c" (* dominated by a *)
+  and d = pt 10.0 0.5 "d" (* duplicate of a; tag order keeps a *) in
+  Alcotest.(check bool) "a dominates c" true (P.dominates a c);
+  Alcotest.(check bool) "a does not dominate its duplicate" false
+    (P.dominates a d);
+  Alcotest.(check bool) "a does not dominate b" false (P.dominates a b);
+  let want = [ a; b ] in
+  Alcotest.(check bool) "frontier" true (P.frontier [ a; b; c; d ] = want);
+  Alcotest.(check bool) "order-insensitive" true
+    (P.frontier [ d; c; b; a ] = want);
+  Alcotest.(check bool) "empty" true (P.frontier [] = [])
+
+(* ---------------------------------------------------------------- delta *)
+
+let shared_risk_asis () =
+  let asis = geo_asis () in
+  let groups = Array.map Fun.id asis.Asis.groups in
+  groups.(1) <- { (groups.(1)) with App_group.colocate_avoid = [ 2 ] };
+  groups.(2) <- { (groups.(2)) with App_group.colocate_avoid = [ 1 ] };
+  { asis with Asis.groups }
+
+let test_delta_apply () =
+  let asis = shared_risk_asis () in
+  let extra =
+    App_group.v ~name:"g9" ~servers:6 ~data_mb_month:300.0
+      ~users:[| 5.0; 5.0 |] ()
+  in
+  let next =
+    D.apply asis
+      [
+        Retire "g0";
+        Resize ("g1", 7);
+        Scale_data ("g3", 2.0);
+        Add (extra, 1);
+      ]
+  in
+  Alcotest.(check (list string)) "still well-formed" [] (Asis.validate next);
+  let names = Array.to_list (Array.map (fun g -> g.App_group.name) next.Asis.groups) in
+  Alcotest.(check (list string)) "retire drops, add appends"
+    [ "g1"; "g2"; "g3"; "g9" ] names;
+  Alcotest.(check int) "resize" 7 next.Asis.groups.(0).App_group.servers;
+  Alcotest.(check (float 1e-9)) "scale_data" 200.0
+    next.Asis.groups.(2).App_group.data_mb_month;
+  (* Shared-risk indices survive the retirement: old 1<->2 becomes 0<->1. *)
+  Alcotest.(check (list int)) "avoid remapped" [ 1 ]
+    next.Asis.groups.(0).App_group.colocate_avoid;
+  Alcotest.(check (list int)) "avoid remapped back" [ 0 ]
+    next.Asis.groups.(1).App_group.colocate_avoid;
+  Alcotest.(check (array int)) "current placement follows"
+    [| 0; 1; 1; 1 |] next.Asis.current_placement
+
+let test_delta_fingerprint () =
+  let p = Placement.non_dr [| 0; 1; 2 |] in
+  Alcotest.(check string) "deterministic" (D.fingerprint p) (D.fingerprint p);
+  Alcotest.(check bool) "primary changes it" true
+    (D.fingerprint p <> D.fingerprint (Placement.non_dr [| 0; 1; 1 |]));
+  let dr =
+    Placement.with_dr ~primary:[| 0; 1; 2 |] ~secondary:[| 1; 0; 0 |] ()
+  in
+  Alcotest.(check bool) "secondaries change it" true
+    (D.fingerprint p <> D.fingerprint dr)
+
+let test_delta_pins_and_replan () =
+  let asis = geo_asis () in
+  let milp =
+    { Solver.default_milp_options with Lp.Milp.node_limit = 2000 }
+  in
+  let cold = Solver.consolidate ~milp ~local_search:false asis in
+  (* Unchanged estate: every group is structurally identical, so all pin. *)
+  let all = D.pins ~previous:(asis, cold.Solver.placement) asis in
+  Alcotest.(check int) "all groups pinned" 4 (List.length all);
+  List.iter
+    (fun (i, j) ->
+      Alcotest.(check int)
+        (Printf.sprintf "pin %d keeps the previous primary" i)
+        cold.Solver.placement.Placement.primary.(i)
+        j)
+    all;
+  (* Shared-risk groups are never pinned. *)
+  let risky = shared_risk_asis () in
+  Alcotest.(check int) "colocate_avoid blocks pinning" 2
+    (List.length (D.pins ~previous:(risky, cold.Solver.placement) risky));
+  (* Resize g1: it re-enters the optimization, the other three stay put. *)
+  let next = D.apply asis [ Resize ("g1", 4) ] in
+  let r =
+    D.replan ~milp ~local_search:false
+      ~previous:(asis, cold.Solver.placement) next
+  in
+  Alcotest.(check int) "three pinned" 3 r.D.pinned;
+  Alcotest.(check string) "names the previous plan"
+    (D.fingerprint cold.Solver.placement)
+    r.D.previous_fingerprint;
+  Alcotest.(check (list string)) "replan feasible" []
+    (Placement.validate next r.D.outcome.Solver.placement);
+  Array.iteri
+    (fun i j ->
+      if next.Asis.groups.(i).App_group.name <> "g1" then
+        Alcotest.(check int)
+          (Printf.sprintf "group %d stays put" i)
+          cold.Solver.placement.Placement.primary.(i)
+          j)
+    r.D.outcome.Solver.placement.Placement.primary;
+  (* A no-op delta warm-starts to exactly the previous cost. *)
+  let same =
+    D.replan ~milp ~local_search:false
+      ~previous:(asis, cold.Solver.placement) asis
+  in
+  Alcotest.(check (float 1e-6)) "no-op replan keeps the cost"
+    (Evaluate.total cold.Solver.summary.Evaluate.cost)
+    (Evaluate.total same.D.outcome.Solver.summary.Evaluate.cost)
+
+(* ---------------------------------------------------------------- sweep *)
+
+let line_milp =
+  {
+    Service.Job.no_overrides with
+    Service.Job.node_limit = Some 2;
+    time_limit = Some 20.0;
+  }
+
+let line_job ?id ?deadline_s ?(degrade = true) () =
+  Service.Job.v ?id ?deadline_s ~degrade ~milp:line_milp
+    (Harness.Line_jobs.estate ~penalty:40.0
+       {
+         Harness.Line_estate.default with
+         Harness.Line_estate.n_groups = 12;
+         frac_at_0 = 0.5;
+       })
+
+let test_sweep_expand () =
+  let base = line_job ~id:"s" () in
+  let grid =
+    {
+      Service.Sweep.empty_grid with
+      Service.Sweep.radius_km = [ None; Some 400.0 ];
+      max_concurrent = [ 1; 2 ];
+    }
+  in
+  Alcotest.(check int) "grid size" 4 (Service.Sweep.grid_points grid base);
+  let points = Service.Sweep.expand base grid in
+  Alcotest.(check (list string)) "fixed axis order"
+    [
+      "r=-;c=1;w=-;om=-;l=-";
+      "r=-;c=2;w=-;om=-;l=-";
+      "r=400;c=1;w=-;om=-;l=-";
+      "r=400;c=2;w=-;om=-;l=-";
+    ]
+    (List.map fst points);
+  let job_of i = snd (List.nth points i) in
+  Alcotest.(check string) "tag suffixed to the id" "s:r=-;c=2;w=-;om=-;l=-"
+    (job_of 1).Service.Job.id;
+  (* c=1 normalizes away; c=2 is recorded. *)
+  Alcotest.(check bool) "conc 1 normalizes to absent" true
+    ((job_of 0).Service.Job.scenario.Service.Job.max_concurrent = None);
+  Alcotest.(check bool) "conc 2 kept" true
+    ((job_of 1).Service.Job.scenario.Service.Job.max_concurrent = Some 2)
+
+let test_sweep_fingerprint_collapse () =
+  let base = line_job ~id:"a" () in
+  (* Axis values that coincide with the plain model normalize back to
+     no_scenario: the point IS the plain job, same content address. *)
+  let plain_grid =
+    {
+      Service.Sweep.empty_grid with
+      Service.Sweep.radius_km = [ None ];
+      max_concurrent = [ 1 ];
+      warning_s = [ None ];
+    }
+  in
+  (match Service.Sweep.expand base plain_grid with
+  | [ (_, job) ] ->
+      Alcotest.(check bool) "scenario collapses to no_scenario" true
+        (job.Service.Job.scenario = Service.Job.no_scenario);
+      Alcotest.(check string) "shares the plain job's fingerprint"
+        (Service.Job.fingerprint base)
+        (Service.Job.fingerprint job)
+  | pts -> Alcotest.failf "expected 1 point, got %d" (List.length pts));
+  (* Grid points differing only in delivery fields collapse to one
+     fingerprint: the swept id suffix, deadline and degrade are excluded
+     from the canonical form. *)
+  let scen_grid =
+    {
+      Service.Sweep.empty_grid with
+      Service.Sweep.warning_s = [ Some 3600.0 ];
+      max_concurrent = [ 2 ];
+    }
+  in
+  let of_base b =
+    List.map
+      (fun (_, j) -> Service.Job.fingerprint j)
+      (Service.Sweep.expand b scen_grid)
+  in
+  Alcotest.(check (list string)) "delivery-only deltas share fingerprints"
+    (of_base base)
+    (of_base (line_job ~id:"b" ~deadline_s:9.0 ~degrade:false ()));
+  (* But the scenario itself is load-bearing: a scenario'd point must
+     never collide with the plain job (the cache would serve the wrong
+     plan to /solve clients). *)
+  List.iter
+    (fun fp ->
+      Alcotest.(check bool) "scenario'd point differs from plain" true
+        (fp <> Service.Job.fingerprint base))
+    (of_base base);
+  (* And each scenario knob is part of the address. *)
+  let fp_of scenario =
+    Service.Job.fingerprint { base with Service.Job.scenario }
+  in
+  let s0 = Service.Job.no_scenario in
+  let distinct =
+    [
+      fp_of s0;
+      fp_of { s0 with Service.Job.radius_km = Some 100.0 };
+      fp_of { s0 with Service.Job.max_concurrent = Some 2 };
+      fp_of { s0 with Service.Job.warning_s = Some 60.0 };
+      fp_of { s0 with Service.Job.link_mb_s = Some 10.0 };
+      fp_of { s0 with Service.Job.max_latency_ms = Some 50.0 };
+    ]
+  in
+  Alcotest.(check int) "every knob is load-bearing"
+    (List.length distinct)
+    (List.length (List.sort_uniq compare distinct))
+
+let test_sweep_scoring_spec () =
+  let base = line_job () in
+  let grid =
+    {
+      Service.Sweep.radius_km = [ None; Some 100.0; Some 400.0 ];
+      max_concurrent = [ 1; 2 ];
+      warning_s = [ Some 7200.0; None; Some 3600.0 ];
+      omega = [ None; Some 0.5 ];
+      max_latency_ms = [];
+    }
+  in
+  let spec = Service.Sweep.scoring_spec base grid in
+  Alcotest.(check (option (float 0.0))) "largest radius" (Some 400.0)
+    spec.F.radius_km;
+  Alcotest.(check int) "highest concurrency" 2 spec.F.max_concurrent;
+  Alcotest.(check (option (float 0.0))) "tightest warning" (Some 3600.0)
+    spec.F.warning_s
+
+let test_sweep_request_of_json () =
+  let parse text =
+    match Service.Json.parse text with
+    | Ok j -> Service.Sweep.request_of_json ~resolve:Harness.Line_jobs.resolve j
+    | Error m -> Alcotest.failf "bad JSON: %s" m
+  in
+  (match
+     parse
+       {|{"id":"s","estate":{"kind":"line","n_groups":12},"milp":{"nodes":2,"time":20},"grid":{"radius_km":[null,400],"max_concurrent":[1,2]}}|}
+   with
+  | Ok (job, grid) ->
+      Alcotest.(check int) "4 points" 4 (Service.Sweep.grid_points grid job)
+  | Error m -> Alcotest.failf "valid request rejected: %s" m);
+  (* An oversized grid is rejected up front, before any solve. *)
+  let axis =
+    String.concat ","
+      (List.init (Service.Sweep.max_points + 1) string_of_int)
+  in
+  (match
+     parse
+       (Printf.sprintf
+          {|{"estate":{"kind":"line","n_groups":12},"grid":{"omega":[%s]}}|}
+          axis)
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized grid accepted");
+  match
+    parse {|{"estate":{"kind":"line","n_groups":12},"grid":{"omega":"x"}}|}
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed axis accepted"
+
+let test_sweep_run_and_cache () =
+  (* A 2-point sweep through a real pool: every line parses, the frontier
+     is non-empty, and re-sweeping the same grid is served entirely from
+     the plan cache.  The radius axis is inert for a non-DR job, which
+     keeps this fast while still exercising distinct fingerprints. *)
+  let base = line_job ~id:"s" () in
+  let grid =
+    {
+      Service.Sweep.empty_grid with
+      Service.Sweep.radius_km = [ None; Some 50.0 ];
+    }
+  in
+  let jsonl = Service.Trace.memory () in
+  let m = Service.Metrics.create () in
+  let trace =
+    Service.Trace.tee jsonl
+      (Service.Trace.observer (Service.Metrics.observe_trace m))
+  in
+  Service.Pool.with_pool ~workers:0 ~trace ~cache_capacity:16 (fun pool ->
+      let lines = ref [] in
+      let s1 =
+        Service.Sweep.run pool base grid ~f:(fun p ->
+            lines := Service.Sweep.point_line p :: !lines)
+      in
+      Alcotest.(check int) "2 points" 2 s1.Service.Sweep.points;
+      Alcotest.(check int) "cold run misses" 0 s1.Service.Sweep.cache_hits;
+      Alcotest.(check int) "2 lines streamed" 2 (List.length !lines);
+      List.iter
+        (fun line ->
+          match Service.Json.parse line with
+          | Error m -> Alcotest.failf "unparseable point line %S: %s" line m
+          | Ok j ->
+              Alcotest.(check bool) "has tag" true
+                (Service.Json.member "tag" j <> None);
+              Alcotest.(check bool) "has resilience" true
+                (Service.Json.member "resilience" j <> None))
+        !lines;
+      Alcotest.(check bool) "frontier non-empty" true
+        (s1.Service.Sweep.frontier <> []);
+      (match Service.Json.parse (Service.Sweep.frontier_line s1) with
+      | Error m -> Alcotest.failf "unparseable frontier line: %s" m
+      | Ok j ->
+          Alcotest.(check bool) "frontier member" true
+            (Service.Json.member "frontier" j <> None));
+      (* Same grid again: every point is a cache hit. *)
+      let s2 = Service.Sweep.run pool base grid ~f:ignore in
+      Alcotest.(check int) "repeat sweep all hits" 2
+        s2.Service.Sweep.cache_hits);
+  (* The trace fed the metrics registry: sweep totals and the
+     hit/miss-split point counter. *)
+  Alcotest.(check (option (float 0.0))) "sweeps counted" (Some 2.0)
+    (Service.Metrics.value m "etransform_sweeps_total");
+  Alcotest.(check (option (float 0.0))) "missed points" (Some 2.0)
+    (Service.Metrics.value m "etransform_sweep_points_total"
+       ~labels:[ ("cache", "miss") ]);
+  Alcotest.(check (option (float 0.0))) "hit points" (Some 2.0)
+    (Service.Metrics.value m "etransform_sweep_points_total"
+       ~labels:[ ("cache", "hit") ]);
+  Alcotest.(check (option (float 0.0))) "frontier gauge" (Some 1.0)
+    (Service.Metrics.value m "etransform_sweep_frontier_size")
+
+let suite =
+  [
+    Alcotest.test_case "sites: named metros and stable hashing" `Quick
+      test_sites_named_and_deterministic;
+    Alcotest.test_case "events: default is the paper's model" `Quick
+      test_events_default_singletons;
+    Alcotest.test_case "events: failure radius merges regions" `Quick
+      test_events_radius_merges;
+    Alcotest.test_case "events: multi-failure unions and cap" `Quick
+      test_events_multi_failure;
+    Alcotest.test_case "evacuation budget" `Quick test_evac_budget;
+    Alcotest.test_case "compile to planner scenario" `Quick test_compile;
+    Alcotest.test_case "score: hand-computed survival" `Quick
+      test_score_hand_computed;
+    Alcotest.test_case "score: per-link evacuation budget" `Quick
+      test_score_evacuation_budget;
+    Alcotest.test_case "planner respects compiled events" `Slow
+      test_planner_respects_events;
+    Alcotest.test_case "pareto frontier" `Quick test_pareto_frontier;
+    Alcotest.test_case "delta: apply changes" `Quick test_delta_apply;
+    Alcotest.test_case "delta: plan fingerprint" `Quick test_delta_fingerprint;
+    Alcotest.test_case "delta: pins and warm replan" `Slow
+      test_delta_pins_and_replan;
+    Alcotest.test_case "sweep: grid expansion" `Quick test_sweep_expand;
+    Alcotest.test_case "sweep: fingerprint collapse" `Quick
+      test_sweep_fingerprint_collapse;
+    Alcotest.test_case "sweep: strictest scoring spec" `Quick
+      test_sweep_scoring_spec;
+    Alcotest.test_case "sweep: request parsing" `Quick
+      test_sweep_request_of_json;
+    Alcotest.test_case "sweep: run, cache, metrics" `Slow
+      test_sweep_run_and_cache;
+  ]

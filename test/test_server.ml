@@ -422,6 +422,94 @@ let test_max_conns_503 () =
       let status, _, _ = post port "/solve" (job_line ~id:"after" ()) in
       Alcotest.(check int) "accepted after slot freed" 200 status)
 
+(* /sweep: a chunked NDJSON stream, one line per grid point in grid
+   order, closed by the frontier line; a second identical sweep is
+   served point-for-point from the plan cache. *)
+let sweep_body =
+  {|{"id":"sw","estate":{"kind":"line","n_groups":12,"penalty":40},"milp":{"nodes":2,"time":20},"grid":{"radius_km":[null,50]}}|}
+
+let test_sweep_roundtrip () =
+  with_server (fun _pool server ->
+      let port = Server.Daemon.port server in
+      let run_sweep () =
+        let status, headers, body = post port "/sweep" sweep_body in
+        Alcotest.(check int) "200" 200 status;
+        Alcotest.(check (option string)) "chunked" (Some "chunked")
+          (List.assoc_opt "transfer-encoding" headers);
+        List.filter (fun l -> String.trim l <> "")
+          (String.split_on_char '\n' body)
+      in
+      let lines = run_sweep () in
+      Alcotest.(check int) "2 points + frontier" 3 (List.length lines);
+      let parsed =
+        List.map
+          (fun l ->
+            match Service.Json.parse l with
+            | Ok j -> j
+            | Error m -> Alcotest.failf "bad sweep line %S: %s" l m)
+          lines
+      in
+      let member k j = Option.bind (Service.Json.member k j) Service.Json.to_str in
+      Alcotest.(check (list (option string))) "grid-order tags"
+        [ Some "r=-;c=1;w=-;om=-;l=-"; Some "r=50;c=1;w=-;om=-;l=-"; None ]
+        (List.map (member "tag") parsed);
+      let last = List.nth parsed 2 in
+      Alcotest.(check bool) "frontier line closes the stream" true
+        (Service.Json.member "frontier" last <> None);
+      (* Repeat: every point must come back as a cache hit. *)
+      let again = run_sweep () in
+      List.iteri
+        (fun i l ->
+          if i < 2 then
+            Alcotest.(check bool)
+              (Printf.sprintf "point %d served from cache" i)
+              true
+              (Astring_contains.contains l {|"cache":"hit"|}))
+        again;
+      (* Bad requests are shed before any stream bytes. *)
+      let status, _, _ = post port "/sweep" "not json" in
+      Alcotest.(check int) "malformed sweep is 400" 400 status;
+      let status, _, _ =
+        post port "/sweep"
+          {|{"estate":{"kind":"line","n_groups":12},"grid":{"omega":"x"}}|}
+      in
+      Alcotest.(check int) "malformed grid is 400" 400 status;
+      let status, _, _ =
+        simple_request port
+          "GET /sweep HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+      in
+      Alcotest.(check int) "GET /sweep is 405" 405 status)
+
+let test_sweep_backpressure_503 () =
+  (* Same shedding contract as /solve: with the worker and queue both
+     occupied, /sweep must answer 503 + Retry-After before any stream
+     bytes rather than block the reactor. *)
+  with_server ~workers:1 ~queue:1 (fun pool server ->
+      let port = Server.Daemon.port server in
+      let slow key =
+        Service.Job.v ~milp:line_milp
+          (Service.Job.Inline
+             {
+               key;
+               build =
+                 (fun () ->
+                   Unix.sleepf 0.6;
+                   Harness.Line_estate.make
+                     { Harness.Line_estate.default with
+                       Harness.Line_estate.n_groups = 12 });
+             })
+      in
+      let t1 = Service.Pool.submit pool (slow "slow-a") in
+      let t2 = Service.Pool.submit pool (slow "slow-b") in
+      let status, headers, _ = post port "/sweep" sweep_body in
+      Alcotest.(check int) "503 when queue full" 503 status;
+      Alcotest.(check bool) "retry-after set" true
+        (List.assoc_opt "retry-after" headers <> None);
+      ignore (Service.Pool.await t1);
+      ignore (Service.Pool.await t2);
+      let status, _, _ = post port "/sweep" sweep_body in
+      Alcotest.(check int) "accepted once drained" 200 status)
+
 let suite =
   [
     Alcotest.test_case "http: request parsing" `Quick test_parse_request;
@@ -442,4 +530,8 @@ let suite =
       test_idle_timeout_evicts;
     Alcotest.test_case "server: max-conns overflow is 503" `Slow
       test_max_conns_503;
+    Alcotest.test_case "server: /sweep streams points and frontier" `Slow
+      test_sweep_roundtrip;
+    Alcotest.test_case "server: /sweep backpressure 503" `Slow
+      test_sweep_backpressure_503;
   ]
