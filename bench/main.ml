@@ -301,6 +301,54 @@ let kernel_thunks () =
        ka_roundtrip fd;
        fd)
   in
+  (* Tiered-cache hit paths in isolation.  Both kernels push one job
+     through a pool whose in-process LRU is disabled (capacity 0), so
+     every timed lookup falls through to the backing tier.  The disk
+     kernel times a warm segment read — fingerprint, index lookup,
+     pread, checksum verify, binary decode — against a store populated
+     when the lazy forces.  The peer kernel times a full loopback HTTP
+     probe (GET /cache/<fp>) against a sibling daemon whose LRU already
+     holds the plan, bounding what a cross-node hit costs between the
+     keep-alive floor and a cold solve. *)
+  let disk_pool =
+    lazy
+      (let dir =
+         Filename.concat
+           (Filename.get_temp_dir_name ())
+           (Printf.sprintf "etransform_bench_disk_%d" (Unix.getpid ()))
+       in
+       (try Unix.mkdir dir 0o755
+        with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+       let node = Cluster.Node.create ~cache_dir:dir () in
+       let pool =
+         Service.Pool.create ~workers:0 ~cache_capacity:0
+           ~tiers:(Cluster.Node.tiers node) ()
+       in
+       (* First run solves and persists; measured runs hit the disk. *)
+       ignore (Service.Pool.run_batch pool [ sweep_job ]);
+       pool)
+  in
+  let peer_pool =
+    lazy
+      (let remote_pool = Service.Pool.create ~workers:0 ~cache_capacity:64 () in
+       let remote =
+         Server.Daemon.create ~port:0 ~resolve:Harness.Line_jobs.resolve
+           ~pool:remote_pool ()
+       in
+       ignore (Thread.create Server.Daemon.run remote);
+       (* Warm the remote's LRU directly so the first measured probe
+          already hits; with no digest gossiped yet the local peer tier
+          probes optimistically. *)
+       ignore (Service.Pool.run_batch remote_pool [ sweep_job ]);
+       let node =
+         Cluster.Node.create
+           ~peers:
+             [ Printf.sprintf "127.0.0.1:%d" (Server.Daemon.port remote) ]
+           ()
+       in
+       Service.Pool.create ~workers:0 ~cache_capacity:0
+         ~tiers:(Cluster.Node.tiers node) ())
+  in
   let milp_opts ?(warm_start = true) ?(workers = 1) () =
     { Lp.Milp.default_options with
       Lp.Milp.node_limit = 50; warm_start; workers }
@@ -417,6 +465,12 @@ let kernel_thunks () =
       fun () -> http_roundtrip (Lazy.force cold_server) );
     ( "service_http_roundtrip_warm",
       fun () -> ka_roundtrip (Lazy.force warm_conn) );
+    ( "service_cache_disk_warm",
+      fun () ->
+        ignore (Service.Pool.run_batch (Lazy.force disk_pool) [ sweep_job ]) );
+    ( "service_cache_peer_warm",
+      fun () ->
+        ignore (Service.Pool.run_batch (Lazy.force peer_pool) [ sweep_job ]) );
   ]
 
 (* The multi-worker pool kernels measure parallel speed-up: on a host

@@ -9,6 +9,12 @@
      curl -sN -XPOST localhost:8080/batch --data-binary @examples/batch_jobs.ndjson
      curl -s localhost:8080/metrics
 
+   Tiered plan cache: --cache-dir adds a crash-safe on-disk tier that
+   survives restarts; --peers joins a cluster where nodes answer each
+   other's GET /cache/<fingerprint> probes and gossip Bloom digests of
+   what they hold, so any plan solved anywhere in the fleet is a warm
+   hit everywhere.
+
    SIGINT/SIGTERM drain gracefully: the listener closes immediately,
    in-flight jobs get up to --drain-timeout seconds to finish, then the
    process exits. *)
@@ -16,7 +22,8 @@
 open Cmdliner
 
 let serve port addr workers queue cache_size trace_file drain_timeout
-    max_conns idle_timeout shards =
+    max_conns idle_timeout shards cache_dir peers advertise gossip_interval
+    fetch_timeout =
   (* A client hanging up mid-stream must end that connection quietly
      (EPIPE on its socket), not kill the whole server with SIGPIPE. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -37,22 +44,46 @@ let serve port addr workers queue cache_size trace_file drain_timeout
     Service.Trace.tee trace_out
       (Service.Trace.observer (Service.Metrics.observe_trace metrics))
   in
+  let peer_list =
+    List.filter
+      (fun p -> p <> "")
+      (List.map String.trim (String.split_on_char ',' peers))
+  in
+  let node =
+    Cluster.Node.create ?cache_dir ~peers:peer_list ~gossip_interval
+      ~fetch_timeout ()
+  in
   Service.Pool.with_pool ~workers ~queue_capacity:queue
-    ~cache_capacity:cache_size ~trace (fun pool ->
+    ~cache_capacity:cache_size ~tiers:(Cluster.Node.tiers node) ~trace
+    (fun pool ->
       let server =
         Server.Daemon.create ~addr ~port ~drain_timeout ~max_conns
           ~idle_timeout ~shards ~resolve:Harness.Line_jobs.resolve ~metrics
-          ~pool ()
+          ~node ~pool ()
       in
+      let self =
+        match advertise with
+        | Some a -> a
+        | None -> Printf.sprintf "%s:%d" addr (Server.Daemon.port server)
+      in
+      Cluster.Node.set_self node self;
+      Cluster.Node.start node;
       let stop _ = Server.Daemon.request_stop server in
       Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
       Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
       Printf.eprintf
-        "etransform_server: listening on %s:%d (%d workers, queue %d)\n%!"
+        "etransform_server: listening on %s:%d (%d workers, queue %d%s%s)\n%!"
         addr
         (Server.Daemon.port server)
-        workers queue;
+        workers queue
+        (match cache_dir with
+        | Some d -> Printf.sprintf ", disk cache %s" d
+        | None -> "")
+        (match peer_list with
+        | [] -> ""
+        | ps -> Printf.sprintf ", %d peers" (List.length ps));
       Server.Daemon.run server;
+      Cluster.Node.close node;
       Printf.eprintf "etransform_server: drained, shutting down\n%!");
   close_trace ()
 
@@ -104,12 +135,44 @@ let shards =
            ~doc:"Reactor readiness loops; accepted connections are \
                  spread round-robin across them.")
 
+let cache_dir =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Persist solved plans to a crash-safe store in $(docv); \
+                 on restart previously solved fingerprints answer from \
+                 disk instead of re-solving.")
+
+let peers =
+  Arg.(value & opt string ""
+       & info [ "peers" ] ~docv:"HOST:PORT,..."
+           ~doc:"Comma-separated sibling servers forming a \
+                 consistent-hash cache ring; plans solved by a peer are \
+                 fetched instead of re-solved.")
+
+let advertise =
+  Arg.(value & opt (some string) None
+       & info [ "advertise" ] ~docv:"HOST:PORT"
+           ~doc:"Own address as peers see it (default --addr:--port); \
+                 excluded from probes and announced in gossip.")
+
+let gossip_interval =
+  Arg.(value & opt float 5.0
+       & info [ "gossip-interval" ]
+           ~doc:"Seconds between Bloom-digest gossip rounds with peers.")
+
+let fetch_timeout =
+  Arg.(value & opt float 2.0
+       & info [ "fetch-timeout" ]
+           ~doc:"Seconds before a peer cache probe gives up (a slow peer \
+                 degrades to a local solve, never a stall).")
+
 let () =
   let cmd =
     Cmd.v
       (Cmd.info "etransform_server" ~version:"1.0.0"
          ~doc:"serve planning jobs over HTTP (POST /solve, POST /batch)")
       Term.(const serve $ port $ addr $ workers $ queue $ cache_size
-            $ trace_file $ drain_timeout $ max_conns $ idle_timeout $ shards)
+            $ trace_file $ drain_timeout $ max_conns $ idle_timeout $ shards
+            $ cache_dir $ peers $ advertise $ gossip_interval $ fetch_timeout)
   in
   exit (Cmd.eval cmd)

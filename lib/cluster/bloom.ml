@@ -1,0 +1,111 @@
+(* Fixed-size Bloom filter over job fingerprints.  Gossip exchanges one
+   of these per node: a peer lookup consults the last digest received
+   from the candidate before paying for an HTTP roundtrip, so remote
+   misses are mostly free.  False positives only cost a wasted fetch;
+   false negatives are impossible, which is the property the peer tier
+   relies on. *)
+
+type t = {
+  bits : int;
+  hashes : int;
+  data : Bytes.t;
+  mutable count : int;
+}
+
+let default_bits = 16384
+let default_hashes = 4
+
+let create ?(bits = default_bits) ?(hashes = default_hashes) () =
+  let bits = max 64 bits and hashes = max 1 (min 16 hashes) in
+  { bits; hashes; data = Bytes.make ((bits + 7) / 8) '\000'; count = 0 }
+
+let bits t = t.bits
+let hashes t = t.hashes
+let count t = t.count
+
+(* Double hashing off one MD5: h_i = h1 + i*h2 (Kirsch–Mitzenmacher),
+   both halves of the digest taken as non-negative 63-bit ints. *)
+let hash_pair key =
+  let d = Stdlib.Digest.string key in
+  let word off =
+    let v = ref 0 in
+    for i = 0 to 7 do
+      v := (!v lsl 8) lor Char.code d.[off + i]
+    done;
+    !v land max_int
+  in
+  (word 0, word 8)
+
+let set_bit t i = Bytes.set t.data (i lsr 3)
+    (Char.chr (Char.code (Bytes.get t.data (i lsr 3)) lor (1 lsl (i land 7))))
+
+let get_bit t i =
+  Char.code (Bytes.get t.data (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+(* h1 + i*h2 can wrap past max_int; mask back to non-negative before the
+   modulus or the bit index goes negative. *)
+let index t h1 h2 i = ((h1 + (i * h2)) land max_int) mod t.bits
+
+let add t key =
+  let h1, h2 = hash_pair key in
+  for i = 0 to t.hashes - 1 do
+    set_bit t (index t h1 h2 i)
+  done;
+  t.count <- t.count + 1
+
+let mem t key =
+  let h1, h2 = hash_pair key in
+  let rec go i = i >= t.hashes || (get_bit t (index t h1 h2 i) && go (i + 1)) in
+  go 0
+
+let of_keys ?bits ?hashes keys =
+  let t = create ?bits ?hashes () in
+  List.iter (add t) keys;
+  t
+
+(* Wire form: "v1:<bits>:<hashes>:<count>:<hex bytes>" — plain printable
+   ASCII so it rides inside a JSON string without escaping. *)
+
+let to_hex t =
+  let n = Bytes.length t.data in
+  let buf = Buffer.create ((2 * n) + 32) in
+  Buffer.add_string buf
+    (Printf.sprintf "v1:%d:%d:%d:" t.bits t.hashes t.count);
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "%02x" (Char.code (Bytes.get t.data i)))
+  done;
+  Buffer.contents buf
+
+let of_hex s =
+  match String.split_on_char ':' s with
+  | [ "v1"; bits; hashes; count; hex ] -> (
+      match
+        (int_of_string_opt bits, int_of_string_opt hashes,
+         int_of_string_opt count)
+      with
+      | Some bits, Some hashes, Some count
+        when bits >= 64 && bits <= 1 lsl 24 && hashes >= 1 && hashes <= 16
+             && count >= 0
+             && String.length hex = 2 * ((bits + 7) / 8) ->
+          let data = Bytes.make ((bits + 7) / 8) '\000' in
+          let ok = ref true in
+          let nibble c =
+            match c with
+            | '0' .. '9' -> Char.code c - Char.code '0'
+            | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+            | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+            | _ ->
+                ok := false;
+                0
+          in
+          String.iteri
+            (fun i c ->
+              let v = nibble c in
+              if i land 1 = 0 then Bytes.set data (i / 2) (Char.chr (v lsl 4))
+              else
+                Bytes.set data (i / 2)
+                  (Char.chr (Char.code (Bytes.get data (i / 2)) lor v)))
+            hex;
+          if !ok then Some { bits; hashes; data; count } else None
+      | _ -> None)
+  | _ -> None

@@ -1,0 +1,29 @@
+(** Bloom-filter cache digest, the unit of gossip: a compact summary of
+    the fingerprints a node holds (memory + disk tiers).  Peers consult
+    the last digest gossiped by a candidate node before issuing a remote
+    cache fetch — a negative answer is definitive (no false negatives),
+    a positive one is probably right (false positives just waste one
+    HTTP roundtrip). *)
+
+type t
+
+(** [create ()] — [bits] (default 16384, clamped to [64 .. 2^24]) and
+    [hashes] (default 4, clamped to [1 .. 16]). *)
+val create : ?bits:int -> ?hashes:int -> unit -> t
+
+val bits : t -> int
+val hashes : t -> int
+
+(** Keys inserted so far (an upper bound on distinct keys). *)
+val count : t -> int
+
+val add : t -> string -> unit
+val mem : t -> string -> bool
+val of_keys : ?bits:int -> ?hashes:int -> string list -> t
+
+(** Printable wire form ["v1:<bits>:<hashes>:<count>:<hex>"], safe inside
+    a JSON string.  {!of_hex} refuses malformed or oversized input with
+    [None] — gossip from a confused peer must never raise. *)
+val to_hex : t -> string
+
+val of_hex : string -> t option

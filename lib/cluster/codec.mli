@@ -1,0 +1,10 @@
+(** Binary serialization of {!Etransform.Solver.outcome} — the payload
+    format shared by the on-disk plan store and the [GET /cache/<fp>]
+    peer-transfer body.  Exact: floats are carried as IEEE-754 bit
+    patterns, so [decode (encode o)] rebuilds [o] field-for-field. *)
+
+val encode : Etransform.Solver.outcome -> string
+
+(** Total function: truncated, corrupted or unknown-version payloads
+    decode to [None] (a cache miss), never an exception. *)
+val decode : string -> Etransform.Solver.outcome option

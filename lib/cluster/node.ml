@@ -1,0 +1,171 @@
+(* Cluster node: composes the disk store and the peer client into the
+   [Service.Tiered.tier] closures the pool's cache front consumes, and
+   owns the background gossip loop that trades Bloom digests of cached
+   fingerprints with every configured peer.
+
+   Tier order is decided by the caller (bin/), but the intended stack is
+   memory -> disk -> peer: the disk tier survives restarts, the peer
+   tier turns a fleet into one warm cache.  A peer-tier hit is promoted
+   into the local LRU and disk store by Tiered, so each plan crosses the
+   network at most a handful of times cluster-wide. *)
+
+open Service
+
+type t = {
+  store : Store.t option;
+  peers : Peers.t;
+  gossip_interval : float;
+  mutable local_keys : unit -> string list;
+  stop : bool Atomic.t;
+  mutable gossip_thread : Thread.t option;
+}
+
+let create ?cache_dir ?(peers = []) ?self ?(gossip_interval = 5.0)
+    ?(fetch_timeout = 2.0) () =
+  let store = Option.map (fun dir -> Store.open_ ~dir) cache_dir in
+  let t =
+    {
+      store;
+      peers = Peers.create ~fetch_timeout ?self ~peers ();
+      gossip_interval;
+      local_keys =
+        (match store with
+        | Some s -> fun () -> Store.keys s
+        | None -> fun () -> []);
+      stop = Atomic.make false;
+      gossip_thread = None;
+    }
+  in
+  t
+
+let store t = t.store
+let peers t = t.peers
+let set_self t addr = Peers.set_self t.peers addr
+
+(* The digest advertises every fingerprint this node can serve from
+   /cache — normally LRU keys plus disk keys, installed by the server
+   once the pool exists. *)
+let set_local_keys t f = t.local_keys <- f
+
+let digest t =
+  let keys = t.local_keys () in
+  (Bloom.of_keys keys, List.length keys)
+
+(* ------------------------------------------------------------- gossip *)
+
+let digest_json t =
+  let bloom, count = digest t in
+  Json.to_string
+    (Json.Obj
+       [
+         ( "node",
+           Json.Str (match Peers.self t.peers with Some s -> s | None -> "") );
+         ("count", Json.Num (float_of_int count));
+         ("bloom", Json.Str (Bloom.to_hex bloom));
+       ])
+
+let parse_gossip body =
+  match Json.parse body with
+  | Error _ -> None
+  | Ok j -> (
+      match j with
+      | Json.Obj fields -> (
+          let str k =
+            match List.assoc_opt k fields with
+            | Some (Json.Str s) -> Some s
+            | _ -> None
+          in
+          match str "bloom" with
+          | None -> None
+          | Some hex -> (
+              match Bloom.of_hex hex with
+              | None -> None
+              | Some bloom ->
+                  Some ((match str "node" with Some n -> n | None -> ""), bloom)
+              ))
+      | _ -> None)
+
+(* Server side of an exchange: install the sender's digest, answer with
+   our own.  [None] for a malformed body (the route answers 400). *)
+let gossip_receive t body =
+  match parse_gossip body with
+  | None -> None
+  | Some (node, bloom) ->
+      if node <> "" then Peers.update_digest t.peers ~peer:node bloom;
+      Some (digest_json t)
+
+(* One initiated round: exchange digests with every peer.  Returns how
+   many exchanges completed. *)
+let gossip_now t =
+  let self = Peers.self t.peers in
+  List.fold_left
+    (fun ok peer ->
+      if Some peer = self then ok
+      else
+        let body = digest_json t in
+        if Peers.gossip_with t.peers ~peer ~body ~parse:parse_gossip then
+          ok + 1
+        else ok)
+    0 (Peers.peers t.peers)
+
+let start t =
+  if t.gossip_thread = None && Peers.peers t.peers <> [] then
+    t.gossip_thread <-
+      Some
+        (Thread.create
+           (fun () ->
+             (* Sleep in short slices so stop is honored promptly. *)
+             let rec sleep left =
+               if left > 0.0 && not (Atomic.get t.stop) then begin
+                 Unix.sleepf (Float.min 0.2 left);
+                 sleep (left -. 0.2)
+               end
+             in
+             while not (Atomic.get t.stop) do
+               (try ignore (gossip_now t) with _ -> ());
+               sleep t.gossip_interval
+             done)
+           ())
+
+(* -------------------------------------------------------------- tiers *)
+
+let disk_tier store =
+  {
+    Tiered.name = "disk";
+    remote = false;
+    find = (fun fp -> Option.bind (Store.find store fp) Codec.decode);
+    store =
+      (fun ~capped fp outcome ->
+        Store.add store ~capped fp (Codec.encode outcome));
+    bytes = Some (fun () -> float_of_int (Store.bytes store));
+  }
+
+let peer_tier peers =
+  {
+    Tiered.name = "peer";
+    remote = true;
+    find = (fun fp -> Option.bind (Peers.lookup peers fp) Codec.decode);
+    (* Peers own their caches; we never push, promotion pulls. *)
+    store = (fun ~capped:_ _ _ -> ());
+    bytes = None;
+  }
+
+let tiers t =
+  let disk = match t.store with Some s -> [ disk_tier s ] | None -> [] in
+  let peer =
+    if Ring.is_empty (Peers.ring t.peers) then [] else [ peer_tier t.peers ]
+  in
+  disk @ peer
+
+(* ---------------------------------------------------------- lifecycle *)
+
+let flush t = Option.iter Store.flush t.store
+
+let close t =
+  Atomic.set t.stop true;
+  (match t.gossip_thread with
+  | Some th ->
+      Thread.join th;
+      t.gossip_thread <- None
+  | None -> ());
+  Option.iter Store.close t.store

@@ -1,0 +1,59 @@
+(** A cluster node: the disk plan store plus the peer client, packaged
+    as {!Service.Tiered.tier} closures for the pool's cache front, with
+    a background gossip loop trading Bloom digests of cached
+    fingerprints between peers. *)
+
+type t
+
+(** [create ()] with neither [cache_dir] nor [peers] yields a node with
+    no extra tiers (pure in-memory behavior).  [cache_dir] opens (or
+    recovers) the on-disk store there; [peers] is the ["host:port"]
+    list forming the consistent-hash ring; [self] is this node's own
+    advertised address (excluded from probes — see {!set_self});
+    [gossip_interval] (default 5s) paces the background digest
+    exchange; [fetch_timeout] (default 2s) bounds every peer probe. *)
+val create :
+  ?cache_dir:string ->
+  ?peers:string list ->
+  ?self:string ->
+  ?gossip_interval:float ->
+  ?fetch_timeout:float ->
+  unit ->
+  t
+
+(** The tiers to pass to [Service.Pool.create ~tiers]: disk first (when
+    configured), then peer.  Order is lookup order after the LRU. *)
+val tiers : t -> Service.Tiered.tier list
+
+val store : t -> Store.t option
+val peers : t -> Peers.t
+
+(** Set the advertised ["host:port"] once the ephemeral port is known. *)
+val set_self : t -> string -> unit
+
+(** Install the provider of this node's cached fingerprints (typically
+    LRU keys plus disk keys) used to build the gossip digest. *)
+val set_local_keys : t -> (unit -> string list) -> unit
+
+(** Current digest and key count. *)
+val digest : t -> Bloom.t * int
+
+(** The gossip body this node sends:
+    [{"node":"host:port","count":N,"bloom":"v1:..."}]. *)
+val digest_json : t -> string
+
+(** Server side of an exchange: install the sender's digest and return
+    our own gossip body — [None] when the request body is malformed. *)
+val gossip_receive : t -> string -> string option
+
+(** One synchronous round with every peer; returns completed exchanges. *)
+val gossip_now : t -> int
+
+(** Start the background gossip thread (no-op without peers). *)
+val start : t -> unit
+
+(** Flush the disk store (fsync + index snapshot). *)
+val flush : t -> unit
+
+(** Stop gossip, flush and close the store.  Idempotent. *)
+val close : t -> unit

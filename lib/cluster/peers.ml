@@ -1,0 +1,260 @@
+(* Remote cache tier: given a job fingerprint, ask the consistent-hash
+   owners among [--peers] for the encoded plan via GET /cache/<fp>.
+
+   Probes are digest-gated: each gossip round delivers a Bloom filter of
+   every peer's cached fingerprints, and a probe is skipped when the
+   owner's digest says the key is definitely absent.  A peer with no
+   digest yet is probed optimistically — a fresh cluster should share
+   plans immediately, not after the first gossip interval.  Bloom false
+   positives only cost one wasted probe; false negatives are impossible,
+   so gating never hides a plan that exists.
+
+   All socket work is blocking with hard send/receive timeouts: the tier
+   runs inside solver worker domains, and a slow peer must degrade to a
+   cache miss (solve locally) rather than stall the pool.  Every failure
+   mode — refused connection, timeout, bad response, mid-body EOF — is a
+   counted miss, never an exception. *)
+
+type counters = {
+  mutable probes : int;        (* GETs actually sent *)
+  mutable hits : int;
+  mutable misses : int;        (* probe answered 404 / failed *)
+  mutable skips : int;         (* probes avoided by a digest *)
+  mutable errors : int;        (* transport-level failures *)
+  mutable gossip_rounds : int; (* successful digest exchanges we initiated *)
+}
+
+type t = {
+  ring : Ring.t;
+  mutable self : string option;
+  timeout : float;
+  digests : (string, Bloom.t) Hashtbl.t;  (* peer -> last gossiped digest *)
+  c : counters;
+  lock : Mutex.t;
+}
+
+let create ?(fetch_timeout = 2.0) ?self ~peers () =
+  {
+    ring = Ring.create peers;
+    self;
+    timeout = fetch_timeout;
+    digests = Hashtbl.create 8;
+    c =
+      {
+        probes = 0;
+        hits = 0;
+        misses = 0;
+        skips = 0;
+        errors = 0;
+        gossip_rounds = 0;
+      };
+    lock = Mutex.create ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let set_self t addr = with_lock t (fun () -> t.self <- Some addr)
+let self t = with_lock t (fun () -> t.self)
+let peers t = Ring.peers t.ring
+let ring t = t.ring
+
+let counters t =
+  with_lock t (fun () ->
+      ( t.c.probes,
+        t.c.hits,
+        t.c.misses,
+        t.c.skips,
+        t.c.errors,
+        t.c.gossip_rounds ))
+
+let record t f = with_lock t (fun () -> f t.c)
+
+let update_digest t ~peer bloom =
+  with_lock t (fun () -> Hashtbl.replace t.digests peer bloom)
+
+let digest_of t peer = with_lock t (fun () -> Hashtbl.find_opt t.digests peer)
+
+(* ------------------------------------------------------ http transport *)
+
+let sockaddr_of addr =
+  match String.rindex_opt addr ':' with
+  | None -> None
+  | Some i -> (
+      let host = String.sub addr 0 i in
+      let port = String.sub addr (i + 1) (String.length addr - i - 1) in
+      match int_of_string_opt port with
+      | None -> None
+      | Some port -> (
+          let host = if host = "" then "127.0.0.1" else host in
+          match Unix.inet_addr_of_string host with
+          | ip -> Some (Unix.ADDR_INET (ip, port))
+          | exception Failure _ -> (
+              match Unix.gethostbyname host with
+              | { Unix.h_addr_list = [||]; _ } -> None
+              | { Unix.h_addr_list; _ } ->
+                  Some (Unix.ADDR_INET (h_addr_list.(0), port))
+              | exception Not_found -> None)))
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+let read_to_eof fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 8192 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+(* Parse a Connection: close response: status code from the head line,
+   body from after the blank line, trimmed to Content-Length when the
+   header is present (guards against trailing bytes from a confused
+   peer).  Returns [None] on anything malformed. *)
+let parse_response raw =
+  let find_sub ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i =
+      if i + n > m then None
+      else if String.sub s i n = sub then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  match find_sub ~sub:"\r\n\r\n" raw with
+  | None -> None
+  | Some sep -> (
+      let head = String.sub raw 0 sep in
+      let body_off = sep + 4 in
+      let body = String.sub raw body_off (String.length raw - body_off) in
+      let lines = String.split_on_char '\n' head in
+      match lines with
+      | [] -> None
+      | status_line :: headers -> (
+          let status =
+            match String.split_on_char ' ' (String.trim status_line) with
+            | _ :: code :: _ -> int_of_string_opt code
+            | _ -> None
+          in
+          match status with
+          | None -> None
+          | Some status ->
+              let content_length =
+                List.fold_left
+                  (fun acc line ->
+                    match String.index_opt line ':' with
+                    | Some i
+                      when String.lowercase_ascii (String.sub line 0 i)
+                           = "content-length" ->
+                        int_of_string_opt
+                          (String.trim
+                             (String.sub line (i + 1)
+                                (String.length line - i - 1)))
+                    | _ -> acc)
+                  None headers
+              in
+              let body =
+                match content_length with
+                | Some n when n >= 0 && n <= String.length body ->
+                    String.sub body 0 n
+                | _ -> body
+              in
+              Some (status, body)))
+
+let request t ~peer text =
+  match sockaddr_of peer with
+  | None -> None
+  | Some sa -> (
+      match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+      | exception Unix.Unix_error _ -> None
+      | fd -> (
+          match
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.timeout;
+                Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.timeout;
+                Unix.connect fd sa;
+                write_all fd text;
+                read_to_eof fd)
+          with
+          | raw -> parse_response raw
+          | exception (Unix.Unix_error _ | Sys_error _) -> None))
+
+let get t ~peer path =
+  request t ~peer
+    (Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n"
+       path peer)
+
+let post t ~peer path body =
+  request t ~peer
+    (Printf.sprintf
+       "POST %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\nContent-Length: \
+        %d\r\n\r\n%s"
+       path peer (String.length body) body)
+
+(* -------------------------------------------------------------- lookup *)
+
+(* The ring owners for [key], minus ourselves, best-first. *)
+let owners t key =
+  let self = self t in
+  List.filter
+    (fun p -> Some p <> self)
+    (Ring.lookup ~n:2 t.ring key)
+
+let lookup t key =
+  let rec probe = function
+    | [] -> None
+    | peer :: rest -> (
+        let gated =
+          match digest_of t peer with
+          | Some bloom -> not (Bloom.mem bloom key)
+          | None -> false  (* no digest yet: probe optimistically *)
+        in
+        if gated then begin
+          record t (fun c -> c.skips <- c.skips + 1);
+          probe rest
+        end
+        else begin
+          record t (fun c -> c.probes <- c.probes + 1);
+          match get t ~peer ("/cache/" ^ key) with
+          | Some (200, body) when body <> "" ->
+              record t (fun c -> c.hits <- c.hits + 1);
+              Some body
+          | Some (_, _) ->
+              record t (fun c -> c.misses <- c.misses + 1);
+              probe rest
+          | None ->
+              record t (fun c ->
+                  c.errors <- c.errors + 1;
+                  c.misses <- c.misses + 1);
+              probe rest
+        end)
+  in
+  if Ring.is_empty t.ring then None else probe (owners t key)
+
+(* [gossip_with t ~peer ~body] POSTs our digest and installs the digest
+   the peer answers with.  [parse] extracts (node, bloom) from a gossip
+   JSON body — supplied by the caller so this module stays JSON-free. *)
+let gossip_with t ~peer ~body ~parse =
+  match post t ~peer "/gossip" body with
+  | Some (200, reply) -> (
+      match parse reply with
+      | Some (node, bloom) ->
+          let node = if node = "" then peer else node in
+          update_digest t ~peer:node bloom;
+          if node <> peer then update_digest t ~peer bloom;
+          record t (fun c -> c.gossip_rounds <- c.gossip_rounds + 1);
+          true
+      | None -> false)
+  | Some _ | None -> false

@@ -1,0 +1,46 @@
+(** Remote cache tier: probe the consistent-hash owners of a job
+    fingerprint for its encoded plan ([GET /cache/<fp>]), gated by the
+    Bloom digests learned through gossip.  All transport is blocking
+    with hard timeouts; every failure mode degrades to a miss — a slow
+    or dead peer must never stall a solver worker. *)
+
+type t
+
+(** [create ~peers ()] builds the ring over the [--peers] list.
+    [fetch_timeout] (default 2s) bounds connect/send/receive on every
+    probe; [self] is this node's own advertised ["host:port"], excluded
+    from probe candidates (settable later via {!set_self} once an
+    ephemeral port is known). *)
+val create : ?fetch_timeout:float -> ?self:string -> peers:string list -> unit -> t
+
+val set_self : t -> string -> unit
+val self : t -> string option
+val peers : t -> string list
+val ring : t -> Ring.t
+
+(** Best-first ring owners for [key], excluding self (up to 2). *)
+val owners : t -> string -> string list
+
+(** [lookup t fingerprint] probes the owners in ring order and returns
+    the first 200 body (the {!Codec}-encoded plan) — [None] when every
+    candidate is skipped by its digest, answers a miss, or fails. *)
+val lookup : t -> string -> string option
+
+(** Install the digest most recently gossiped by [peer]. *)
+val update_digest : t -> peer:string -> Bloom.t -> unit
+
+val digest_of : t -> string -> Bloom.t option
+
+(** [gossip_with t ~peer ~body ~parse] POSTs [body] to the peer's
+    [/gossip] endpoint and installs the digest parsed (by [parse],
+    keeping this module JSON-free) from the reply.  [true] on a
+    completed exchange. *)
+val gossip_with :
+  t ->
+  peer:string ->
+  body:string ->
+  parse:(string -> (string * Bloom.t) option) ->
+  bool
+
+(** [(probes, hits, misses, skips, errors, gossip_rounds)] since create. *)
+val counters : t -> int * int * int * int * int * int

@@ -1,0 +1,80 @@
+(* Consistent hashing over the peer set: each peer owns [vnodes] points
+   on a 63-bit ring (MD5 of "peer#i"), a key maps to the first point at
+   or after its own hash.  Adding or removing one peer moves only the
+   keys in that peer's arcs — the reason a fleet can roll nodes without
+   re-warming every cache.  Everything is immutable after [create]. *)
+
+type t = {
+  peers : string array;          (* distinct, creation order *)
+  points : (int * int) array;    (* (ring position, peer index), sorted *)
+}
+
+let hash_of s =
+  let d = Stdlib.Digest.string s in
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code d.[i]
+  done;
+  !v land max_int
+
+let default_vnodes = 64
+
+let create ?(vnodes = default_vnodes) peers =
+  let vnodes = max 1 vnodes in
+  let peers =
+    let seen = Hashtbl.create 8 in
+    Array.of_list
+      (List.filter
+         (fun p ->
+           if p = "" || Hashtbl.mem seen p then false
+           else begin
+             Hashtbl.add seen p ();
+             true
+           end)
+         peers)
+  in
+  let points =
+    Array.init
+      (Array.length peers * vnodes)
+      (fun i ->
+        let peer = i / vnodes and v = i mod vnodes in
+        (hash_of (Printf.sprintf "%s#%d" peers.(peer) v), peer))
+  in
+  Array.sort compare points;
+  { peers; points }
+
+let peers t = Array.to_list t.peers
+let is_empty t = Array.length t.peers = 0
+
+(* First point with position >= h, wrapping. *)
+let successor t h =
+  let n = Array.length t.points in
+  let rec bsearch lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if fst t.points.(mid) < h then bsearch (mid + 1) hi else bsearch lo mid
+  in
+  let i = bsearch 0 n in
+  if i = n then 0 else i
+
+let lookup ?(n = 1) t key =
+  let np = Array.length t.peers in
+  if np = 0 || n <= 0 then []
+  else begin
+    let want = min n np in
+    let start = successor t (hash_of key) in
+    let total = Array.length t.points in
+    let seen = Array.make np false in
+    let acc = ref [] and found = ref 0 and i = ref 0 in
+    while !found < want && !i < total do
+      let _, peer = t.points.((start + !i) mod total) in
+      if not seen.(peer) then begin
+        seen.(peer) <- true;
+        acc := t.peers.(peer) :: !acc;
+        incr found
+      end;
+      incr i
+    done;
+    List.rev !acc
+  end

@@ -1,0 +1,18 @@
+(** Consistent-hash ring over the [--peers] set: maps a job fingerprint
+    to the peers most likely to hold its plan.  Peer identity is its
+    ["host:port"] string; each peer owns [vnodes] points so load spreads
+    evenly and membership changes only remap the affected arcs. *)
+
+type t
+
+(** [create peers] — duplicates and empty strings are dropped; [vnodes]
+    defaults to 64 points per peer. *)
+val create : ?vnodes:int -> string list -> t
+
+val peers : t -> string list
+val is_empty : t -> bool
+
+(** [lookup t key] is the first [n] (default 1) distinct peers walking
+    the ring clockwise from [key]'s position — preference order for a
+    remote cache probe.  [[]] when the ring is empty. *)
+val lookup : ?n:int -> t -> string -> string list

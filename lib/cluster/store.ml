@@ -1,0 +1,394 @@
+(* Crash-safe on-disk plan store: one append-only segment file plus an
+   in-memory index, with an index snapshot written on flush/close so a
+   clean restart skips the full scan.
+
+   Segment layout — a sequence of self-checking entries:
+
+     "PS" | key_len u16 | val_len u32 | md5(key ^ value) 16B | key | value
+
+   Every mutation is a single append; existing bytes are never
+   rewritten, so the only possible corruption from a crash is a torn
+   tail.  Recovery is therefore local: the startup scan verifies entries
+   in order and truncates the file at the first bad one, and a read that
+   fails its checksum (bit rot under a trusted index snapshot) simply
+   drops the entry and reports a miss.  Corruption can cost entries —
+   it can never produce a wrong plan or an exception.
+
+   Duplicate keys are supersedes (last write wins — entries are
+   content-addressed, so duplicates are byte-equal anyway); the dead
+   bytes they leave behind are reclaimed by a startup compaction when
+   they outgrow the live data.
+
+   Deadline-capped solves are refused right here ([~capped:true]), not
+   only in the service layer above: a capped Time_limit plan under a
+   fingerprint that excludes the deadline would outlive the process and
+   poison every future full-budget job on this node and its peers. *)
+
+let segment_name = "plans.seg"
+let index_name = "plans.idx"
+let index_magic = "etransform-plans v1"
+
+let header_len = 24
+let max_key = 0xffff
+let max_value = 1 lsl 26
+
+type t = {
+  dir : string;
+  mutable fd : Unix.file_descr;
+  mutable size : int;                       (* logical end of valid data *)
+  index : (string, int * int * int) Hashtbl.t;  (* key -> off, klen, vlen *)
+  mutable dead : int;     (* bytes of superseded / dropped entries *)
+  mutable corrupt : int;  (* entries rejected by a checksum since open *)
+  mutable closed : bool;
+  lock : Mutex.t;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let entry_size klen vlen = header_len + klen + vlen
+
+(* ------------------------------------------------------------- raw io *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_all fd b off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.write fd b off len in
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+let pread fd ~off ~len =
+  let b = Bytes.create len in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let rec go have =
+    if have < len then
+      let n = Unix.read fd b have (len - have) in
+      if n = 0 then raise Exit else go (have + n)
+  in
+  go 0;
+  b
+
+let u16_get b off = (Char.code (Bytes.get b off) lsl 8) lor Char.code (Bytes.get b (off + 1))
+
+let u32_get b off =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+let render_entry key value =
+  let klen = String.length key and vlen = String.length value in
+  let b = Bytes.create (entry_size klen vlen) in
+  Bytes.set b 0 'P';
+  Bytes.set b 1 'S';
+  Bytes.set b 2 (Char.chr (klen lsr 8));
+  Bytes.set b 3 (Char.chr (klen land 0xff));
+  Bytes.set b 4 (Char.chr ((vlen lsr 24) land 0xff));
+  Bytes.set b 5 (Char.chr ((vlen lsr 16) land 0xff));
+  Bytes.set b 6 (Char.chr ((vlen lsr 8) land 0xff));
+  Bytes.set b 7 (Char.chr (vlen land 0xff));
+  Bytes.blit_string (Stdlib.Digest.string (key ^ value)) 0 b 8 16;
+  Bytes.blit_string key 0 b header_len klen;
+  Bytes.blit_string value 0 b (header_len + klen) vlen;
+  b
+
+(* ------------------------------------------------------------ startup *)
+
+(* Full scan: validate every entry in order, stop at the first torn or
+   corrupt one and truncate there.  Returns the logical size. *)
+let scan_segment fd file_size index =
+  let dead = ref 0 in
+  let buf = ref Bytes.empty in
+  let off = ref 0 in
+  let stop = ref false in
+  while not !stop && !off + header_len <= file_size do
+    match
+      let head = pread fd ~off:!off ~len:header_len in
+      if Bytes.get head 0 <> 'P' || Bytes.get head 1 <> 'S' then None
+      else
+        let klen = u16_get head 2 and vlen = u32_get head 4 in
+        if
+          klen = 0 || klen > max_key || vlen < 0 || vlen > max_value
+          || !off + entry_size klen vlen > file_size
+        then None
+        else begin
+          if Bytes.length !buf < klen + vlen then
+            buf := Bytes.create (max 4096 (klen + vlen));
+          let body = pread fd ~off:(!off + header_len) ~len:(klen + vlen) in
+          let payload = Bytes.sub_string body 0 (klen + vlen) in
+          if Stdlib.Digest.string payload <> Bytes.sub_string head 8 16 then
+            None
+          else Some (Bytes.sub_string body 0 klen, klen, vlen)
+        end
+    with
+    | Some (key, klen, vlen) ->
+        (match Hashtbl.find_opt index key with
+        | Some (_, k0, v0) -> dead := !dead + entry_size k0 v0
+        | None -> ());
+        Hashtbl.replace index key (!off, klen, vlen);
+        off := !off + entry_size klen vlen
+    | None -> stop := true
+    | exception Exit -> stop := true
+  done;
+  (!off, !dead)
+
+let index_path dir = Filename.concat dir index_name
+let segment_path dir = Filename.concat dir segment_name
+
+let hex_of s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let of_hex s =
+  let n = String.length s in
+  if n land 1 = 1 then None
+  else
+    let nibble c =
+      match c with
+      | '0' .. '9' -> Some (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+      | _ -> None
+    in
+    let b = Bytes.create (n / 2) in
+    let rec go i =
+      if i >= n then Some (Bytes.to_string b)
+      else
+        match (nibble s.[i], nibble s.[i + 1]) with
+        | Some hi, Some lo ->
+            Bytes.set b (i / 2) (Char.chr ((hi lsl 4) lor lo));
+            go (i + 2)
+        | _ -> None
+    in
+    go 0
+
+(* Index snapshot: trusted only when its recorded segment size matches
+   the file exactly — any crash after the snapshot grows or tears the
+   segment, which forces the full scan instead.  A snapshot never skips
+   checksum verification on reads, so trusting a stale-but-size-matching
+   snapshot can only cause misses. *)
+let try_load_index path file_size index =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match input_line ic with
+          | exception End_of_file -> None
+          | header -> (
+              match String.split_on_char ' ' header with
+              | [ m1; m2; size; entries ]
+                when m1 ^ " " ^ m2 = index_magic
+                     && int_of_string_opt size = Some file_size -> (
+                  match int_of_string_opt entries with
+                  | None -> None
+                  | Some entries -> (
+                      let live = ref 0 in
+                      let rec go k =
+                        if k = 0 then true
+                        else
+                          match input_line ic with
+                          | exception End_of_file -> false
+                          | line -> (
+                              match String.split_on_char ' ' line with
+                              | [ hkey; off; klen; vlen ] -> (
+                                  match
+                                    ( of_hex hkey,
+                                      int_of_string_opt off,
+                                      int_of_string_opt klen,
+                                      int_of_string_opt vlen )
+                                  with
+                                  | Some key, Some off, Some klen, Some vlen
+                                    when off >= 0 && klen > 0 && vlen >= 0
+                                         && off + entry_size klen vlen
+                                            <= file_size
+                                         && String.length key = klen ->
+                                      Hashtbl.replace index key
+                                        (off, klen, vlen);
+                                      live := !live + entry_size klen vlen;
+                                      go (k - 1)
+                                  | _ -> false)
+                              | _ -> false)
+                      in
+                      if go entries && Hashtbl.length index = entries then
+                        Some (file_size, max 0 (file_size - !live))
+                      else begin
+                        Hashtbl.reset index;
+                        None
+                      end))
+              | _ -> None))
+
+let write_index_snapshot t =
+  let tmp = index_path t.dir ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     Printf.fprintf oc "%s %d %d\n" index_magic t.size (Hashtbl.length t.index);
+     Hashtbl.iter
+       (fun key (off, klen, vlen) ->
+         Printf.fprintf oc "%s %d %d %d\n" (hex_of key) off klen vlen)
+       t.index;
+     close_out oc;
+     Sys.rename tmp (index_path t.dir)
+   with exn ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise exn)
+
+(* Rewrite only the live entries into a fresh segment and swap it in
+   atomically.  Runs at open time, before any reader exists. *)
+let compact_segment dir fd index =
+  let tmp = segment_path dir ^ ".tmp" in
+  let out =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let entries =
+    Hashtbl.fold (fun key loc acc -> (key, loc) :: acc) index []
+  in
+  (* Stable layout: live entries in their original append order. *)
+  let entries =
+    List.sort (fun (_, (o1, _, _)) (_, (o2, _, _)) -> compare o1 o2) entries
+  in
+  let size = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close out with Unix.Unix_error _ -> ())
+    (fun () ->
+      List.iter
+        (fun (key, (off, klen, vlen)) ->
+          let body =
+            pread fd ~off:(off + header_len) ~len:(klen + vlen)
+          in
+          let value = Bytes.sub_string body klen vlen in
+          let entry = render_entry key value in
+          write_all out entry 0 (Bytes.length entry);
+          Hashtbl.replace index key (!size, klen, vlen);
+          size := !size + Bytes.length entry)
+        entries;
+      Unix.fsync out);
+  Unix.close fd;
+  Sys.rename tmp (segment_path dir);
+  let fd =
+    Unix.openfile (segment_path dir) [ Unix.O_RDWR ] 0o644
+  in
+  (fd, !size)
+
+let open_ ~dir =
+  mkdir_p dir;
+  let seg = segment_path dir in
+  let fd = Unix.openfile seg [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let file_size = (Unix.fstat fd).Unix.st_size in
+  let index = Hashtbl.create 64 in
+  let size, dead =
+    match try_load_index (index_path dir) file_size index with
+    | Some (size, dead) -> (size, dead)
+    | None ->
+        let size, dead = scan_segment fd file_size index in
+        if size < file_size then Unix.ftruncate fd size;
+        (size, dead)
+  in
+  let fd, size, dead =
+    if dead > 4096 && dead * 2 > size then
+      let fd, size = compact_segment dir fd index in
+      (fd, size, 0)
+    else (fd, size, dead)
+  in
+  {
+    dir;
+    fd;
+    size;
+    index;
+    dead;
+    corrupt = 0;
+    closed = false;
+    lock = Mutex.create ();
+  }
+
+(* ------------------------------------------------------------- access *)
+
+let length t = with_lock t (fun () -> Hashtbl.length t.index)
+let bytes t = with_lock t (fun () -> t.size)
+let dead_bytes t = with_lock t (fun () -> t.dead)
+let corrupt t = with_lock t (fun () -> t.corrupt)
+let dir t = t.dir
+
+let keys t =
+  with_lock t (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) t.index [])
+
+let mem t key = with_lock t (fun () -> Hashtbl.mem t.index key)
+
+let find t key =
+  with_lock t (fun () ->
+      if t.closed then None
+      else
+        match Hashtbl.find_opt t.index key with
+        | None -> None
+        | Some (off, klen, vlen) -> (
+            match pread t.fd ~off ~len:(entry_size klen vlen) with
+            | exception (Exit | Unix.Unix_error _) ->
+                Hashtbl.remove t.index key;
+                t.corrupt <- t.corrupt + 1;
+                t.dead <- t.dead + entry_size klen vlen;
+                None
+            | b ->
+                let stored_key = Bytes.sub_string b header_len klen in
+                let value = Bytes.sub_string b (header_len + klen) vlen in
+                if
+                  Bytes.get b 0 = 'P' && Bytes.get b 1 = 'S'
+                  && u16_get b 2 = klen && u32_get b 4 = vlen
+                  && stored_key = key
+                  && Stdlib.Digest.string (key ^ value)
+                     = Bytes.sub_string b 8 16
+                then Some value
+                else begin
+                  (* Checksum failure: drop the entry, report a miss.  The
+                     segment itself is left alone — the entry's bytes are
+                     already unreachable. *)
+                  Hashtbl.remove t.index key;
+                  t.corrupt <- t.corrupt + 1;
+                  t.dead <- t.dead + entry_size klen vlen;
+                  None
+                end))
+
+let add t ?(capped = false) key value =
+  if capped then ()
+  else if key = "" || String.length key > max_key then
+    invalid_arg "Cluster.Store.add: bad key length"
+  else if String.length value > max_value then
+    invalid_arg "Cluster.Store.add: value too large"
+  else
+    with_lock t (fun () ->
+        if not t.closed then begin
+          let entry = render_entry key value in
+          ignore (Unix.lseek t.fd t.size Unix.SEEK_SET);
+          write_all t.fd entry 0 (Bytes.length entry);
+          (match Hashtbl.find_opt t.index key with
+          | Some (_, k0, v0) -> t.dead <- t.dead + entry_size k0 v0
+          | None -> ());
+          Hashtbl.replace t.index key
+            (t.size, String.length key, String.length value);
+          t.size <- t.size + Bytes.length entry
+        end)
+
+let flush t =
+  with_lock t (fun () ->
+      if not t.closed then begin
+        Unix.fsync t.fd;
+        write_index_snapshot t
+      end)
+
+let close t =
+  flush t;
+  with_lock t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        Unix.close t.fd
+      end)

@@ -1,0 +1,52 @@
+(** Crash-safe on-disk plan store: an append-only segment file of
+    checksummed entries plus an in-memory index (snapshotted on
+    {!flush} for fast clean restarts).
+
+    Durability model — every write is a single append, so the only
+    crash artifact is a torn tail, which the startup scan truncates;
+    a checksum failure on read drops that entry and reports a miss.
+    Corruption can lose entries, never return wrong bytes or raise.
+    Superseded duplicates are reclaimed by a startup compaction once
+    dead bytes outgrow the live data. *)
+
+type t
+
+(** Opens (creating if needed) the store rooted at [dir].  Validates
+    the segment — via the index snapshot when it matches the file
+    size exactly, else a full checksumming scan — truncating any torn
+    tail and compacting when warranted. *)
+val open_ : dir:string -> t
+
+(** Returns the stored value, or [None] on a miss {e or} on checksum
+    failure (the corrupt entry is dropped and counted). *)
+val find : t -> string -> string option
+
+(** Appends [key -> value].  [~capped:true] marks a deadline-capped
+    solve and is refused outright — mirroring the service-layer rule
+    that budget-capped outcomes never enter any cache tier (a capped
+    plan persisted under a deadline-free fingerprint would poison
+    every future full-budget job on this node and its peers). *)
+val add : t -> ?capped:bool -> string -> string -> unit
+
+val mem : t -> string -> bool
+val keys : t -> string list
+
+(** Live entry count. *)
+val length : t -> int
+
+(** Logical segment size in bytes (live + dead). *)
+val bytes : t -> int
+
+(** Bytes held by superseded or dropped entries. *)
+val dead_bytes : t -> int
+
+(** Entries rejected by a checksum since [open_]. *)
+val corrupt : t -> int
+
+val dir : t -> string
+
+(** fsyncs the segment and atomically rewrites the index snapshot. *)
+val flush : t -> unit
+
+(** {!flush} then close; further [find]s miss, [add]s are dropped. *)
+val close : t -> unit

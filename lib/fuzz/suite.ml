@@ -2,7 +2,7 @@
 
 let props =
   Oracle_solver.props @ Oracle_serial.props @ Oracle_io.props
-  @ Oracle_scenario.props
+  @ Oracle_scenario.props @ Oracle_cluster.props
 
 let find name =
   List.find_opt (fun p -> Check.prop_name p = name) props

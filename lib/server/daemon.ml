@@ -8,6 +8,7 @@ type t = {
   metrics : Metrics.t;
   limits : Http.limits;
   reactor : Reactor.t;
+  node : Cluster.Node.t option;
   stop : bool Atomic.t;
 }
 
@@ -58,7 +59,20 @@ let register_gauges t =
       [
         ([ ("kind", "free") ], float_of_int free);
         ([ ("kind", "created") ], float_of_int created);
-      ])
+      ]);
+  let tiered = Pool.tiered t.pool in
+  Metrics.gauge t.metrics "etransform_cache_lookups_total"
+    ~help:"Tiered cache lookups by tier (memory/disk/peer) and result"
+    (fun () ->
+      List.map
+        (fun ((tier, result), n) ->
+          ([ ("result", result); ("tier", tier) ], float_of_int n))
+        (Tiered.counts tiered));
+  match Tiered.disk_bytes tiered with
+  | Some bytes ->
+      one "etransform_cache_disk_bytes"
+        "On-disk plan store segment size in bytes" bytes
+  | None -> ()
 
 (* -------------------------------------------------------------- routes *)
 
@@ -300,6 +314,44 @@ let handle_sweep t rc out body ~keep =
               Http.finish_chunked ch;
               200))
 
+(* GET /cache/<fingerprint>: the peer-transfer endpoint.  Answers from
+   local tiers only (memory + disk, via [find_local]) so a probe from a
+   peer never fans back out to our own peers — lookups cannot loop.
+   The body is the binary {!Cluster.Codec} payload, byte-identical to
+   the disk segment entry; a miss is a plain 404. *)
+let handle_cache t out fp ~keep =
+  match Tiered.find_local (Pool.tiered t.pool) fp with
+  | Some outcome ->
+      Http.respond out ~status:200
+        ~headers:[ ("Content-Type", "application/octet-stream") ]
+        ~keep_alive:keep
+        (Cluster.Codec.encode outcome);
+      200
+  | None ->
+      Http.respond out ~status:404 ~headers:json_headers ~keep_alive:keep
+        (error_body "miss" "fingerprint not cached on this node");
+      404
+
+(* POST /gossip: one digest exchange.  The sender's Bloom digest is
+   installed (so our future probes to it are gated) and ours comes back
+   in the response body. *)
+let handle_gossip t out body ~keep =
+  match t.node with
+  | None ->
+      Http.respond out ~status:404 ~headers:json_headers ~keep_alive:keep
+        (error_body "not_found" "cluster gossip is not enabled");
+      404
+  | Some node -> (
+      match Cluster.Node.gossip_receive node (Http.read_all body) with
+      | Some reply ->
+          Http.respond out ~status:200 ~headers:json_headers ~keep_alive:keep
+            (reply ^ "\n");
+          200
+      | None ->
+          Http.respond out ~status:400 ~headers:json_headers ~keep_alive:keep
+            (error_body "invalid" "malformed gossip body");
+          400)
+
 let handle_healthz t out ~keep =
   let body =
     Json.to_string
@@ -342,7 +394,14 @@ let handle_request t rc out conn req ~started =
         ("/sweep", fun () -> handle_sweep t rc out body ~keep)
     | Http.GET, "/healthz" -> ("/healthz", fun () -> handle_healthz t out ~keep)
     | Http.GET, "/metrics" -> ("/metrics", fun () -> handle_metrics t out ~keep)
-    | _, ("/solve" | "/batch" | "/sweep" | "/healthz" | "/metrics") ->
+    | Http.POST, "/gossip" ->
+        ("/gossip", fun () -> handle_gossip t out body ~keep)
+    | Http.GET, path
+      when String.length path > 7 && String.sub path 0 7 = "/cache/" ->
+        let fp = String.sub path 7 (String.length path - 7) in
+        ("/cache", fun () -> handle_cache t out fp ~keep)
+    | _, ("/solve" | "/batch" | "/sweep" | "/healthz" | "/metrics" | "/gossip")
+      ->
         ( req.Http.path,
           fun () ->
             Http.respond out ~status:405 ~headers:json_headers ~keep_alive:keep
@@ -454,7 +513,7 @@ let reject_connection fd =
 let create ?(addr = "127.0.0.1") ?(port = 0) ?(backlog = 64)
     ?(limits = Http.default_limits) ?(drain_timeout = 10.0) ?resolve
     ?(metrics = Metrics.create ()) ?(max_conns = 4096) ?(idle_timeout = 30.0)
-    ?(shards = 1) ~pool () =
+    ?(shards = 1) ?node ~pool () =
   let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt lfd Unix.SO_REUSEADDR true;
   let inet =
@@ -483,9 +542,23 @@ let create ?(addr = "127.0.0.1") ?(port = 0) ?(backlog = 64)
       metrics;
       limits;
       reactor;
+      node;
       stop = Atomic.make false;
     }
   in
+  (* The gossip digest must advertise everything /cache can serve:
+     in-memory LRU entries plus the on-disk store. *)
+  (match node with
+  | Some node ->
+      Cluster.Node.set_local_keys node (fun () ->
+          let tiered = Pool.tiered pool in
+          let disk =
+            match Cluster.Node.store node with
+            | Some s -> Cluster.Store.keys s
+            | None -> []
+          in
+          List.sort_uniq compare (Tiered.keys tiered @ disk))
+  | None -> ());
   register_gauges t;
   t
 
@@ -500,4 +573,7 @@ let draining t = Atomic.get t.stop
 
 let run t =
   Reactor.run t.reactor ~listener:t.lfd ~reject:reject_connection
-    (fun rc -> handle_connection t rc)
+    (fun rc -> handle_connection t rc);
+  (* Drain complete: make the disk tier's index snapshot current so the
+     next start skips the full segment scan. *)
+  Option.iter Cluster.Node.flush t.node

@@ -20,11 +20,22 @@
       malformed spec or oversized grid, and — before any stream bytes —
       [503] with [Retry-After] when the pool queue is full, matching
       [/solve].
+    - [GET /cache/<fingerprint>] — the peer-transfer endpoint of the
+      tiered plan cache: answers the {!Cluster.Codec}-encoded outcome
+      from the {e local} tiers only (memory + disk, so probes never fan
+      back out to peers), or 404 on a miss.
+    - [POST /gossip] — one cluster digest exchange: installs the
+      sender's Bloom digest and answers with this node's own
+      ({!Cluster.Node.gossip_receive}).  404 unless [create] was given
+      a [node].
     - [GET /healthz] — liveness plus pool shape as a JSON object.
     - [GET /metrics] — the {!Service.Metrics} registry in Prometheus
       text format: HTTP requests by route/status, job outcomes, solve
       and queue latency histograms, live queue depth, cache
-      hits/misses, connection counts by state, reactor buffer-pool
+      hits/misses, per-tier cache lookups
+      ([etransform_cache_lookups_total{tier,result}]), disk-store
+      occupancy ([etransform_cache_disk_bytes], when a disk tier is
+      configured), connection counts by state, reactor buffer-pool
       occupancy.
 
     Connections are multiplexed by the event-driven {!Reactor}: each
@@ -53,7 +64,13 @@ type t
     Reactor shape: [max_conns] caps live connections (default 4096,
     beyond it new connections get 503), [idle_timeout] seconds evicts
     stalled reads/writes (default 30, [0.] disables), [shards] is the
-    number of readiness loops (default 1). *)
+    number of readiness loops (default 1).
+
+    [node] enables the cluster surface: [/gossip] answers exchanges,
+    the node's digest provider is pointed at everything [/cache] can
+    serve (LRU + disk keys), and {!run} flushes the store's index
+    snapshot after the drain.  The node's lifecycle (gossip thread,
+    close) stays with the caller. *)
 val create :
   ?addr:string ->
   ?port:int ->
@@ -65,6 +82,7 @@ val create :
   ?max_conns:int ->
   ?idle_timeout:float ->
   ?shards:int ->
+  ?node:Cluster.Node.t ->
   pool:Service.Pool.t ->
   unit ->
   t

@@ -88,6 +88,9 @@ let add t key value =
               Hashtbl.remove t.table lru.key;
               t.evictions <- t.evictions + 1)
 
+let keys t =
+  with_lock t (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) t.table [])
+
 let hits t = with_lock t (fun () -> t.hits)
 let misses t = with_lock t (fun () -> t.misses)
 let evictions t = with_lock t (fun () -> t.evictions)

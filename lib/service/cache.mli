@@ -23,6 +23,10 @@ val find : 'a t -> string -> 'a option
     over capacity. *)
 val add : 'a t -> string -> 'a -> unit
 
+(** Every cached key, in no particular order — the cluster layer folds
+    these into the gossip digest of locally-held plans. *)
+val keys : 'a t -> string list
+
 (** Monotonic counters since [create]. *)
 val hits : 'a t -> int
 

@@ -9,6 +9,7 @@ type result = {
   code : code;
   reason : string option;
   cache_hit : bool;
+  cache_tier : string option;
   queue_s : float;
   build_s : float;
   solve_s : float;
@@ -32,7 +33,7 @@ type t = {
   not_full : Condition.t;
   mutable closed : bool;
   mutable domains : unit Domain.t array;
-  cache : Solver.outcome Cache.t;
+  tiered : Tiered.t;
   trace : Trace.t;
 }
 
@@ -112,6 +113,9 @@ let trace_job trace r =
       ("solve_s", Json.Num r.solve_s);
     ]
   in
+  let tier =
+    match r.cache_tier with None -> [] | Some t -> [ ("tier", Json.Str t) ]
+  in
   let solver =
     match r.outcome with
     | None -> []
@@ -126,14 +130,14 @@ let trace_job trace r =
   let reason =
     match r.reason with None -> [] | Some m -> [ ("reason", Json.Str m) ]
   in
-  Trace.emit trace (base @ solver @ reason)
+  Trace.emit trace (base @ tier @ solver @ reason)
 
-let run_task ~cache ~trace task =
+let run_task ~tiered ~trace task =
   let job = task.tjob in
   let started = now () in
   let queue_s = started -. task.submitted in
   let fingerprint = Job.fingerprint job in
-  let finish ?outcome ?reason ~code ~cache_hit ~build_s ~solve_s () =
+  let finish ?outcome ?reason ?tier ~code ~cache_hit ~build_s ~solve_s () =
     let r =
       {
         job;
@@ -142,6 +146,7 @@ let run_task ~cache ~trace task =
         code;
         reason;
         cache_hit;
+        cache_tier = tier;
         queue_s;
         build_s;
         solve_s;
@@ -170,9 +175,10 @@ let run_task ~cache ~trace task =
             (Printf.sprintf "%s; greedy fallback also failed: %s" reason
                (Printexc.to_string exn))
   in
-  match Cache.find cache fingerprint with
-  | Some outcome ->
-      finish ~outcome ~code:Solved ~cache_hit:true ~build_s:0.0 ~solve_s:0.0 ()
+  match Tiered.find tiered fingerprint with
+  | Some (outcome, tier) ->
+      finish ~outcome ~tier ~code:Solved ~cache_hit:true ~build_s:0.0
+        ~solve_s:0.0 ()
   | None -> (
       let time_remaining =
         Option.map (fun d -> d -. (now () -. task.submitted)) job.Job.deadline_s
@@ -204,8 +210,10 @@ let run_task ~cache ~trace task =
                  plan tagged Time_limit; caching it under a fingerprint that
                  excludes deadline_s would serve that degraded plan to later
                  full-budget jobs.  Only full-budget solves are cacheable:
-                 they alone are deterministic given the job spec. *)
-              if not budget_capped then Cache.add cache fingerprint outcome;
+                 they alone are deterministic given the job spec.  The
+                 capped bit travels down to every tier — the disk store
+                 re-refuses it at its own boundary. *)
+              Tiered.add tiered ~capped:budget_capped fingerprint outcome;
               finish ~outcome ~code:Solved ~cache_hit:false ~build_s ~solve_s
                 ()
           | exception exn ->
@@ -251,7 +259,7 @@ let worker_loop t () =
       Condition.signal t.not_full;
       Mutex.unlock t.m;
       let r =
-        try run_task ~cache:t.cache ~trace:t.trace task
+        try run_task ~tiered:t.tiered ~trace:t.trace task
         with exn ->
           (* Last-resort guard: a worker must always fill its ticket. *)
           {
@@ -261,6 +269,7 @@ let worker_loop t () =
             code = Failed;
             reason = Some (Printexc.to_string exn);
             cache_hit = false;
+            cache_tier = None;
             queue_s = 0.0;
             build_s = 0.0;
             solve_s = 0.0;
@@ -282,7 +291,7 @@ let clamp_workers ~what n =
   else n
 
 let create ?(workers = 2) ?(queue_capacity = 64) ?(cache_capacity = 256)
-    ?(trace = Trace.null) () =
+    ?(tiers = []) ?(trace = Trace.null) () =
   let t =
     {
       workers = max 0 workers;
@@ -293,7 +302,7 @@ let create ?(workers = 2) ?(queue_capacity = 64) ?(cache_capacity = 256)
       not_full = Condition.create ();
       closed = false;
       domains = [||];
-      cache = Cache.create ~capacity:(max 0 cache_capacity) ();
+      tiered = Tiered.create ~tiers ~cache_capacity:(max 0 cache_capacity) ();
       trace;
     }
   in
@@ -303,7 +312,8 @@ let create ?(workers = 2) ?(queue_capacity = 64) ?(cache_capacity = 256)
 
 let workers t = t.workers
 let queue_capacity t = t.queue_capacity
-let cache t = t.cache
+let cache t = Tiered.lru t.tiered
+let tiered t = t.tiered
 let trace t = t.trace
 
 let queue_depth t =
@@ -322,7 +332,7 @@ let submit t job =
   let task = fresh_task job in
   if t.workers = 0 then begin
     if t.closed then invalid_arg "Pool.submit: pool is shut down";
-    resolve task.ticket (run_task ~cache:t.cache ~trace:t.trace task)
+    resolve task.ticket (run_task ~tiered:t.tiered ~trace:t.trace task)
   end
   else begin
     Mutex.lock t.m;
@@ -418,6 +428,6 @@ let shutdown t =
     t.domains <- [||]
   end
 
-let with_pool ?workers ?queue_capacity ?cache_capacity ?trace f =
-  let t = create ?workers ?queue_capacity ?cache_capacity ?trace () in
+let with_pool ?workers ?queue_capacity ?cache_capacity ?tiers ?trace f =
+  let t = create ?workers ?queue_capacity ?cache_capacity ?tiers ?trace () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

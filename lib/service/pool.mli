@@ -35,6 +35,9 @@ type result = {
   code : code;
   reason : string option;  (** why the job degraded or failed *)
   cache_hit : bool;
+  cache_tier : string option;
+      (** which tier answered a hit: ["memory"], ["disk"] or ["peer"];
+          [None] on misses *)
   queue_s : float;         (** submission → start of execution *)
   build_s : float;         (** estate + model construction *)
   solve_s : float;         (** engine time (0 on cache hits) *)
@@ -47,17 +50,23 @@ type ticket
 (** [create ()] spawns [workers] domains ([0] = run jobs inline in the
     submitting thread — fully sequential and deterministic in submission
     order).  [queue_capacity] bounds the backlog; submission blocks when
-    full.  [cache_capacity] sizes the shared plan cache. *)
+    full.  [cache_capacity] sizes the in-memory plan cache; [tiers] adds
+    backing cache tiers behind it (disk store, peer lookup — see
+    {!Tiered}). *)
 val create :
   ?workers:int ->
   ?queue_capacity:int ->
   ?cache_capacity:int ->
+  ?tiers:Tiered.tier list ->
   ?trace:Trace.t ->
   unit -> t
 
 val workers : t -> int
 val queue_capacity : t -> int
 val cache : t -> Etransform.Solver.outcome Cache.t
+
+(** The full tiered cache front ({!cache} is just its memory tier). *)
+val tiered : t -> Tiered.t
 
 (** The trace sink the pool was created with ({!Trace.null} by default) —
     lets layered drivers (sweeps above all) emit their own summary events
@@ -118,5 +127,6 @@ val with_pool :
   ?workers:int ->
   ?queue_capacity:int ->
   ?cache_capacity:int ->
+  ?tiers:Tiered.tier list ->
   ?trace:Trace.t ->
   (t -> 'a) -> 'a

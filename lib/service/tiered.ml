@@ -1,0 +1,108 @@
+type tier = {
+  name : string;
+  remote : bool;
+  find : string -> Etransform.Solver.outcome option;
+  store : capped:bool -> string -> Etransform.Solver.outcome -> unit;
+  bytes : (unit -> float) option;
+}
+
+type t = {
+  lru : Etransform.Solver.outcome Cache.t;
+  tiers : tier list;
+  counts : (string * string, int ref) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+let create ?(tiers = []) ~cache_capacity () =
+  {
+    lru = Cache.create ~capacity:(max 0 cache_capacity) ();
+    tiers;
+    counts = Hashtbl.create 8;
+    lock = Mutex.create ();
+  }
+
+let lru t = t.lru
+let tier_names t = "memory" :: List.map (fun tr -> tr.name) t.tiers
+
+let count t tier result =
+  Mutex.lock t.lock;
+  (match Hashtbl.find_opt t.counts (tier, result) with
+  | Some r -> incr r
+  | None -> Hashtbl.replace t.counts (tier, result) (ref 1));
+  Mutex.unlock t.lock
+
+let counts t =
+  Mutex.lock t.lock;
+  let l = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counts [] in
+  Mutex.unlock t.lock;
+  List.sort compare l
+
+(* Promotion: a hit at tier [i] back-fills every cheaper tier, so the
+   next identical lookup stops earlier — a peer-fetched plan lands in
+   both the LRU and the local disk store.  Promotions are never capped
+   by construction (capped solves are refused at insert time and so are
+   never found in any tier). *)
+let promote t missed fingerprint outcome =
+  Cache.add t.lru fingerprint outcome;
+  List.iter (fun tr -> tr.store ~capped:false fingerprint outcome) missed
+
+let find t fingerprint =
+  match Cache.find t.lru fingerprint with
+  | Some outcome ->
+      count t "memory" "hit";
+      Some (outcome, "memory")
+  | None ->
+      count t "memory" "miss";
+      let rec descend missed = function
+        | [] -> None
+        | tr :: rest -> (
+            match tr.find fingerprint with
+            | Some outcome ->
+                count t tr.name "hit";
+                promote t (List.rev missed) fingerprint outcome;
+                Some (outcome, tr.name)
+            | None ->
+                count t tr.name "miss";
+                descend (tr :: missed) rest)
+      in
+      descend [] t.tiers
+
+let find_local t fingerprint =
+  match Cache.find t.lru fingerprint with
+  | Some outcome ->
+      count t "memory" "hit";
+      Some outcome
+  | None ->
+      count t "memory" "miss";
+      let rec descend = function
+        | [] -> None
+        | { remote = true; _ } :: rest -> descend rest
+        | tr :: rest -> (
+            match tr.find fingerprint with
+            | Some outcome ->
+                count t tr.name "hit";
+                Cache.add t.lru fingerprint outcome;
+                Some outcome
+            | None ->
+                count t tr.name "miss";
+                descend rest)
+      in
+      descend t.tiers
+
+let add t ~capped fingerprint outcome =
+  if not capped then Cache.add t.lru fingerprint outcome;
+  (* Tiers see the capped bit themselves: the disk store re-checks it at
+     its own boundary (defense in depth against future callers that skip
+     this front). *)
+  List.iter (fun tr -> tr.store ~capped fingerprint outcome) t.tiers
+
+let keys t =
+  List.sort_uniq compare (Cache.keys t.lru)
+
+let disk_bytes t =
+  let rec first = function
+    | [] -> None
+    | { bytes = Some f; _ } :: _ -> Some f
+    | _ :: rest -> first rest
+  in
+  first t.tiers

@@ -1,0 +1,291 @@
+(* Two-node cluster smoke, run by the @cluster-smoke alias.
+
+   Boots two in-process daemons on ephemeral ports, each with its own
+   disk store, with B's --peers pointing at A:
+
+   - POST /solve on A: a fresh solve, persisted to A's disk tier.
+   - GET /cache/<fp> on A: the binary plan, decodable by Cluster.Codec.
+   - POST /solve of the same scenario on B: B must answer it as a
+     peer-tier cache hit (fetched from A, never re-solved), visible in
+     B's /metrics as etransform_cache_lookups_total{result="hit",
+     tier="peer"} and a jobs_total cache="hit".
+   - A gossip round from B installs A's Bloom digest, which covers the
+     solved fingerprint.
+   - Both nodes expose etransform_cache_disk_bytes, non-zero on A. *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("cluster-smoke: " ^ m);
+      exit 1)
+    fmt
+
+let check cond fmt =
+  Printf.ksprintf (fun m -> if not cond then fail "%s" m) fmt
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write fd b off (n - off))
+  in
+  go 0
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 60.0;
+  fd
+
+let request port text =
+  let fd = connect port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      write_all fd text;
+      let ic = Unix.in_channel_of_descr fd in
+      let status_line = input_line ic in
+      let status =
+        match String.split_on_char ' ' (String.trim status_line) with
+        | _ :: code :: _ -> int_of_string code
+        | _ -> fail "bad status line %S" status_line
+      in
+      let rec headers acc =
+        match String.trim (input_line ic) with
+        | "" -> acc
+        | line -> (
+            match String.index_opt line ':' with
+            | None -> headers acc
+            | Some i ->
+                headers
+                  ((String.lowercase_ascii (String.sub line 0 i),
+                    String.trim
+                      (String.sub line (i + 1) (String.length line - i - 1)))
+                  :: acc))
+      in
+      let hs = headers [] in
+      let body =
+        match List.assoc_opt "content-length" hs with
+        | Some n -> really_input_string ic (int_of_string n)
+        | None ->
+            let buf = Buffer.create 1024 in
+            (try
+               while true do
+                 Buffer.add_channel buf ic 1
+               done
+             with End_of_file -> ());
+            Buffer.contents buf
+      in
+      (status, body))
+
+let post port path body =
+  request port
+    (Printf.sprintf
+       "POST %s HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\nContent-Length: %d\r\n\r\n%s"
+       path (String.length body) body)
+
+let get port path =
+  request port
+    (Printf.sprintf
+       "GET %s HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n" path)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+let temp_dir tag =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "etransform_cluster_smoke_%s_%d" tag (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  dir
+
+let rec rm_rf path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_DIR ->
+      Array.iter
+        (fun name -> rm_rf (Filename.concat path name))
+        (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error _ -> ()
+
+let json_str_field name body =
+  match Service.Json.parse (String.trim body) with
+  | Ok j -> Option.bind (Service.Json.member name j) Service.Json.to_str
+  | Error m -> fail "unparseable body %S: %s" body m
+
+type node = {
+  tag : string;
+  dir : string;
+  node : Cluster.Node.t;
+  pool : Service.Pool.t;
+  server : Server.Daemon.t;
+  thread : Thread.t;
+}
+
+let boot tag ~peers =
+  let dir = temp_dir tag in
+  let node = Cluster.Node.create ~cache_dir:dir ~peers () in
+  let metrics = Service.Metrics.create () in
+  let trace =
+    Service.Trace.observer (Service.Metrics.observe_trace metrics)
+  in
+  let pool =
+    Service.Pool.create ~workers:1 ~queue_capacity:8 ~cache_capacity:16
+      ~tiers:(Cluster.Node.tiers node) ~trace ()
+  in
+  let server =
+    Server.Daemon.create ~port:0 ~drain_timeout:10.0
+      ~resolve:Harness.Line_jobs.resolve ~metrics ~node ~pool ()
+  in
+  Cluster.Node.set_self node
+    (Printf.sprintf "127.0.0.1:%d" (Server.Daemon.port server));
+  let thread = Thread.create Server.Daemon.run server in
+  { tag; dir; node; pool; server; thread }
+
+let shutdown n =
+  Server.Daemon.request_stop n.server;
+  Thread.join n.thread;
+  Cluster.Node.close n.node;
+  Service.Pool.shutdown n.pool;
+  rm_rf n.dir
+
+let () =
+  let fixture = Sys.argv.(1) in
+  let job =
+    let ic = open_in fixture in
+    let rec first () =
+      match input_line ic with
+      | l when String.trim l = "" || l.[0] = '#' -> first ()
+      | l -> l
+      | exception End_of_file -> fail "empty fixture"
+    in
+    let l = first () in
+    close_in ic;
+    l
+  in
+
+  let a = boot "a" ~peers:[] in
+  let port_a = Server.Daemon.port a.server in
+  let b = boot "b" ~peers:[ Printf.sprintf "127.0.0.1:%d" port_a ] in
+  let port_b = Server.Daemon.port b.server in
+  Fun.protect
+    ~finally:(fun () ->
+      shutdown b;
+      shutdown a)
+    (fun () ->
+      (* Solve on A: a fresh solve that lands in A's LRU and disk. *)
+      let status, body = post port_a "/solve" job in
+      check (status = 200) "A /solve status %d" status;
+      check (contains ~affix:{|"code":"ok"|} body) "A /solve body %S" body;
+      let fp =
+        match json_str_field "fp" body with
+        | Some fp -> fp
+        | None -> fail "A /solve body carries no fingerprint: %S" body
+      in
+
+      (* The peer-transfer endpoint serves the binary plan. *)
+      let status, payload = get port_a ("/cache/" ^ fp) in
+      check (status = 200) "A /cache/<fp> status %d" status;
+      check
+        (Cluster.Codec.decode payload <> None)
+        "A /cache/<fp> body does not decode (%d bytes)"
+        (String.length payload);
+      let status, _ = get port_a "/cache/feedfacefeedfacefeedfacefeedface" in
+      check (status = 404) "A /cache miss status %d" status;
+
+      (* The same scenario on B: answered from A through the peer tier —
+         a cache hit, no local solve. *)
+      let status, body_b = post port_b "/solve" job in
+      check (status = 200) "B /solve status %d" status;
+      check (contains ~affix:{|"code":"ok"|} body_b) "B /solve body %S" body_b;
+      check
+        (json_str_field "fp" body_b = Some fp)
+        "fingerprints diverge across nodes";
+
+      (* B's metrics: the hit was served by the peer tier, counted both
+         in the tiered lookup counters and the job-level cache label. *)
+      let status, scrape_b = get port_b "/metrics" in
+      check (status = 200) "B /metrics status %d" status;
+      List.iter
+        (fun affix ->
+          check (contains ~affix scrape_b) "B /metrics missing %S" affix)
+        [
+          {|etransform_cache_lookups_total{result="hit",tier="peer"} 1|};
+          {|etransform_cache_lookups_total{result="miss",tier="memory"} 1|};
+          {|etransform_cache_lookups_total{result="miss",tier="disk"} 1|};
+          {|etransform_jobs_total{cache="hit",code="solved"} 1|};
+          "etransform_cache_disk_bytes";
+        ];
+
+      (* The peer-fetched plan was promoted into B's own tiers: a repeat
+         solve on B is now a memory hit, and B's disk store holds it. *)
+      let status, _ = post port_b "/solve" job in
+      check (status = 200) "B repeat /solve status %d" status;
+      let status, scrape_b = get port_b "/metrics" in
+      check (status = 200) "B /metrics (repeat) status %d" status;
+      check
+        (contains
+           ~affix:{|etransform_cache_lookups_total{result="hit",tier="memory"} 1|}
+           scrape_b)
+        "B repeat solve was not a memory hit";
+      (match Cluster.Node.store b.node with
+      | Some store ->
+          check
+            (Cluster.Store.mem store fp)
+            "promotion did not reach B's disk store"
+      | None -> fail "B has no disk store");
+
+      (* One explicit gossip round from B: the exchange must complete
+         and install A's digest, which covers the solved fingerprint. *)
+      let rounds = Cluster.Node.gossip_now b.node in
+      check (rounds = 1) "gossip completed %d/1 exchanges" rounds;
+      (match
+         Cluster.Peers.digest_of
+           (Cluster.Node.peers b.node)
+           (Printf.sprintf "127.0.0.1:%d" port_a)
+       with
+      | None -> fail "gossip installed no digest for A"
+      | Some bloom ->
+          check (Cluster.Bloom.mem bloom fp)
+            "A's gossiped digest does not cover the solved fingerprint");
+
+      (* A's metrics: the disk tier is non-empty and the cache route was
+         served. *)
+      let status, scrape_a = get port_a "/metrics" in
+      check (status = 200) "A /metrics status %d" status;
+      List.iter
+        (fun affix ->
+          check (contains ~affix scrape_a) "A /metrics missing %S" affix)
+        [
+          (* Two 200s: our direct probe above plus B's peer-tier fetch. *)
+          {|etransform_http_requests_total{route="/cache",status="200"} 2|};
+          {|etransform_http_requests_total{route="/cache",status="404"} 1|};
+          {|etransform_http_requests_total{route="/gossip",status="200"} 1|};
+          "etransform_cache_disk_bytes";
+        ];
+      let disk_bytes_positive =
+        List.exists
+          (fun line ->
+            match String.index_opt line ' ' with
+            | Some i
+              when String.sub line 0 i = "etransform_cache_disk_bytes" -> (
+                match
+                  float_of_string_opt
+                    (String.trim
+                       (String.sub line (i + 1) (String.length line - i - 1)))
+                with
+                | Some v -> v > 0.0
+                | None -> false)
+            | _ -> false)
+          (String.split_on_char '\n' scrape_a)
+      in
+      check disk_bytes_positive "A reports zero disk bytes after a solve");
+
+  print_endline
+    "cluster-smoke: peer-tier hit on B, disk persistence on A, gossip \
+     digest installed"

@@ -23,6 +23,7 @@ let () =
       ("service", Test_service.suite);
       ("scenario", Test_scenario.suite);
       ("server", Test_server.suite);
+      ("cluster", Test_cluster.suite);
       ("check", Test_check.suite);
       ("http-edge", Test_http_edge.suite);
       ("metrics", Test_metrics.suite);

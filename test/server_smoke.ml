@@ -157,11 +157,23 @@ let () =
   let trace =
     Service.Trace.observer (Service.Metrics.observe_trace metrics)
   in
+  (* A disk cache tier behind the LRU, so the scrape also carries the
+     tiered lookup counters and the disk occupancy gauge. *)
+  let cache_dir =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "etransform_server_smoke_%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dir
+  in
+  let node = Cluster.Node.create ~cache_dir () in
   Service.Pool.with_pool ~workers:2 ~queue_capacity:8 ~cache_capacity:16
-    ~trace (fun pool ->
+    ~tiers:(Cluster.Node.tiers node) ~trace (fun pool ->
       let server =
         Server.Daemon.create ~port:0 ~drain_timeout:10.0
-          ~resolve:Harness.Line_jobs.resolve ~metrics ~pool ()
+          ~resolve:Harness.Line_jobs.resolve ~metrics ~node ~pool ()
       in
       let th = Thread.create Server.Daemon.run server in
       let port = Server.Daemon.port server in
@@ -238,6 +250,13 @@ let () =
           "etransform_pool_queue_depth";
           "etransform_cache_hits_total";
           "etransform_cache_misses_total";
+          (* Tiered cache: the same 2 hits / 2 misses through the
+             memory tier; both misses descend to the (empty) disk tier
+             before solving; the disk store then holds those 2 plans. *)
+          {|etransform_cache_lookups_total{result="hit",tier="memory"} 2|};
+          {|etransform_cache_lookups_total{result="miss",tier="memory"} 2|};
+          {|etransform_cache_lookups_total{result="miss",tier="disk"} 2|};
+          "etransform_cache_disk_bytes";
         ];
 
       (* Reactor capacity: hold 1000 concurrent connections open at
@@ -284,6 +303,18 @@ let () =
           Unix.close fd;
           fail "listener still accepting after drain"
       | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ()));
+  Cluster.Node.close node;
+  let rec rm_rf path =
+    match (Unix.lstat path).Unix.st_kind with
+    | Unix.S_DIR ->
+        Array.iter
+          (fun name -> rm_rf (Filename.concat path name))
+          (Sys.readdir path);
+        Unix.rmdir path
+    | _ -> Unix.unlink path
+    | exception Unix.Unix_error _ -> ()
+  in
+  rm_rf cache_dir;
 
   print_endline
     "server-smoke: solve/batch/metrics ok, drain clean, listener closed"
