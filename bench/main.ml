@@ -430,6 +430,18 @@ let kernel_thunks () =
         { (gap_opts ()) with
           Lp.Milp.branch_strategy = Lp.Branching.Most_fractional }
         gap_model );
+    (* Work-stealing scaling ladder: the same gap tree at 1, 2 and 4
+       workers.  w1 always runs (it is the sequential reference); w2/w4
+       are in [multi_worker_kernels], so on hosts with fewer cores they
+       are skip-tagged instead of timing oversubscription thrash.  On a
+       multicore host `kernels --check` compares them against baseline:
+       the w2 entry is the speed-up gate (w2 should beat 0.75x w1). *)
+    ( "milp_scale_w1",
+      tree "milp_scale_w1" (gap_opts ~workers:1 ()) gap_model );
+    ( "milp_scale_w2",
+      tree "milp_scale_w2" (gap_opts ~workers:2 ()) gap_model );
+    ( "milp_scale_w4",
+      tree "milp_scale_w4" (gap_opts ~workers:4 ()) gap_model );
     ( "federal_milp_root",
       fun () ->
         tree "federal_milp_root" federal_root_opts (Lazy.force federal_root) ()
@@ -481,7 +493,12 @@ let kernel_thunks () =
    and tagged ["skipped_oversubscribed"] in the JSON instead of being
    timed. *)
 let multi_worker_kernels =
-  [ ("service_batch_line_w2", 2); ("service_batch_line_w4", 4) ]
+  [
+    ("service_batch_line_w2", 2);
+    ("service_batch_line_w4", 4);
+    ("milp_scale_w2", 2);
+    ("milp_scale_w4", 4);
+  ]
 
 let oversubscribed name =
   match List.assoc_opt name multi_worker_kernels with

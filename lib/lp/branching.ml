@@ -12,15 +12,23 @@ let strategy_of_string s =
   | "reliability" | "rel" -> Some Reliability
   | _ -> None
 
+(* Per-direction statistics are (sum, count) pairs of atomics rather
+   than in-place running means: a lock-free mean update needs a single
+   word to CAS, and a sum is monotone under concurrent adds where a
+   running mean is not.  Readers divide sum by count; both are
+   non-negative at every interleaving (per_unit is clamped into
+   [0, infeasible_degradation] before the add), so a torn read between
+   the two fetches can bias a mean but never produce NaN or a negative
+   pseudocost. *)
 type t = {
   strategy : strategy;
   sb_nvars : int;
   sb_nsteps : int;
-  down : float array;  (* running mean per-unit degradation, down branch *)
-  up : float array;
-  ndown : int array;
-  nup : int array;
-  mutable nobs : int;
+  down : float Atomic.t array;  (* per-unit degradation sums, down branch *)
+  up : float Atomic.t array;
+  ndown : int Atomic.t array;
+  nup : int Atomic.t array;
+  nobs : int Atomic.t;
 }
 
 let reliability_threshold = 4
@@ -31,12 +39,19 @@ let create ~nvars ~strategy ~sb_nvars ~sb_nsteps =
     strategy;
     sb_nvars = max 0 sb_nvars;
     sb_nsteps = max 0 sb_nsteps;
-    down = Array.make nvars 0.0;
-    up = Array.make nvars 0.0;
-    ndown = Array.make nvars 0;
-    nup = Array.make nvars 0;
-    nobs = 0;
+    down = Array.init nvars (fun _ -> Atomic.make 0.0);
+    up = Array.init nvars (fun _ -> Atomic.make 0.0);
+    ndown = Array.init nvars (fun _ -> Atomic.make 0);
+    nup = Array.init nvars (fun _ -> Atomic.make 0);
+    nobs = Atomic.make 0;
   }
+
+let atomic_add a v =
+  let rec go () =
+    let c = Atomic.get a in
+    if not (Atomic.compare_and_set a c (c +. v)) then go ()
+  in
+  go ()
 
 let observe t ~var ~up ~frac ~degradation =
   let dist = if up then 1.0 -. frac else frac in
@@ -45,11 +60,17 @@ let observe t ~var ~up ~frac ~degradation =
       Float.min infeasible_degradation (Float.max 0.0 degradation /. dist)
     in
     let a, n = if up then (t.up, t.nup) else (t.down, t.ndown) in
-    let k = n.(var) in
-    a.(var) <- ((a.(var) *. float_of_int k) +. per_unit) /. float_of_int (k + 1);
-    n.(var) <- k + 1;
-    t.nobs <- t.nobs + 1
+    atomic_add a.(var) per_unit;
+    ignore (Atomic.fetch_and_add n.(var) 1);
+    ignore (Atomic.fetch_and_add t.nobs 1)
   end
+
+let dir_stats sums counts var =
+  let c = Atomic.get counts.(var) in
+  (c, if c > 0 then Atomic.get sums.(var) /. float_of_int c else 0.0)
+
+let stats t ~var = (dir_stats t.down t.ndown var, dir_stats t.up t.nup var)
+let observations t = Atomic.get t.nobs
 
 let most_fractional int_ids tol x =
   let best = ref (-1) and score = ref tol in
@@ -91,7 +112,8 @@ let select t ~int_ids ~tol ~x ~nodes ~probe =
             match t.strategy with
             | Pseudocost -> nodes < t.sb_nsteps
             | Reliability ->
-                min t.ndown.(j) t.nup.(j) < reliability_threshold
+                min (Atomic.get t.ndown.(j)) (Atomic.get t.nup.(j))
+                < reliability_threshold
             | Most_fractional -> false
           in
           (* Strong-branching warmup: probe the most fractional unreliable
@@ -110,35 +132,35 @@ let select t ~int_ids ~tol ~x ~nodes ~probe =
                 | None -> ()
               end)
             cands;
-          if t.nobs = 0 then
+          if Atomic.get t.nobs = 0 then
             let j, _, _ = List.hd cands in
             j
           else begin
             (* Global mean per-unit degradations stand in for variables
                without their own history yet. *)
             let gsum = ref 0.0 and gn = ref 0 in
-            Array.iteri
-              (fun j n ->
-                if n > 0 then begin
-                  gsum := !gsum +. t.down.(j);
-                  incr gn
-                end)
-              t.ndown;
-            Array.iteri
-              (fun j n ->
-                if n > 0 then begin
-                  gsum := !gsum +. t.up.(j);
-                  incr gn
-                end)
-              t.nup;
+            let fold sums counts =
+              Array.iteri
+                (fun j n ->
+                  let n = Atomic.get n in
+                  if n > 0 then begin
+                    gsum := !gsum +. (Atomic.get sums.(j) /. float_of_int n);
+                    incr gn
+                  end)
+                counts
+            in
+            fold t.down t.ndown;
+            fold t.up t.nup;
             let gmean = if !gn > 0 then !gsum /. float_of_int !gn else 1.0 in
             let eps = 1e-6 in
             let best = ref (-1) and best_score = ref neg_infinity
             and best_dist = ref 0.0 in
             List.iter
               (fun (j, f, dist) ->
-                let dn = if t.ndown.(j) > 0 then t.down.(j) else gmean in
-                let up = if t.nup.(j) > 0 then t.up.(j) else gmean in
+                let _, dmean = dir_stats t.down t.ndown j in
+                let _, umean = dir_stats t.up t.nup j in
+                let dn = if Atomic.get t.ndown.(j) > 0 then dmean else gmean in
+                let up = if Atomic.get t.nup.(j) > 0 then umean else gmean in
                 let score =
                   Float.max eps (dn *. f) *. Float.max eps (up *. (1.0 -. f))
                 in

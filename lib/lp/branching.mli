@@ -20,8 +20,13 @@
       unreliable and is re-probed (up to [sb_nvars] probes per node),
       regardless of how many nodes the tree has processed.
 
-    The state is shared across workers and mutated under the tree lock;
-    all updates are running means, so visit-order nondeterminism with
+    The state is shared across worker domains and is domain-safe without
+    any lock: per-direction statistics are (sum, count) pairs of
+    [Atomic] cells (a CAS loop for the float sum, fetch-and-add for the
+    count), and readers divide sum by count.  Both components are
+    non-negative under every interleaving, so concurrent updates can
+    bias a mean a reader computes mid-update but can never produce a NaN
+    or negative pseudocost.  Visit-order nondeterminism with
     [workers > 1] changes the tree shape but never the optimum. *)
 
 type strategy = Most_fractional | Pseudocost | Reliability
@@ -54,6 +59,15 @@ val infeasible_degradation : float
     is per unit of enforced change: [degradation / frac] for the down
     branch, [degradation / (1 - frac)] for the up branch. *)
 val observe : t -> var:int -> up:bool -> frac:float -> degradation:float -> unit
+
+(** [stats t ~var] is [((ndown, mean_down), (nup, mean_up))]: the
+    observation count and mean per-unit degradation for each branching
+    direction of [var].  Safe to call concurrently with {!observe}; the
+    means are always finite and non-negative. *)
+val stats : t -> var:int -> (int * float) * (int * float)
+
+(** Total observations folded in so far. *)
+val observations : t -> int
 
 (** [most_fractional int_ids tol x] is the id of the integer variable
     furthest from integrality (at least [tol] away), or [-1] if all are

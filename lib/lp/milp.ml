@@ -51,6 +51,7 @@ type result = {
   nodes : int;
   cuts : int;
   lp_iterations : int;
+  workers : int;
 }
 
 let relax ?max_iters ?core m =
@@ -98,7 +99,7 @@ let probe_iters = 200
    thousands of solves with deliberately oversubscribed options. *)
 let clamp_warned = Atomic.make false
 
-let solve ?(options = default_options) m =
+let solve ?(options = default_options) ?steal_order m =
   let input0 = Simplex.of_model m in
   let minimize = input0.Simplex.minimize in
   (* Internal keys are always "smaller is better". *)
@@ -160,7 +161,13 @@ let solve ?(options = default_options) m =
        > !root_elapsed
          +. (frac *. Float.max 0.0 (options.time_limit -. !root_elapsed))
   in
-  let incumbent = ref None (* (key, x) *) in
+  (* The incumbent is an atomic (key, point) pair installed by a
+     monotonic compare-and-set: a candidate only replaces the current
+     value if its key is strictly better, and a lost race simply
+     retries against the fresher value.  Workers prune against
+     [Atomic.get incumbent] with no lock, so a new incumbent is visible
+     to every domain at its very next node pop. *)
+  let incumbent = Atomic.make None (* (key, x) *) in
   (* Candidates are re-priced against the original objective after rounding
      the integer variables exactly, so heuristics (dive, pump) can never
      corrupt the reported optimum — at worst they fail to help. *)
@@ -172,12 +179,18 @@ let solve ?(options = default_options) m =
            (Array.mapi (fun j c -> c *. x.(j)) input0.Simplex.obj)
     in
     let k = key_of_obj objv in
-    match !incumbent with
-    | Some (k0, _) when k0 <= k +. 1e-12 -> ()
-    | _ ->
-        if options.log then
-          Log.info (fun f -> f "new incumbent %.6g" (obj_of_key k));
-        incumbent := Some (k, x)
+    let rec install () =
+      let cur = Atomic.get incumbent in
+      match cur with
+      | Some (k0, _) when k0 <= k +. 1e-12 -> ()
+      | _ ->
+          if Atomic.compare_and_set incumbent cur (Some (k, x)) then begin
+            if options.log then
+              Log.info (fun f -> f "new incumbent %.6g" (obj_of_key k))
+          end
+          else install ()
+    in
+    install ()
   in
   (* When root cuts are on, the initial root solve exports its basis so
      the cut rounds, the dive and the tree all warm-start from this one
@@ -194,22 +207,25 @@ let solve ?(options = default_options) m =
       match root0.Simplex.status with
       | Status.Infeasible ->
           { status = Status.Infeasible; x = [||]; relax_x = [||]; obj = nan; bound = nan;
-            gap = nan; nodes = 0; cuts = 0; lp_iterations = Atomic.get lp_iters }
+            gap = nan; nodes = 0; cuts = 0; lp_iterations = Atomic.get lp_iters;
+            workers }
       | Status.Unbounded ->
           { status = Status.Unbounded; x = [||]; relax_x = [||]; obj = nan; bound = nan;
-            gap = nan; nodes = 0; cuts = 0; lp_iterations = Atomic.get lp_iters }
+            gap = nan; nodes = 0; cuts = 0; lp_iterations = Atomic.get lp_iters;
+            workers }
       | Status.Iteration_limit | Status.Time_limit | Status.Node_limit
       | Status.Feasible ->
           { status = Status.Iteration_limit; x = [||]; relax_x = [||]; obj = nan; bound = nan;
-            gap = nan; nodes = 0; cuts = 0; lp_iterations = Atomic.get lp_iters }
+            gap = nan; nodes = 0; cuts = 0; lp_iterations = Atomic.get lp_iters;
+            workers }
       | Status.Optimal when most_fractional int_ids options.int_tol root0.Simplex.x = -1 ->
           accept_point root0.Simplex.x;
-          let _, x = Option.get !incumbent in
+          let _, x = Option.get (Atomic.get incumbent) in
           let root_key = key_of_obj root0.Simplex.obj_value in
           { status = Status.Optimal; x; relax_x = root0.Simplex.x;
             obj = obj_of_key root_key;
             bound = obj_of_key root_key; gap = 0.0; nodes = 1; cuts = 0;
-            lp_iterations = Atomic.get lp_iters }
+            lp_iterations = Atomic.get lp_iters; workers }
       | Status.Optimal ->
           (* Root strengthening: Gomory mixed-integer and cover cuts appended
              before the tree opens, so every node LP — and every warm-started
@@ -243,11 +259,11 @@ let solve ?(options = default_options) m =
           if most_fractional int_ids options.int_tol root.Simplex.x = -1 then begin
             (* The cut rounds closed the integrality gap outright. *)
             accept_point root.Simplex.x;
-            let _, x = Option.get !incumbent in
+            let _, x = Option.get (Atomic.get incumbent) in
             { status = Status.Optimal; x; relax_x = root0.Simplex.x;
               obj = obj_of_key root_key;
               bound = obj_of_key root_key; gap = 0.0; nodes = 1; cuts = ncuts;
-              lp_iterations = Atomic.get lp_iters }
+              lp_iterations = Atomic.get lp_iters; workers }
           end
           else begin
             (* Dive-and-fix.  Each round pins every integer variable already
@@ -545,15 +561,18 @@ let solve ?(options = default_options) m =
               if options.log then
                 Log.info (fun f ->
                     f "pump done at %.2fs, incumbent=%b" (Sys.time () -. start)
-                      (!incumbent <> None))
+                      (Atomic.get incumbent <> None))
             end;
-            if options.dive_first && !incumbent = None && not (out_of_time ())
+            if
+              options.dive_first
+              && Atomic.get incumbent = None
+              && not (out_of_time ())
             then begin
               dive ~stop_frac:0.8 [] root;
               if options.log then
                 Log.info (fun f ->
                     f "dive done at %.2fs, incumbent=%b" (Sys.time () -. start)
-                      (!incumbent <> None))
+                      (Atomic.get incumbent <> None))
             end;
             let bstate =
               Branching.create ~nvars:input0.Simplex.nvars
@@ -561,31 +580,58 @@ let solve ?(options = default_options) m =
                 ~sb_nvars:options.strong_branching_nvars
                 ~sb_nsteps:options.strong_branching_nsteps
             in
-            let pq = Pqueue.create () in
             let child_warm (r : Simplex.result) =
               if options.warm_start then r.Simplex.basis else None
             in
+            (* Work-stealing tree search.  Every worker owns a best-first
+               deque in [sched]; children are pushed to the worker that
+               solved the parent (so the owner dives down its own subtree
+               with warm bases), and an out-of-work domain steals a
+               victim's *worst* open node — a far-away subtree the victim
+               would reach last, which keeps the stolen work disjoint from
+               the victim's warm-start chain.  The only shared mutable
+               state on the node path is atomic: the incumbent (monotonic
+               CAS), the node counter, the stop reason, and the pseudocost
+               accumulators inside [Branching]. *)
+            let sched = Wsched.create ~workers ?steal_order () in
             (* The tree's root node is the LP we just solved: hand it the
                root basis so the first pop is a no-op repair, not a third
                cold solve of the same relaxation. *)
-            Pqueue.push pq root_key
+            Wsched.push sched ~who:0 ~key:root_key
               { diffs = []; depth = 0; warm = child_warm root;
                 branched = None };
-            let nodes = ref 0 in
-            let stop_reason = ref None in
-            (* The tree search below runs under one lock shared by all
-               workers; node LP solves happen outside it.  [in_flight] counts
-               nodes popped but not yet fully processed, so an idle worker can
-               tell "queue empty for now" from "tree exhausted".  Pseudocost
-               updates and strong-branching probes run inside the lock: the
-               probes are bounded dual-simplex solves that fire mostly during
-               the warmup window, which the adaptive spawn rule keeps strictly
-               sequential anyway. *)
-            let lock = Mutex.create () in
-            let work = Condition.create () in
-            let in_flight = ref 0 in
-            (* Called with [lock] held. *)
-            let process_result nd (r : Simplex.result) =
+            let nodes = Atomic.make 0 in
+            let stop_reason = Atomic.make None in
+            let request_stop s =
+              ignore (Atomic.compare_and_set stop_reason None (Some s));
+              Wsched.stop sched
+            in
+            (* Deadline-aware per-node budget: once the solve has burned
+               enough clock to estimate its pivot rate, each node LP is
+               capped at the iterations the *remaining* budget can afford
+               (split across workers).  A node whose LP alone would
+               outlive the deadline is pushed back open and the search
+               stops, instead of blowing through the limit inside one
+               uninterruptible simplex call. *)
+            let node_budget () =
+              if not (Float.is_finite options.time_limit) then None
+              else begin
+                let elapsed = Sys.time () -. start in
+                let iters = Atomic.get lp_iters in
+                if elapsed <= 1e-3 || iters <= 0 then None
+                else begin
+                  let remaining =
+                    Float.max 0.0 (options.time_limit -. elapsed)
+                  in
+                  let rate = float_of_int iters /. elapsed in
+                  let cap =
+                    rate *. remaining /. float_of_int (max 1 workers)
+                  in
+                  Some (max 500 (int_of_float (Float.min 1e8 cap)))
+                end
+              end
+            in
+            let process_result who nd (r : Simplex.result) =
               (match (nd.branched, r.Simplex.status) with
               | Some (j, up, pk, f), Status.Optimal ->
                   Branching.observe bstate ~var:j ~up ~frac:f
@@ -596,7 +642,7 @@ let solve ?(options = default_options) m =
               | Status.Optimal -> (
                   let k' = key_of_obj r.Simplex.obj_value in
                   let worse =
-                    match !incumbent with
+                    match Atomic.get incumbent with
                     | Some (ki, _) -> k' >= ki -. 1e-9 *. (1.0 +. Float.abs ki)
                     | None -> false
                   in
@@ -627,7 +673,7 @@ let solve ?(options = default_options) m =
                     in
                     match
                       Branching.select bstate ~int_ids ~tol:options.int_tol
-                        ~x:r.Simplex.x ~nodes:!nodes ~probe
+                        ~x:r.Simplex.x ~nodes:(Atomic.get nodes) ~probe
                     with
                     | -1 -> accept_point r.Simplex.x
                     | j ->
@@ -635,121 +681,107 @@ let solve ?(options = default_options) m =
                         let f = xv -. Float.floor xv in
                         let fl = Float.floor xv and ce = Float.ceil xv in
                         let warm = child_warm r in
-                        Pqueue.push pq k'
+                        Wsched.push sched ~who ~key:k'
                           { diffs = (j, neg_infinity, fl) :: nd.diffs;
                             depth = nd.depth + 1; warm;
                             branched = Some (j, false, k', f) };
-                        Pqueue.push pq k'
+                        Wsched.push sched ~who ~key:k'
                           { diffs = (j, ce, infinity) :: nd.diffs;
                             depth = nd.depth + 1; warm;
-                            branched = Some (j, true, k', f) };
-                        Condition.broadcast work)
+                            branched = Some (j, true, k', f) })
               | _ ->
                   (* A node LP that fails numerically is abandoned; the
                      incumbent, if any, remains valid. *)
                   ()
             in
-            (* Adaptive granularity: the search starts strictly sequential and
-               extra domains are spawned at most once, when the open-node
-               queue shows enough work to amortize domain spawn and lock
-               contention (small trees — the common warm-started case — never
-               pay it). *)
+            (* Adaptive granularity is kept: the search starts strictly
+               sequential and helper domains are spawned at most once, when
+               the node count and the open frontier both show enough work
+               to amortize domain spawn (small trees — the common
+               warm-started case — never pay it). *)
             let extra = max 0 (min (workers - 1) 63) in
             let spawned = ref false in
             let doms = ref [||] in
-            (* Called with [lock] held; answers whether the caller should
-               spawn the helper domains after releasing it. *)
-            let should_spawn () =
-              extra > 0 && (not !spawned)
-              && !nodes >= options.par_threshold
-              && Pqueue.length pq + !in_flight >= options.par_threshold
-              && (spawned := true;
-                  true)
+            (* Worker body.  With one worker this visits nodes in exactly
+               the sequential best-bound order: the single deque *is* the
+               global best-bound heap. *)
+            let rec worker who =
+              match Wsched.next sched ~who with
+              | Wsched.Done | Wsched.Stopped -> ()
+              | Wsched.Work (k, nd) ->
+                  let pruned =
+                    match Atomic.get incumbent with
+                    | Some (ki, _) -> k >= ki -. 1e-12
+                    | None -> false
+                  in
+                  if pruned then begin
+                    (* Prune at pop: stale nodes fall out lazily, one
+                       wasted pop each, instead of a frontier sweep under
+                       a global lock. *)
+                    Wsched.done_one sched;
+                    worker who
+                  end
+                  else if Atomic.get nodes >= options.node_limit then begin
+                    Wsched.push sched ~who ~key:k nd;
+                    Wsched.done_one sched;
+                    request_stop Status.Node_limit
+                  end
+                  else if out_of_time () then begin
+                    Wsched.push sched ~who ~key:k nd;
+                    Wsched.done_one sched;
+                    request_stop Status.Time_limit
+                  end
+                  else begin
+                    ignore (Atomic.fetch_and_add nodes 1);
+                    if
+                      who = 0 && extra > 0 && (not !spawned)
+                      && Atomic.get nodes >= options.par_threshold
+                      && Wsched.pending sched >= options.par_threshold
+                    then begin
+                      spawned := true;
+                      doms :=
+                        Array.init extra (fun i ->
+                            Domain.spawn (fun () -> worker (i + 1)))
+                    end;
+                    let cap = node_budget () in
+                    let r =
+                      solve_node ?warm:nd.warm ?max_iters:cap
+                        ~want_basis:options.warm_start nd.diffs
+                    in
+                    (match r.Simplex.status with
+                    | Status.Iteration_limit when cap <> None ->
+                        (* Our own deadline cap fired: the node stays open
+                           (its key keeps feeding the reported bound) and
+                           the search winds down. *)
+                        Wsched.push sched ~who ~key:k nd;
+                        request_stop Status.Time_limit
+                    | _ -> process_result who nd r);
+                    (* Children are pushed before this [done_one], so
+                       [pending] can never dip to 0 while successors
+                       exist. *)
+                    Wsched.done_one sched;
+                    worker who
+                  end
             in
-            (* Worker body; entered and left with [lock] held.  With one
-               worker this visits nodes in exactly the sequential best-bound
-               order. *)
-            let rec worker () =
-              if !stop_reason <> None then ()
-              else begin
-                (* Best-bound frontier check: the heap minimum prunes only if
-                   every open node does, so the whole tree is exhausted. *)
-                let all_pruned =
-                  match (Pqueue.peek pq, !incumbent) with
-                  | Some (k, _), Some (ki, _) -> k >= ki -. 1e-12
-                  | _ -> false
-                in
-                if all_pruned then begin
-                  while Pqueue.pop pq <> None do () done;
-                  (* In-flight workers may still push fresh children; keep
-                     serving the queue rather than exiting here. *)
-                  if !in_flight = 0 then Condition.broadcast work
-                  else Condition.wait work lock;
-                  worker ()
-                end
-                else
-                  match Pqueue.pop pq with
-                  | None ->
-                      if !in_flight = 0 then Condition.broadcast work
-                      else begin
-                        Condition.wait work lock;
-                        worker ()
-                      end
-                  | Some (k, nd) ->
-                      if !nodes >= options.node_limit then begin
-                        Pqueue.push pq k nd;
-                        stop_reason := Some Status.Node_limit;
-                        Condition.broadcast work
-                      end
-                      else if out_of_time () then begin
-                        Pqueue.push pq k nd;
-                        stop_reason := Some Status.Time_limit;
-                        Condition.broadcast work
-                      end
-                      else begin
-                        incr nodes;
-                        incr in_flight;
-                        let spawn_now = should_spawn () in
-                        Mutex.unlock lock;
-                        if spawn_now then
-                          doms :=
-                            Array.init extra (fun _ -> Domain.spawn run_worker);
-                        let r =
-                          solve_node ?warm:nd.warm
-                            ~want_basis:options.warm_start nd.diffs
-                        in
-                        Mutex.lock lock;
-                        decr in_flight;
-                        process_result nd r;
-                        if Pqueue.is_empty pq && !in_flight = 0 then
-                          Condition.broadcast work;
-                        worker ()
-                      end
-              end
-            and run_worker () =
-              Mutex.lock lock;
-              worker ();
-              Mutex.unlock lock
-            in
-            run_worker ();
+            worker 0;
             Array.iter Domain.join !doms;
             let open_bound =
-              match (!stop_reason, Pqueue.min_key pq) with
+              match (Atomic.get stop_reason, Wsched.min_key sched) with
               | None, _ -> infinity (* tree exhausted: incumbent is optimal *)
               | Some _, Some k -> k
               | Some _, None -> infinity
             in
-            match !incumbent with
+            match Atomic.get incumbent with
             | None ->
                 let status =
-                  match !stop_reason with
+                  match Atomic.get stop_reason with
                   | None -> Status.Infeasible
                   | Some s -> s
                 in
                 { status; x = [||]; relax_x = root0.Simplex.x; obj = nan;
                   bound = obj_of_key root_key;
-                  gap = nan; nodes = !nodes; cuts = ncuts;
-                  lp_iterations = Atomic.get lp_iters }
+                  gap = nan; nodes = Atomic.get nodes; cuts = ncuts;
+                  lp_iterations = Atomic.get lp_iters; workers }
             | Some (ki, x) ->
                 let bound_key =
                   if open_bound = infinity then ki
@@ -760,13 +792,13 @@ let solve ?(options = default_options) m =
                   Float.abs (ki -. bound_key) /. Float.max 1.0 (Float.abs ki)
                 in
                 let status =
-                  match !stop_reason with
+                  match Atomic.get stop_reason with
                   | None -> Status.Optimal
                   | Some _ when gap <= options.gap_tol -> Status.Optimal
                   | Some _ -> Status.Feasible
                 in
                 { status; x; relax_x = root0.Simplex.x; obj = obj_of_key ki;
                   bound = obj_of_key bound_key;
-                  gap; nodes = !nodes; cuts = ncuts;
-                  lp_iterations = Atomic.get lp_iters }
+                  gap; nodes = Atomic.get nodes; cuts = ncuts;
+                  lp_iterations = Atomic.get lp_iters; workers }
           end)

@@ -17,15 +17,22 @@
     unchanged and objectives agree to solver tolerance.
 
     With [workers > 1] the tree search fans out over that many OCaml 5
-    domains sharing one best-bound queue and one incumbent.  The fan-out
-    is adaptive: the search starts sequential and the helper domains are
-    spawned only once at least [par_threshold] nodes have been processed
-    {e and} that many are simultaneously open — so small trees (the
-    common warm-started case) never pay domain spawn or lock contention
-    costs.  The returned solution is still optimal whenever the
-    sequential solver's is, but the visit order — and therefore [nodes]
-    and [lp_iterations] — may differ run to run.  [workers = 1] is
-    exactly the deterministic sequential search. *)
+    domains under a work-stealing scheduler ({!Wsched}): each domain
+    owns a best-first deque, children go to the domain that solved the
+    parent (keeping warm-start basis chains local), and an idle domain
+    steals a victim's worst open node.  The incumbent is broadcast
+    lock-free through an [Atomic] with a monotonic compare-and-set, so
+    pruning always uses the freshest bound.  The fan-out is adaptive:
+    the search starts sequential and the helper domains are spawned only
+    once at least [par_threshold] nodes have been processed {e and} that
+    many are simultaneously pending — so small trees (the common
+    warm-started case) never pay domain spawn costs.  The returned
+    solution is still optimal whenever the sequential solver's is, but
+    the visit order — and therefore [nodes] and [lp_iterations] — may
+    differ run to run.  [workers = 1] is exactly the deterministic
+    sequential search.  Requested worker counts beyond
+    [Domain.recommended_domain_count ()] are clamped; the effective
+    count is reported in [result.workers]. *)
 
 type options = {
   node_limit : int;        (** maximum branch-and-bound nodes (default 5000) *)
@@ -82,10 +89,24 @@ type result = {
   nodes : int;             (** branch-and-bound nodes explored *)
   cuts : int;              (** cutting planes appended at the root *)
   lp_iterations : int;     (** total simplex iterations *)
+  workers : int;
+  (** effective worker-domain count after clamping the requested
+      [options.workers] to [Domain.recommended_domain_count ()] — the
+      observable form of the one-shot stderr clamp warning *)
 }
 
-(** [solve m] solves the model, honouring integrality marks on variables. *)
-val solve : ?options:options -> Model.t -> result
+(** [solve m] solves the model, honouring integrality marks on variables.
+
+    [steal_order] is a test seam forwarded to the work-stealing
+    scheduler (see {!Wsched.create}): it maps an idle worker and its
+    sweep round to the victim it should try to steal from, letting the
+    determinism suite script adversarial steal interleavings.  Leave it
+    unset for the default cyclic sweep. *)
+val solve :
+  ?options:options ->
+  ?steal_order:(thief:int -> round:int -> int) ->
+  Model.t ->
+  result
 
 (** [relax m] solves the LP relaxation only. *)
 val relax : ?max_iters:int -> ?core:Simplex.core -> Model.t -> Simplex.result

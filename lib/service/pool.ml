@@ -24,12 +24,20 @@ type ticket = {
 
 type task = { tjob : Job.t; submitted : float; ticket : ticket }
 
+(* Tasks live in the same work-stealing scheduler the MILP tree search
+   runs on ([Lp.Wsched], [finite:false] so idle workers park until
+   shutdown, [drain:true] so shutdown serves the backlog).  Submission
+   order is the priority key and jobs are dealt round-robin across the
+   per-worker deques, so each worker owns a disjoint slice of the queue
+   (no shared-queue convoy) and an idle worker steals the *latest*
+   submission from a loaded neighbour — the job whose owner would reach
+   it last. *)
 type t = {
   workers : int;
-  queue : task Queue.t;
+  sched : task Lp.Wsched.t;
+  seq : int Atomic.t;
   queue_capacity : int;
   m : Mutex.t;
-  not_empty : Condition.t;
   not_full : Condition.t;
   mutable closed : bool;
   mutable domains : unit Domain.t array;
@@ -244,40 +252,35 @@ let on_complete ticket f =
       ticket.hooks <- f :: ticket.hooks;
       Mutex.unlock ticket.tm
 
-let worker_loop t () =
+let worker_loop t who () =
   let rec loop () =
-    Mutex.lock t.m;
-    while Queue.is_empty t.queue && not t.closed do
-      Condition.wait t.not_empty t.m
-    done;
-    if Queue.is_empty t.queue then begin
-      Mutex.unlock t.m;
-      ()
-    end
-    else begin
-      let task = Queue.pop t.queue in
-      Condition.signal t.not_full;
-      Mutex.unlock t.m;
-      let r =
-        try run_task ~tiered:t.tiered ~trace:t.trace task
-        with exn ->
-          (* Last-resort guard: a worker must always fill its ticket. *)
-          {
-            job = task.tjob;
-            fingerprint = Job.fingerprint task.tjob;
-            outcome = None;
-            code = Failed;
-            reason = Some (Printexc.to_string exn);
-            cache_hit = false;
-            cache_tier = None;
-            queue_s = 0.0;
-            build_s = 0.0;
-            solve_s = 0.0;
-          }
-      in
-      resolve task.ticket r;
-      loop ()
-    end
+    match Lp.Wsched.next t.sched ~who with
+    | Lp.Wsched.Done | Lp.Wsched.Stopped -> ()
+    | Lp.Wsched.Work (_, task) ->
+        (* The task left the deques: free a capacity slot. *)
+        Mutex.lock t.m;
+        Condition.signal t.not_full;
+        Mutex.unlock t.m;
+        let r =
+          try run_task ~tiered:t.tiered ~trace:t.trace task
+          with exn ->
+            (* Last-resort guard: a worker must always fill its ticket. *)
+            {
+              job = task.tjob;
+              fingerprint = Job.fingerprint task.tjob;
+              outcome = None;
+              code = Failed;
+              reason = Some (Printexc.to_string exn);
+              cache_hit = false;
+              cache_tier = None;
+              queue_s = 0.0;
+              build_s = 0.0;
+              solve_s = 0.0;
+            }
+        in
+        resolve task.ticket r;
+        Lp.Wsched.done_one t.sched;
+        loop ()
   in
   loop ()
 
@@ -292,13 +295,15 @@ let clamp_workers ~what n =
 
 let create ?(workers = 2) ?(queue_capacity = 64) ?(cache_capacity = 256)
     ?(tiers = []) ?(trace = Trace.null) () =
+  let workers = max 0 workers in
   let t =
     {
-      workers = max 0 workers;
-      queue = Queue.create ();
+      workers;
+      sched =
+        Lp.Wsched.create ~workers:(max 1 workers) ~finite:false ~drain:true ();
+      seq = Atomic.make 0;
       queue_capacity = max 1 queue_capacity;
       m = Mutex.create ();
-      not_empty = Condition.create ();
       not_full = Condition.create ();
       closed = false;
       domains = [||];
@@ -307,7 +312,8 @@ let create ?(workers = 2) ?(queue_capacity = 64) ?(cache_capacity = 256)
     }
   in
   if t.workers > 0 then
-    t.domains <- Array.init t.workers (fun _ -> Domain.spawn (worker_loop t));
+    t.domains <-
+      Array.init t.workers (fun i -> Domain.spawn (worker_loop t i));
   t
 
 let workers t = t.workers
@@ -316,11 +322,7 @@ let cache t = Tiered.lru t.tiered
 let tiered t = t.tiered
 let trace t = t.trace
 
-let queue_depth t =
-  Mutex.lock t.m;
-  let n = Queue.length t.queue in
-  Mutex.unlock t.m;
-  n
+let queue_depth t = Lp.Wsched.queued t.sched
 
 let fresh_task job =
   let ticket =
@@ -336,15 +338,18 @@ let submit t job =
   end
   else begin
     Mutex.lock t.m;
-    while Queue.length t.queue >= t.queue_capacity && not t.closed do
+    while Lp.Wsched.queued t.sched >= t.queue_capacity && not t.closed do
       Condition.wait t.not_full t.m
     done;
     if t.closed then begin
       Mutex.unlock t.m;
       invalid_arg "Pool.submit: pool is shut down"
     end;
-    Queue.push task t.queue;
-    Condition.signal t.not_empty;
+    (* The submission sequence number doubles as the best-first key, so
+       owners serve their slices in submission order, and as the deal:
+       job [k] lands on worker [k mod workers]. *)
+    let k = Atomic.fetch_and_add t.seq 1 in
+    Lp.Wsched.push t.sched ~who:(k mod t.workers) ~key:(float_of_int k) task;
     Mutex.unlock t.m
   end;
   task.ticket
@@ -358,13 +363,14 @@ let try_submit t job =
       Mutex.unlock t.m;
       invalid_arg "Pool.try_submit: pool is shut down"
     end;
-    if Queue.length t.queue >= t.queue_capacity then begin
+    if Lp.Wsched.queued t.sched >= t.queue_capacity then begin
       Mutex.unlock t.m;
       None
     end
     else begin
-      Queue.push task t.queue;
-      Condition.signal t.not_empty;
+      let k = Atomic.fetch_and_add t.seq 1 in
+      Lp.Wsched.push t.sched ~who:(k mod t.workers) ~key:(float_of_int k)
+        task;
       Mutex.unlock t.m;
       Some task.ticket
     end
@@ -420,10 +426,12 @@ let shutdown t =
   Mutex.lock t.m;
   let was_closed = t.closed in
   t.closed <- true;
-  Condition.broadcast t.not_empty;
   Condition.broadcast t.not_full;
   Mutex.unlock t.m;
   if not was_closed then begin
+    (* Drain-mode stop: workers finish everything already queued (every
+       accepted ticket resolves), then observe Stopped and exit. *)
+    Lp.Wsched.stop t.sched;
     Array.iter Domain.join t.domains;
     t.domains <- [||]
   end

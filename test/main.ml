@@ -2,6 +2,7 @@ let () =
   Alcotest.run "etransform"
     [
       ("pqueue", Test_pqueue.suite);
+      ("wsched", Test_wsched.suite);
       ("simplex", Test_simplex.suite);
       ("milp", Test_milp.suite);
       ("lp-format", Test_lp_format.suite);

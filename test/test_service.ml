@@ -303,6 +303,48 @@ let test_pool_parallel_equals_sequential () =
         o.Solver.placement.Placement.primary
   | None -> Alcotest.fail "first job has no outcome"
 
+let test_pool_thousand_tiny_jobs () =
+  (* Stress the work-stealing pool: 1000 tiny jobs through 4 worker
+     domains.  Every ticket must resolve, results must come back in
+     submission order, and nothing may be dropped or duplicated.  The
+     jobs cycle through 8 distinct specs, so the plan cache carries most
+     of the load — which is exactly the small-fast-job regime where a
+     scheduler race would surface as a lost wakeup or a misordered
+     stream. *)
+  let n = 1000 in
+  let configs =
+    [| (0.0, 0.0); (0.0, 0.5); (0.0, 1.0); (40.0, 0.5);
+       (80.0, 0.0); (80.0, 0.5); (80.0, 1.0); (40.0, 1.0) |]
+  in
+  let jobs =
+    List.init n (fun i ->
+        let penalty, frac = configs.(i mod Array.length configs) in
+        let base = small_job penalty frac in
+        { base with Service.Job.id = Printf.sprintf "job-%d" i })
+  in
+  let results =
+    Service.Pool.with_pool ~workers:4 ~queue_capacity:32 (fun pool ->
+        Service.Pool.run_batch pool jobs)
+  in
+  Alcotest.(check int) "every job answered" n (List.length results);
+  List.iteri
+    (fun i r ->
+      Alcotest.(check string)
+        (Printf.sprintf "slot %d in submission order" i)
+        (Printf.sprintf "job-%d" i)
+        r.Service.Pool.job.Service.Job.id;
+      match r.Service.Pool.code with
+      | Service.Pool.Solved | Service.Pool.Degraded -> ()
+      | Service.Pool.Failed ->
+          Alcotest.failf "job %d failed: %s" i
+            (Option.value r.Service.Pool.reason ~default:"?"))
+    results;
+  let hits =
+    List.length (List.filter (fun r -> r.Service.Pool.cache_hit) results)
+  in
+  Alcotest.(check bool) "cache did the heavy lifting" true
+    (hits >= n - (2 * Array.length configs))
+
 let test_cache_hit_on_repeat () =
   let trace = Service.Trace.memory () in
   let job = small_job 40.0 0.5 in
@@ -481,6 +523,8 @@ let suite =
     Alcotest.test_case "cache: zero capacity" `Quick test_cache_disabled;
     Alcotest.test_case "pool: parallel equals sequential" `Slow
       test_pool_parallel_equals_sequential;
+    Alcotest.test_case "pool: 1000 tiny jobs, 4 workers, in order" `Slow
+      test_pool_thousand_tiny_jobs;
     Alcotest.test_case "pool: cache hit on repeat" `Quick
       test_cache_hit_on_repeat;
     Alcotest.test_case "pool: zero deadline degrades" `Quick
